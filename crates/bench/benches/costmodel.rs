@@ -1,0 +1,18 @@
+//! Cost-model evaluation speed (called inside every optimizer pass).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use llmsim::{calibration, ModelSpec};
+
+fn bench_costmodel(c: &mut Criterion) {
+    let model = ModelSpec::gpt_20b();
+    let cost = calibration::calibrated_cost_model(&model);
+    c.bench_function("exec_latency_gpt20b", |b| {
+        b.iter(|| cost.exec_latency(black_box(&model), 3, 4, 8, 512, 128))
+    });
+    c.bench_function("decode_time_gpt20b", |b| {
+        b.iter(|| cost.decode_time(black_box(&model), 3, 4, 8, 576))
+    });
+}
+
+criterion_group!(benches, bench_costmodel);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Whole-run simulation throughput: one 20-minute serving trace end to end.
+
+use cloudsim::AvailabilityTrace;
+use criterion::{criterion_group, criterion_main, Criterion};
+use llmsim::ModelSpec;
+use spotserve::{Scenario, ServingSystem, SystemOptions};
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serving_run");
+    g.sample_size(10);
+    g.bench_function("spotserve_opt67b_as", |b| {
+        b.iter(|| {
+            let sc = Scenario::paper_stable(
+                ModelSpec::opt_6_7b(),
+                AvailabilityTrace::paper_as(),
+                1.5,
+                1,
+            );
+            ServingSystem::new(SystemOptions::spotserve(), sc).run()
+        })
+    });
+    g.bench_function("spotserve_gpt20b_bs", |b| {
+        b.iter(|| {
+            let sc = Scenario::paper_stable(
+                ModelSpec::gpt_20b(),
+                AvailabilityTrace::paper_bs(),
+                0.35,
+                1,
+            );
+            ServingSystem::new(SystemOptions::spotserve(), sc).run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Kuhn–Munkres matching speed at device-mapper scales (§3.3).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kmatch::{max_weight_assignment, WeightMatrix};
+
+fn bench_km(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hungarian");
+    for n in [8usize, 16, 32, 64] {
+        let w = WeightMatrix::from_fn(n, n, |r, c| ((r * 2654435761 + c * 40503) % 100_000) as i64);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| max_weight_assignment(black_box(w)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_km);
+criterion_main!(benches);

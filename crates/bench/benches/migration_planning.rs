@@ -1,0 +1,41 @@
+//! Algorithm 2 planning cost for a realistic GPT-20B reconfiguration.
+
+use cloudsim::{ColdStorage, GpuRef, InstanceId, NetFabric};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use llmsim::ModelSpec;
+use migration::{evaluate_plan, plan_migration, DeviceAssignment, MigrationTask, PlannerOptions};
+use parallelism::ParallelConfig;
+
+fn task() -> MigrationTask {
+    let old = ParallelConfig::new(2, 2, 8, 8);
+    let new = ParallelConfig::new(2, 3, 4, 8);
+    let gpus: Vec<GpuRef> = (0..8u64)
+        .flat_map(|i| (0..4u8).map(move |s| GpuRef::new(InstanceId(i), s)))
+        .collect();
+    MigrationTask {
+        model: ModelSpec::gpt_20b(),
+        old_config: old,
+        new_config: new,
+        old_assignment: DeviceAssignment::contiguous(&old, &gpus),
+        new_assignment: DeviceAssignment::contiguous(&new, &gpus),
+        cache_bytes_per_pipeline: vec![1 << 30; 2],
+        pipeline_inheritance: vec![Some(0), Some(1)],
+    }
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let t = task();
+    let opts = PlannerOptions::default();
+    c.bench_function("plan_migration_gpt20b", |b| {
+        b.iter(|| plan_migration(black_box(&t), black_box(&opts)))
+    });
+    let plan = plan_migration(&t, &opts);
+    let net = NetFabric::g4dn_default();
+    let storage = ColdStorage::default();
+    c.bench_function("evaluate_plan_gpt20b", |b| {
+        b.iter(|| evaluate_plan(black_box(&plan), &net, &storage))
+    });
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Algorithm 1 runs online: the paper claims < 1 s overhead (§3.2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use llmsim::ModelSpec;
+use spotserve::ConfigOptimizer;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("config_optimizer");
+    for model in ModelSpec::paper_models() {
+        let opt = ConfigOptimizer::paper_defaults(model.clone(), 16);
+        g.bench_function(model.name, |b| {
+            b.iter(|| opt.decide(black_box(10), black_box(0.35)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

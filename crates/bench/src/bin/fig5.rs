@@ -1,0 +1,49 @@
+//! Regenerates Figure 5: the spot availability traces `A_S` / `B_S` and
+//! the mixed-fleet traces `A_S+O` / `B_S+O` produced by running Algorithm 1
+//! with on-demand mixing (each instance has four GPUs).
+
+use cloudsim::AvailabilityTrace;
+use llmsim::ModelSpec;
+use spotserve_bench::{header, run_cell};
+use spotserve::SystemOptions;
+
+fn print_trace(name: &str, trace: &AvailabilityTrace) {
+    println!("\n--- Trace {name} (spot capacity, #instances over time) ---");
+    for &(t, c) in trace.steps() {
+        println!("t={:>6.0}s  capacity={:>2}  {}", t.as_secs_f64(), c, "#".repeat(c as usize));
+    }
+}
+
+fn print_mixed(name: &str, trace: &AvailabilityTrace) {
+    // The +O fleets come out of an actual SpotServe run with mixing on
+    // (the paper generates them "following Algorithm 1").
+    let model = ModelSpec::gpt_20b();
+    let report = run_cell(SystemOptions::spotserve(), &model, trace, true, 0.35, 42);
+    println!("\n--- Trace {name}+O (spot + on-demand held by SpotServe, GPT-20B) ---");
+    let mut last = (u32::MAX, u32::MAX);
+    for &(t, spot, od) in &report.fleet_timeline {
+        if (spot, od) == last || t.as_secs_f64() > 1200.0 {
+            continue;
+        }
+        last = (spot, od);
+        println!(
+            "t={:>6.0}s  spot={:>2} od={:>2} total={:>2}  {}{}",
+            t.as_secs_f64(),
+            spot,
+            od,
+            spot + od,
+            "#".repeat(spot as usize),
+            "o".repeat(od as usize)
+        );
+    }
+}
+
+fn main() {
+    header("Figure 5: availability traces (4 GPUs per instance)");
+    let a = AvailabilityTrace::paper_as();
+    let b = AvailabilityTrace::paper_bs();
+    print_trace("AS", &a);
+    print_trace("BS", &b);
+    print_mixed("AS", &a);
+    print_mixed("BS", &b);
+}

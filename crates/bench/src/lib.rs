@@ -1,0 +1,129 @@
+//! Experiment drivers that regenerate every table and figure of the paper.
+//!
+//! Each binary in `src/bin/` prints one table/figure in row/series form:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table 1: model sizes, min #GPUs, minimal `(P,M)`, `l_exe(B=1)` |
+//! | `fig5`   | Figure 5: availability traces `A_S`, `B_S` and the mixed `+O` fleets |
+//! | `fig6`   | Figure 6: avg/P90…P99 latency, 3 systems × 3 models × 4 traces |
+//! | `fig7`   | Figure 7: monetary cost (USD/token) vs latency on GPT-20B |
+//! | `fig8`   | Figure 8: fluctuating (MAF) workload study |
+//! | `fig9`   | Figure 9: component ablation on GPT-20B |
+//!
+//! The criterion benches (`benches/`) cover the paper's systems claims:
+//! the online optimizer runs in well under a second (§3.2), KM mapping is
+//! fast at fleet scale (§3.3), and migration planning is cheap (§3.4).
+
+use cloudsim::AvailabilityTrace;
+use llmsim::ModelSpec;
+use simkit::metrics::Percentiles;
+use spotserve::{AblationFlags, RunReport, Scenario, ServingSystem, SystemOptions};
+
+/// The three serving systems of §6.1, in the paper's comparison order.
+pub fn paper_systems() -> Vec<(&'static str, SystemOptions)> {
+    vec![
+        ("SpotServe", SystemOptions::spotserve()),
+        ("Reparallelization", SystemOptions::reparallelization()),
+        ("Rerouting", SystemOptions::rerouting()),
+    ]
+}
+
+/// The paper's per-model request rates (§6.1): OPT 1.5, GPT 0.35,
+/// LLaMA 0.2 requests/s.
+pub fn paper_rate(model: &ModelSpec) -> f64 {
+    match model.name {
+        "OPT-6.7B" => 1.5,
+        "GPT-20B" => 0.35,
+        "LLaMA-30B" => 0.2,
+        _ => 1.0,
+    }
+}
+
+/// The four §6.2 trace variants: `A_S`, `B_S` spot-only, and the same
+/// spot traces with on-demand mixing enabled (`A_S+O`, `B_S+O`).
+pub fn paper_traces() -> Vec<(&'static str, AvailabilityTrace, bool)> {
+    vec![
+        ("AS", AvailabilityTrace::paper_as(), false),
+        ("BS", AvailabilityTrace::paper_bs(), false),
+        ("AS+O", AvailabilityTrace::paper_as(), true),
+        ("BS+O", AvailabilityTrace::paper_bs(), true),
+    ]
+}
+
+/// Runs one `(system, model, trace)` cell of Figure 6 and returns the
+/// report. `seed` controls workload + cloud randomness.
+pub fn run_cell(
+    mut opts: SystemOptions,
+    model: &ModelSpec,
+    trace: &AvailabilityTrace,
+    mixing: bool,
+    rate: f64,
+    seed: u64,
+) -> RunReport {
+    if mixing {
+        opts = opts.with_on_demand_mixing();
+    }
+    let scenario = Scenario::paper_stable(model.clone(), trace.clone(), rate, seed);
+    ServingSystem::new(opts, scenario).run()
+}
+
+/// The Figure 9 ablation ladder: components disabled cumulatively, in the
+/// paper's order.
+pub fn ablation_ladder() -> Vec<(&'static str, AblationFlags)> {
+    let mut flags = AblationFlags::default();
+    let mut out = vec![("SpotServe", flags)];
+    flags.no_controller = true;
+    out.push(("-Controller", flags));
+    flags.no_migration_planner = true;
+    out.push(("-Migration Planner", flags));
+    flags.no_interruption_arranger = true;
+    out.push(("-Interruption Arranger", flags));
+    flags.no_device_mapper = true;
+    out.push(("-Device Mapper", flags));
+    out
+}
+
+/// Formats a Figure 6 style row: `Avg  P90 P95 P96 P97 P98 P99` (seconds).
+pub fn latency_row(p: &Percentiles) -> String {
+    format!(
+        "avg={:7.1}  p90={:7.1}  p95={:7.1}  p96={:7.1}  p97={:7.1}  p98={:7.1}  p99={:7.1}",
+        p.mean, p.p90, p.p95, p.p96, p.p97, p.p98, p.p99
+    )
+}
+
+/// Prints a boxed section header.
+pub fn header(title: &str) {
+    println!();
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_cover_paper_models() {
+        for m in ModelSpec::paper_models() {
+            assert!(paper_rate(&m) > 0.0);
+        }
+        assert_eq!(paper_rate(&ModelSpec::llama_13b()), 1.0);
+    }
+
+    #[test]
+    fn ablation_ladder_is_cumulative() {
+        let ladder = ablation_ladder();
+        assert_eq!(ladder.len(), 5);
+        assert!(!ladder[0].1.no_controller);
+        assert!(ladder[4].1.no_controller && ladder[4].1.no_device_mapper);
+    }
+
+    #[test]
+    fn traces_cover_four_variants() {
+        let ts = paper_traces();
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.iter().filter(|(_, _, mix)| *mix).count(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Events the cloud delivers to the serving system.
+
+use simkit::SimTime;
+
+use crate::instance::InstanceId;
+
+/// Notifications produced by [`CloudSim`](crate::CloudSim).
+///
+/// The event kinds mirror the real cloud APIs the paper builds on: grants
+/// for earlier capacity requests, ahead-of-time preemption *notices*
+/// (the grace-period mechanism, §3.2), and the final forced termination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloudEvent {
+    /// A previously requested spot instance is now leased to us.
+    SpotGranted {
+        /// The newly leased instance.
+        id: InstanceId,
+    },
+    /// A previously requested on-demand instance is now leased to us.
+    OnDemandGranted {
+        /// The newly leased instance.
+        id: InstanceId,
+    },
+    /// The cloud will reclaim `id` at `kill_at` (grace period runs now).
+    PreemptionNotice {
+        /// The instance being reclaimed.
+        id: InstanceId,
+        /// When the instance will be forcibly terminated.
+        kill_at: SimTime,
+    },
+    /// The grace period elapsed and the instance is gone.
+    Preempted {
+        /// The terminated instance.
+        id: InstanceId,
+    },
+}
+
+impl CloudEvent {
+    /// The instance this event concerns.
+    pub fn instance(&self) -> InstanceId {
+        match *self {
+            CloudEvent::SpotGranted { id }
+            | CloudEvent::OnDemandGranted { id }
+            | CloudEvent::PreemptionNotice { id, .. }
+            | CloudEvent::Preempted { id } => id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_accessor_covers_all_variants() {
+        let id = InstanceId(4);
+        let evs = [
+            CloudEvent::SpotGranted { id },
+            CloudEvent::OnDemandGranted { id },
+            CloudEvent::PreemptionNotice { id, kill_at: SimTime::from_secs(30) },
+            CloudEvent::Preempted { id },
+        ];
+        assert!(evs.iter().all(|e| e.instance() == id));
+    }
+}

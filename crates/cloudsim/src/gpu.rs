@@ -1,0 +1,85 @@
+//! GPU hardware descriptions.
+
+/// Static description of one GPU model.
+///
+/// Only the quantities the analytical cost model consumes are captured:
+/// usable memory, peak dense-math throughput, and memory bandwidth. The
+/// numbers for presets come from vendor datasheets; *effective* utilization
+/// factors live in the cost model, not here.
+///
+/// # Example
+///
+/// ```
+/// use cloudsim::GpuSpec;
+/// let t4 = GpuSpec::t4();
+/// assert_eq!(t4.name, "T4");
+/// assert!(t4.memory_bytes > 15 << 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"T4"`.
+    pub name: &'static str,
+    /// Device memory available to the serving process, in bytes.
+    pub memory_bytes: u64,
+    /// Peak dense math throughput in FLOP/s (tensor-core mixed precision).
+    pub peak_flops: f64,
+    /// Peak device memory bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA Tesla T4 (the GPU on AWS `g4dn` instances used in the paper).
+    pub const fn t4() -> Self {
+        GpuSpec {
+            name: "T4",
+            memory_bytes: 16 * (1 << 30),
+            peak_flops: 65e12,
+            mem_bandwidth: 300e9,
+        }
+    }
+
+    /// NVIDIA A100-40GB, for what-if experiments beyond the paper.
+    pub const fn a100_40g() -> Self {
+        GpuSpec {
+            name: "A100-40G",
+            memory_bytes: 40 * (1 << 30),
+            peak_flops: 312e12,
+            mem_bandwidth: 1_555e9,
+        }
+    }
+
+    /// NVIDIA V100-16GB, for what-if experiments beyond the paper.
+    pub const fn v100_16g() -> Self {
+        GpuSpec {
+            name: "V100-16G",
+            memory_bytes: 16 * (1 << 30),
+            peak_flops: 125e12,
+            mem_bandwidth: 900e9,
+        }
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        GpuSpec::t4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_plausible() {
+        for g in [GpuSpec::t4(), GpuSpec::a100_40g(), GpuSpec::v100_16g()] {
+            assert!(g.memory_bytes >= 8 << 30, "{}: memory too small", g.name);
+            assert!(g.peak_flops > 1e12, "{}: flops too small", g.name);
+            assert!(g.mem_bandwidth > 1e11, "{}: bandwidth too small", g.name);
+        }
+    }
+
+    #[test]
+    fn default_is_t4() {
+        assert_eq!(GpuSpec::default(), GpuSpec::t4());
+    }
+}

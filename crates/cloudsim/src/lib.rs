@@ -1,0 +1,46 @@
+//! Trace-driven cloud substrate.
+//!
+//! This crate simulates the slice of a public cloud that SpotServe interacts
+//! with: preemptible (spot) and on-demand GPU instances, preemption *notices*
+//! followed by a grace period, stochastic acquisition delays, a hierarchical
+//! network fabric (fast intra-instance links, slower inter-instance links),
+//! cold model storage, and per-second billing.
+//!
+//! The central type is [`CloudSim`], which replays an
+//! [`AvailabilityTrace`] — the number of spot instances the cloud is willing
+//! to lease us over time, like the paper's Figure 5 traces `A_S`/`B_S` — and
+//! turns fleet requests from the serving system into a deterministic stream
+//! of [`CloudEvent`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use cloudsim::{AvailabilityTrace, CloudConfig, CloudSim};
+//! use simkit::SimTime;
+//!
+//! let trace = AvailabilityTrace::constant(4);
+//! let mut cloud = CloudSim::new(CloudConfig::default(), trace, 42);
+//! cloud.request_spot(SimTime::ZERO, 2);
+//! // Grants appear after the configured acquisition delay.
+//! let (t, ev) = cloud.pop_next().expect("grant event");
+//! assert!(t > SimTime::ZERO);
+//! println!("{ev:?}");
+//! ```
+
+pub mod events;
+pub mod gpu;
+pub mod instance;
+pub mod network;
+pub mod pricing;
+pub mod provider;
+pub mod storage;
+pub mod trace;
+
+pub use events::CloudEvent;
+pub use gpu::GpuSpec;
+pub use instance::{GpuRef, InstanceId, InstanceKind, InstanceType};
+pub use network::NetFabric;
+pub use pricing::BillingMeter;
+pub use provider::{CloudConfig, CloudSim, InstanceInfo};
+pub use storage::ColdStorage;
+pub use trace::{AvailabilityTrace, TraceGenerator};

@@ -1,0 +1,136 @@
+//! Hierarchical network fabric model.
+//!
+//! GPUs on the same instance talk over the local bus (PCIe on `g4dn`);
+//! GPUs on different instances go over the instance NIC. Both links are
+//! characterized by bandwidth plus a fixed per-message latency — exactly the
+//! quantities SpotServe's migration planner and the tensor-parallel
+//! all-reduce cost term depend on.
+
+use simkit::SimDuration;
+
+/// Point-to-point and collective transfer-time model.
+///
+/// # Example
+///
+/// ```
+/// use cloudsim::NetFabric;
+/// let net = NetFabric::g4dn_default();
+/// let local = net.p2p_time(1 << 30, true);
+/// let remote = net.p2p_time(1 << 30, false);
+/// assert!(local < remote, "intra-instance links are faster");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFabric {
+    /// Intra-instance (GPU-to-GPU over PCIe/NVLink) bandwidth, bytes/s.
+    pub intra_bw: f64,
+    /// Inter-instance (NIC) bandwidth, bytes/s.
+    pub inter_bw: f64,
+    /// Per-message latency for intra-instance transfers.
+    pub intra_latency: SimDuration,
+    /// Per-message latency for inter-instance transfers.
+    pub inter_latency: SimDuration,
+}
+
+impl NetFabric {
+    /// Fabric of an AWS `g4dn.12xlarge`: PCIe 3.0 x16 locally (~12 GB/s
+    /// effective) and a 50 Gbit/s NIC (~6 GB/s effective) between instances.
+    /// Latencies are per ring-step values for persistent NCCL connections.
+    pub const fn g4dn_default() -> Self {
+        NetFabric {
+            intra_bw: 12e9,
+            inter_bw: 6e9,
+            intra_latency: SimDuration::from_micros(20),
+            inter_latency: SimDuration::from_micros(40),
+        }
+    }
+
+    /// Time to move `bytes` point-to-point.
+    ///
+    /// `same_instance` selects the local or remote link.
+    pub fn p2p_time(&self, bytes: u64, same_instance: bool) -> SimDuration {
+        let (bw, lat) = if same_instance {
+            (self.intra_bw, self.intra_latency)
+        } else {
+            (self.inter_bw, self.inter_latency)
+        };
+        lat + SimDuration::from_secs_f64(bytes as f64 / bw)
+    }
+
+    /// Time for a ring all-reduce of `bytes` per participant across `n`
+    /// GPUs, `spans_instances` indicating whether the ring crosses the NIC.
+    ///
+    /// Classic ring cost: `2·(n−1)/n · bytes` traverses the slowest link,
+    /// plus `2·(n−1)` hop latencies. Returns zero for `n <= 1`.
+    pub fn all_reduce_time(&self, bytes: u64, n: u32, spans_instances: bool) -> SimDuration {
+        if n <= 1 {
+            return SimDuration::ZERO;
+        }
+        let (bw, lat) = if spans_instances {
+            (self.inter_bw, self.inter_latency)
+        } else {
+            (self.intra_bw, self.intra_latency)
+        };
+        let volume = 2.0 * (n as f64 - 1.0) / n as f64 * bytes as f64;
+        lat * (2 * (n as u64 - 1)) + SimDuration::from_secs_f64(volume / bw)
+    }
+
+    /// Effective bandwidth of the link between two GPUs, bytes/s.
+    pub fn link_bandwidth(&self, same_instance: bool) -> f64 {
+        if same_instance {
+            self.intra_bw
+        } else {
+            self.inter_bw
+        }
+    }
+}
+
+impl Default for NetFabric {
+    fn default() -> Self {
+        NetFabric::g4dn_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_scales_with_bytes() {
+        let net = NetFabric::g4dn_default();
+        let small = net.p2p_time(1 << 20, false);
+        let big = net.p2p_time(1 << 30, false);
+        assert!(big > small * 100, "1 GiB should dwarf 1 MiB: {big} vs {small}");
+    }
+
+    #[test]
+    fn p2p_zero_bytes_is_latency_only() {
+        let net = NetFabric::g4dn_default();
+        assert_eq!(net.p2p_time(0, true), net.intra_latency);
+        assert_eq!(net.p2p_time(0, false), net.inter_latency);
+    }
+
+    #[test]
+    fn all_reduce_trivial_group() {
+        let net = NetFabric::g4dn_default();
+        assert_eq!(net.all_reduce_time(1 << 20, 1, false), SimDuration::ZERO);
+        assert_eq!(net.all_reduce_time(1 << 20, 0, true), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn all_reduce_cross_instance_slower() {
+        let net = NetFabric::g4dn_default();
+        let local = net.all_reduce_time(8 << 20, 4, false);
+        let remote = net.all_reduce_time(8 << 20, 4, true);
+        assert!(remote > local);
+    }
+
+    #[test]
+    fn all_reduce_volume_term_grows_sublinearly_in_n() {
+        // 2(n-1)/n approaches 2; latency term grows linearly.
+        let net = NetFabric::g4dn_default();
+        let t2 = net.all_reduce_time(64 << 20, 2, false).as_secs_f64();
+        let t8 = net.all_reduce_time(64 << 20, 8, false).as_secs_f64();
+        assert!(t8 < t2 * 2.0, "volume term should not double: {t2} vs {t8}");
+        assert!(t8 > t2, "more hops still cost more");
+    }
+}

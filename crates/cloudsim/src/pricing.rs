@@ -1,0 +1,149 @@
+//! Billing: metering instance-time and converting it to dollars.
+
+use std::collections::HashMap;
+
+use simkit::{SimDuration, SimTime};
+
+use crate::instance::{InstanceId, InstanceKind, InstanceType};
+
+/// Meters instance leases and computes the total bill.
+///
+/// Each instance is charged from the moment it is granted until it is
+/// released or preempted, at the per-hour price of its billing kind.
+/// Per-second granularity (like real clouds since 2017).
+///
+/// # Example
+///
+/// ```
+/// use cloudsim::{BillingMeter, InstanceId, InstanceKind, InstanceType};
+/// use simkit::SimTime;
+///
+/// let mut bill = BillingMeter::new(InstanceType::g4dn_12xlarge());
+/// bill.lease_started(InstanceId(0), InstanceKind::Spot, SimTime::ZERO);
+/// bill.lease_ended(InstanceId(0), SimTime::from_secs(3600));
+/// assert!((bill.total_usd(SimTime::from_secs(3600)) - 1.9).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BillingMeter {
+    instance_type: InstanceType,
+    open: HashMap<InstanceId, (InstanceKind, SimTime)>,
+    closed_usd: f64,
+    closed_time: HashMap<&'static str, SimDuration>,
+}
+
+impl BillingMeter {
+    /// Creates a meter for a fleet of the given instance type.
+    pub fn new(instance_type: InstanceType) -> Self {
+        BillingMeter {
+            instance_type,
+            open: HashMap::new(),
+            closed_usd: 0.0,
+            closed_time: HashMap::new(),
+        }
+    }
+
+    /// Records the start of a lease.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance already has an open lease — leases never nest.
+    pub fn lease_started(&mut self, id: InstanceId, kind: InstanceKind, at: SimTime) {
+        let prev = self.open.insert(id, (kind, at));
+        assert!(prev.is_none(), "{id} already has an open lease");
+    }
+
+    /// Records the end of a lease (release or preemption). Unknown ids are
+    /// ignored so callers do not need to track double-release corner cases.
+    pub fn lease_ended(&mut self, id: InstanceId, at: SimTime) {
+        if let Some((kind, start)) = self.open.remove(&id) {
+            let dur = at.saturating_since(start);
+            self.closed_usd += self.cost_of(kind, dur);
+            let key = match kind {
+                InstanceKind::Spot => "spot",
+                InstanceKind::OnDemand => "on-demand",
+            };
+            *self.closed_time.entry(key).or_insert(SimDuration::ZERO) += dur;
+        }
+    }
+
+    fn cost_of(&self, kind: InstanceKind, dur: SimDuration) -> f64 {
+        self.instance_type.price_per_hour(kind) * dur.as_secs_f64() / 3600.0
+    }
+
+    /// Total spend in USD as of `now`, counting still-open leases up to `now`.
+    pub fn total_usd(&self, now: SimTime) -> f64 {
+        let open: f64 = self
+            .open
+            .values()
+            .map(|&(kind, start)| self.cost_of(kind, now.saturating_since(start)))
+            .sum();
+        self.closed_usd + open
+    }
+
+    /// Total closed lease time per billing kind (`"spot"` / `"on-demand"`).
+    pub fn closed_time(&self, kind: InstanceKind) -> SimDuration {
+        let key = match kind {
+            InstanceKind::Spot => "spot",
+            InstanceKind::OnDemand => "on-demand",
+        };
+        self.closed_time.get(key).copied().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Number of leases currently open.
+    pub fn open_leases(&self) -> usize {
+        self.open.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter() -> BillingMeter {
+        BillingMeter::new(InstanceType::g4dn_12xlarge())
+    }
+
+    #[test]
+    fn spot_hour_costs_spot_price() {
+        let mut m = meter();
+        m.lease_started(InstanceId(1), InstanceKind::Spot, SimTime::ZERO);
+        m.lease_ended(InstanceId(1), SimTime::from_secs(3600));
+        assert!((m.total_usd(SimTime::from_secs(7200)) - 1.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_lease_accrues() {
+        let mut m = meter();
+        m.lease_started(InstanceId(1), InstanceKind::OnDemand, SimTime::ZERO);
+        let half_hour = SimTime::from_secs(1800);
+        assert!((m.total_usd(half_hour) - 3.9 / 2.0).abs() < 1e-9);
+        assert_eq!(m.open_leases(), 1);
+    }
+
+    #[test]
+    fn mixed_fleet_bill() {
+        let mut m = meter();
+        m.lease_started(InstanceId(1), InstanceKind::Spot, SimTime::ZERO);
+        m.lease_started(InstanceId(2), InstanceKind::OnDemand, SimTime::ZERO);
+        let t = SimTime::from_secs(3600);
+        m.lease_ended(InstanceId(1), t);
+        m.lease_ended(InstanceId(2), t);
+        assert!((m.total_usd(t) - (1.9 + 3.9)).abs() < 1e-9);
+        assert_eq!(m.closed_time(InstanceKind::Spot), SimDuration::from_secs(3600));
+    }
+
+    #[test]
+    fn unknown_release_is_noop() {
+        let mut m = meter();
+        m.lease_ended(InstanceId(99), SimTime::from_secs(10));
+        assert_eq!(m.total_usd(SimTime::from_secs(10)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "open lease")]
+    fn double_lease_panics() {
+        let mut m = meter();
+        m.lease_started(InstanceId(1), InstanceKind::Spot, SimTime::ZERO);
+        m.lease_started(InstanceId(1), InstanceKind::Spot, SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,515 @@
+//! The trace-driven cloud provider.
+//!
+//! [`CloudSim`] replays an [`AvailabilityTrace`] and arbitrates the fleet:
+//! the serving system asks for spot / on-demand instances and releases them;
+//! the cloud grants requests subject to trace capacity, issues preemption
+//! notices when capacity drops, and kills instances when their grace period
+//! expires. All tie-breaking is driven by a named random stream, so replays
+//! are bit-reproducible.
+
+use std::collections::{HashMap, VecDeque};
+
+use simkit::event::EventKey;
+use simkit::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::events::CloudEvent;
+use crate::instance::{InstanceId, InstanceKind, InstanceType};
+use crate::pricing::BillingMeter;
+use crate::trace::AvailabilityTrace;
+
+/// Tunables of the simulated cloud.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloudConfig {
+    /// The instance SKU leased (one type; the paper targets homogeneous
+    /// `g4dn.12xlarge` fleets, §8 leaves heterogeneity to future work).
+    pub instance_type: InstanceType,
+    /// Warning the cloud gives before reclaiming a spot instance
+    /// (30 s on AWS/Azure, §2).
+    pub grace_period: SimDuration,
+    /// Delay between a spot request being grantable and the instance
+    /// becoming reachable (provisioning + boot).
+    pub spot_grant_delay: SimDuration,
+    /// Provisioning delay for on-demand instances.
+    pub ondemand_grant_delay: SimDuration,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        CloudConfig {
+            instance_type: InstanceType::g4dn_12xlarge(),
+            grace_period: SimDuration::from_secs(30),
+            spot_grant_delay: SimDuration::from_secs(40),
+            ondemand_grant_delay: SimDuration::from_secs(40),
+        }
+    }
+}
+
+/// A live lease as seen by the cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceInfo {
+    /// Lease identifier.
+    pub id: InstanceId,
+    /// Billing kind.
+    pub kind: InstanceKind,
+    /// When the lease started.
+    pub granted_at: SimTime,
+    /// If a preemption notice was issued, when the kill will happen.
+    pub kill_at: Option<SimTime>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Internal {
+    TraceStep(usize),
+    GrantSpot,
+    GrantOnDemand,
+    Kill(InstanceId),
+}
+
+/// Deterministic simulation of the spot/on-demand lease lifecycle.
+///
+/// See the [crate-level example](crate) for basic usage. The typical loop
+/// interleaves [`CloudSim::peek_time`] with command calls; all commands
+/// must be issued at times `>=` every event already popped.
+#[derive(Debug, Clone)]
+pub struct CloudSim {
+    cfg: CloudConfig,
+    trace: AvailabilityTrace,
+    rng: SimRng,
+    internal: EventQueue<Internal>,
+    out: VecDeque<(SimTime, CloudEvent)>,
+    active: HashMap<InstanceId, InstanceInfo>,
+    /// Keys of scheduled-but-not-fired spot grants (cancellable).
+    inflight_spot: VecDeque<EventKey>,
+    /// Spot requests waiting for capacity.
+    pending_spot: u32,
+    next_id: u64,
+    capacity: u32,
+    meter: BillingMeter,
+    started: bool,
+}
+
+impl CloudSim {
+    /// Creates a provider replaying `trace`, with randomness derived from
+    /// `seed` (victim selection on capacity drops).
+    pub fn new(cfg: CloudConfig, trace: AvailabilityTrace, seed: u64) -> Self {
+        let meter = BillingMeter::new(cfg.instance_type.clone());
+        let mut internal = EventQueue::new();
+        for (i, &(t, _)) in trace.steps().iter().enumerate() {
+            internal.schedule(t, Internal::TraceStep(i));
+        }
+        let capacity = trace.capacity_at(SimTime::ZERO);
+        CloudSim {
+            cfg,
+            trace,
+            rng: SimRng::new(seed).stream("cloudsim"),
+            internal,
+            out: VecDeque::new(),
+            active: HashMap::new(),
+            inflight_spot: VecDeque::new(),
+            pending_spot: 0,
+            next_id: 0,
+            capacity,
+            meter,
+            started: false,
+        }
+    }
+
+    /// The provider configuration.
+    pub fn config(&self) -> &CloudConfig {
+        &self.cfg
+    }
+
+    /// Current spot capacity according to the trace (already applied steps).
+    pub fn current_capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Live leases (including instances inside their grace period).
+    pub fn fleet(&self) -> impl Iterator<Item = &InstanceInfo> {
+        self.active.values()
+    }
+
+    /// Number of live leases of `kind`.
+    pub fn live_count(&self, kind: InstanceKind) -> usize {
+        self.active.values().filter(|i| i.kind == kind).count()
+    }
+
+    /// The billing meter (spend so far).
+    pub fn meter(&self) -> &BillingMeter {
+        &self.meter
+    }
+
+    /// Spot requests that are waiting for capacity (not yet provisioning).
+    pub fn pending_spot(&self) -> u32 {
+        self.pending_spot
+    }
+
+    /// Spot leases counted against capacity: live without a pending kill,
+    /// plus instances currently provisioning.
+    fn spot_usage(&self) -> u32 {
+        let live = self
+            .active
+            .values()
+            .filter(|i| i.kind == InstanceKind::Spot && i.kill_at.is_none())
+            .count() as u32;
+        live + self.inflight_spot.len() as u32
+    }
+
+    /// Requests `n` additional spot instances at time `now`.
+    ///
+    /// Requests that fit under current capacity start provisioning
+    /// immediately (grant after [`CloudConfig::spot_grant_delay`]); the rest
+    /// queue until the trace frees capacity.
+    pub fn request_spot(&mut self, now: SimTime, n: u32) {
+        self.pending_spot += n;
+        self.try_start_spot_grants(now);
+    }
+
+    /// Cancels up to `n` queued (not yet provisioning) spot requests,
+    /// returning how many were actually cancelled.
+    pub fn cancel_pending_spot(&mut self, n: u32) -> u32 {
+        let k = n.min(self.pending_spot);
+        self.pending_spot -= k;
+        k
+    }
+
+    /// Immediately grants up to `n` spot instances at `t = 0` (bounded by
+    /// initial trace capacity), returning their ids. Used for warm starts:
+    /// the paper's runs begin with an already-initialized system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after events have been produced or time has moved.
+    pub fn prewarm_spot(&mut self, n: u32) -> Vec<InstanceId> {
+        assert!(!self.started, "prewarm must precede all activity");
+        let k = n.min(self.capacity.saturating_sub(self.spot_usage()));
+        (0..k)
+            .map(|_| {
+                self.grant(SimTime::ZERO, InstanceKind::Spot);
+                let (_, ev) = self.out.pop_back().expect("grant pushed an event");
+                ev.instance()
+            })
+            .collect()
+    }
+
+    /// Immediately grants `n` on-demand instances at `t = 0`; see
+    /// [`CloudSim::prewarm_spot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after events have been produced or time has moved.
+    pub fn prewarm_on_demand(&mut self, n: u32) -> Vec<InstanceId> {
+        assert!(!self.started, "prewarm must precede all activity");
+        (0..n)
+            .map(|_| {
+                self.grant(SimTime::ZERO, InstanceKind::OnDemand);
+                let (_, ev) = self.out.pop_back().expect("grant pushed an event");
+                ev.instance()
+            })
+            .collect()
+    }
+
+    /// Requests `n` on-demand instances at time `now`; on-demand capacity is
+    /// assumed unlimited, so all requests provision immediately.
+    pub fn request_on_demand(&mut self, now: SimTime, n: u32) {
+        for _ in 0..n {
+            self.internal
+                .schedule(now + self.cfg.ondemand_grant_delay, Internal::GrantOnDemand);
+        }
+    }
+
+    /// Releases a lease voluntarily (e.g. scaling down). Unknown or already
+    /// killed ids are ignored.
+    pub fn release(&mut self, now: SimTime, id: InstanceId) {
+        if self.active.remove(&id).is_some() {
+            self.meter.lease_ended(id, now);
+            // A freed spot slot may admit a queued request.
+            self.try_start_spot_grants(now);
+        }
+    }
+
+    /// Starts provisioning for as many queued spot requests as capacity
+    /// allows.
+    fn try_start_spot_grants(&mut self, now: SimTime) {
+        while self.pending_spot > 0 && self.spot_usage() < self.capacity {
+            self.pending_spot -= 1;
+            let key = self
+                .internal
+                .schedule(now + self.cfg.spot_grant_delay, Internal::GrantSpot);
+            self.inflight_spot.push_back(key);
+        }
+    }
+
+    /// Applies a capacity change at time `t`.
+    fn apply_trace_step(&mut self, t: SimTime, idx: usize) {
+        self.capacity = self.trace.steps()[idx].1;
+        // Shed over-capacity usage: first cancel provisioning instances
+        // (they silently fail to launch), then preempt live ones.
+        while self.spot_usage() > self.capacity {
+            if let Some(key) = self.inflight_spot.pop_back() {
+                self.internal.cancel(key);
+                // The request is lost, not re-queued: a real launch failure.
+                continue;
+            }
+            let mut candidates: Vec<InstanceId> = self
+                .active
+                .values()
+                .filter(|i| i.kind == InstanceKind::Spot && i.kill_at.is_none())
+                .map(|i| i.id)
+                .collect();
+            candidates.sort_unstable();
+            let victim = *self
+                .rng
+                .choose(&candidates)
+                .expect("spot_usage > 0 implies a candidate");
+            let kill_at = t + self.cfg.grace_period;
+            self.active
+                .get_mut(&victim)
+                .expect("victim is active")
+                .kill_at = Some(kill_at);
+            self.internal.schedule(kill_at, Internal::Kill(victim));
+            self.out
+                .push_back((t, CloudEvent::PreemptionNotice { id: victim, kill_at }));
+        }
+        // Freed capacity admits queued requests.
+        self.try_start_spot_grants(t);
+    }
+
+    fn grant(&mut self, t: SimTime, kind: InstanceKind) {
+        let id = InstanceId(self.next_id);
+        self.next_id += 1;
+        self.active.insert(
+            id,
+            InstanceInfo {
+                id,
+                kind,
+                granted_at: t,
+                kill_at: None,
+            },
+        );
+        self.meter.lease_started(id, kind, t);
+        let ev = match kind {
+            InstanceKind::Spot => CloudEvent::SpotGranted { id },
+            InstanceKind::OnDemand => CloudEvent::OnDemandGranted { id },
+        };
+        self.out.push_back((t, ev));
+    }
+
+    fn process_internal(&mut self, t: SimTime, ev: Internal) {
+        match ev {
+            Internal::TraceStep(idx) => self.apply_trace_step(t, idx),
+            Internal::GrantSpot => {
+                self.inflight_spot.pop_front();
+                self.grant(t, InstanceKind::Spot);
+            }
+            Internal::GrantOnDemand => self.grant(t, InstanceKind::OnDemand),
+            Internal::Kill(id) => {
+                if self.active.remove(&id).is_some() {
+                    self.meter.lease_ended(id, t);
+                    self.out.push_back((t, CloudEvent::Preempted { id }));
+                    self.try_start_spot_grants(t);
+                }
+            }
+        }
+    }
+
+    /// Timestamp of the next deliverable event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.started = true;
+        loop {
+            if let Some(&(t, _)) = self.out.front() {
+                return Some(t);
+            }
+            let (t, ev) = self.internal.pop()?;
+            self.process_internal(t, ev);
+        }
+    }
+
+    /// Pops the next deliverable event, advancing internal machinery.
+    pub fn pop_next(&mut self) -> Option<(SimTime, CloudEvent)> {
+        self.peek_time()?;
+        self.out.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(cloud: &mut CloudSim) -> Vec<(SimTime, CloudEvent)> {
+        std::iter::from_fn(|| cloud.pop_next()).collect()
+    }
+
+    fn sim(trace: AvailabilityTrace) -> CloudSim {
+        CloudSim::new(CloudConfig::default(), trace, 7)
+    }
+
+    #[test]
+    fn grants_after_delay() {
+        let mut cloud = sim(AvailabilityTrace::constant(4));
+        cloud.request_spot(SimTime::ZERO, 2);
+        let evs = drain(&mut cloud);
+        assert_eq!(evs.len(), 2);
+        for (t, ev) in &evs {
+            assert_eq!(*t, SimTime::from_secs(40));
+            assert!(matches!(ev, CloudEvent::SpotGranted { .. }));
+        }
+        assert_eq!(cloud.live_count(InstanceKind::Spot), 2);
+    }
+
+    #[test]
+    fn over_capacity_requests_queue() {
+        let mut cloud = sim(AvailabilityTrace::constant(2));
+        cloud.request_spot(SimTime::ZERO, 5);
+        let evs = drain(&mut cloud);
+        assert_eq!(evs.len(), 2, "only capacity-many grants fire");
+        assert_eq!(cloud.pending_spot(), 3);
+        // Releasing one lease admits one queued request.
+        let id = evs[0].1.instance();
+        cloud.release(SimTime::from_secs(100), id);
+        let evs = drain(&mut cloud);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(cloud.pending_spot(), 2);
+    }
+
+    #[test]
+    fn capacity_drop_issues_notice_then_kill() {
+        let trace = AvailabilityTrace::from_steps(vec![
+            (SimTime::ZERO, 2),
+            (SimTime::from_secs(300), 1),
+        ]);
+        let mut cloud = sim(trace);
+        cloud.request_spot(SimTime::ZERO, 2);
+        let evs = drain(&mut cloud);
+        assert_eq!(evs.len(), 4, "2 grants, notice, preemption: {evs:?}");
+        assert!(matches!(evs[0].1, CloudEvent::SpotGranted { .. }));
+        assert!(matches!(evs[1].1, CloudEvent::SpotGranted { .. }));
+        match evs[2] {
+            (t, CloudEvent::PreemptionNotice { kill_at, .. }) => {
+                assert_eq!(t, SimTime::from_secs(300));
+                assert_eq!(kill_at, SimTime::from_secs(330));
+            }
+            ref other => panic!("expected notice, got {other:?}"),
+        }
+        match evs[3] {
+            (t, CloudEvent::Preempted { .. }) => assert_eq!(t, SimTime::from_secs(330)),
+            ref other => panic!("expected preemption, got {other:?}"),
+        }
+        assert_eq!(cloud.live_count(InstanceKind::Spot), 1);
+    }
+
+    #[test]
+    fn released_during_grace_period_is_not_killed_twice() {
+        let trace = AvailabilityTrace::from_steps(vec![
+            (SimTime::ZERO, 1),
+            (SimTime::from_secs(300), 0),
+        ]);
+        let mut cloud = sim(trace);
+        cloud.request_spot(SimTime::ZERO, 1);
+        let (_, grant) = cloud.pop_next().unwrap();
+        let id = grant.instance();
+
+        // Pop the notice, then voluntarily release before the kill fires.
+        let (t, ev) = cloud.pop_next().unwrap();
+        assert!(matches!(ev, CloudEvent::PreemptionNotice { .. }), "{ev:?}");
+        cloud.release(t + SimDuration::from_secs(5), id);
+        assert!(cloud.pop_next().is_none(), "no Preempted after release");
+    }
+
+    #[test]
+    fn capacity_rise_admits_queued_requests() {
+        let trace = AvailabilityTrace::from_steps(vec![
+            (SimTime::ZERO, 1),
+            (SimTime::from_secs(600), 3),
+        ]);
+        let mut cloud = sim(trace);
+        cloud.request_spot(SimTime::ZERO, 3);
+        let evs = drain(&mut cloud);
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].0, SimTime::from_secs(40));
+        for (t, _) in &evs[1..] {
+            assert_eq!(*t, SimTime::from_secs(640), "grants 40s after capacity rise");
+        }
+    }
+
+    #[test]
+    fn on_demand_always_grants() {
+        let mut cloud = sim(AvailabilityTrace::constant(0));
+        cloud.request_on_demand(SimTime::ZERO, 3);
+        let evs = drain(&mut cloud);
+        assert_eq!(evs.len(), 3);
+        assert!(evs
+            .iter()
+            .all(|(_, e)| matches!(e, CloudEvent::OnDemandGranted { .. })));
+        assert_eq!(cloud.live_count(InstanceKind::OnDemand), 3);
+    }
+
+    #[test]
+    fn on_demand_never_preempted() {
+        let trace = AvailabilityTrace::from_steps(vec![
+            (SimTime::ZERO, 2),
+            (SimTime::from_secs(300), 0),
+        ]);
+        let mut cloud = sim(trace);
+        cloud.request_on_demand(SimTime::ZERO, 2);
+        cloud.request_spot(SimTime::ZERO, 2);
+        let mut preempted = 0;
+        while let Some((_, ev)) = cloud.pop_next() {
+            if let CloudEvent::Preempted { id } = ev {
+                preempted += 1;
+                // Only spot instances die.
+                assert!(!cloud
+                    .fleet()
+                    .any(|i| i.id == id && i.kind == InstanceKind::OnDemand));
+            }
+        }
+        assert_eq!(preempted, 2);
+        assert_eq!(cloud.live_count(InstanceKind::OnDemand), 2);
+    }
+
+    #[test]
+    fn inflight_grants_cancelled_on_capacity_drop() {
+        // Capacity drops at t=10, before the t=40 grant fires.
+        let trace = AvailabilityTrace::from_steps(vec![
+            (SimTime::ZERO, 2),
+            (SimTime::from_secs(10), 0),
+        ]);
+        let mut cloud = sim(trace);
+        cloud.request_spot(SimTime::ZERO, 2);
+        let evs = drain(&mut cloud);
+        assert!(evs.is_empty(), "launches failed silently: {evs:?}");
+        assert_eq!(cloud.live_count(InstanceKind::Spot), 0);
+    }
+
+    #[test]
+    fn cancel_pending_spot_requests() {
+        let mut cloud = sim(AvailabilityTrace::constant(1));
+        cloud.request_spot(SimTime::ZERO, 4);
+        assert_eq!(cloud.pending_spot(), 3);
+        assert_eq!(cloud.cancel_pending_spot(10), 3);
+        assert_eq!(cloud.pending_spot(), 0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let trace = AvailabilityTrace::paper_bs();
+            let mut cloud = CloudSim::new(CloudConfig::default(), trace, 99);
+            cloud.request_spot(SimTime::ZERO, 10);
+            let evs = drain(&mut cloud);
+            evs.iter().map(|(t, e)| (*t, format!("{e:?}"))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn billing_tracks_lifecycle() {
+        let mut cloud = sim(AvailabilityTrace::constant(1));
+        cloud.request_spot(SimTime::ZERO, 1);
+        let evs = drain(&mut cloud);
+        let id = evs[0].1.instance();
+        let end = SimTime::from_secs(40 + 3600);
+        cloud.release(end, id);
+        assert!((cloud.meter().total_usd(end) - 1.9).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,97 @@
+//! Cold model storage (S3 / EBS) used when parameters must be reloaded.
+//!
+//! The paper motivates context migration by the cost of this path:
+//! "loading a GPT model with 120 billion parameters from persistent storage
+//! takes more than 2 minutes on AWS" (§1). The default bandwidth below is
+//! chosen so exactly that sentence holds (480 GB of fp32 weights, loaded by
+//! a fleet of 8 instances in parallel, plus fixed launch overhead ≈ 130 s).
+
+use simkit::SimDuration;
+
+/// Time model for loading model parameters from persistent storage.
+///
+/// # Example
+///
+/// ```
+/// use cloudsim::ColdStorage;
+/// let s = ColdStorage::default();
+/// // One instance pulling 10 GB.
+/// let t = s.load_time(10 << 30, 1);
+/// assert!(t.as_secs_f64() > 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColdStorage {
+    /// Sustained download bandwidth *per instance*, bytes/s.
+    pub per_instance_bandwidth: f64,
+    /// Fixed per-(re)start overhead: process launch, CUDA context creation,
+    /// communicator setup.
+    pub launch_overhead: SimDuration,
+}
+
+impl ColdStorage {
+    /// Defaults matching the paper's observed reload times.
+    pub const fn aws_default() -> Self {
+        ColdStorage {
+            per_instance_bandwidth: 0.55e9,
+            launch_overhead: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Time for `instances` instances to cooperatively load `total_bytes`
+    /// of parameters (each instance pulls its own shard in parallel),
+    /// including the fixed launch overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances == 0`.
+    pub fn load_time(&self, total_bytes: u64, instances: u32) -> SimDuration {
+        assert!(instances > 0, "cannot load onto zero instances");
+        let per_instance = total_bytes as f64 / instances as f64;
+        self.launch_overhead
+            + SimDuration::from_secs_f64(per_instance / self.per_instance_bandwidth)
+    }
+}
+
+impl Default for ColdStorage {
+    fn default() -> Self {
+        ColdStorage::aws_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt_120b_takes_over_two_minutes() {
+        // The §1 anchor: 120B params in fp32 = 480 GB over 8 instances.
+        let s = ColdStorage::aws_default();
+        let t = s.load_time(480 * (1 << 30), 8);
+        assert!(
+            t.as_secs_f64() > 120.0,
+            "expected >2 min, got {:.1}s",
+            t.as_secs_f64()
+        );
+        assert!(t.as_secs_f64() < 300.0, "but not absurdly long: {t}");
+    }
+
+    #[test]
+    fn more_instances_load_faster() {
+        let s = ColdStorage::aws_default();
+        let t4 = s.load_time(100 << 30, 4);
+        let t8 = s.load_time(100 << 30, 8);
+        assert!(t8 < t4);
+    }
+
+    #[test]
+    fn zero_bytes_is_launch_overhead() {
+        let s = ColdStorage::aws_default();
+        assert_eq!(s.load_time(0, 3), s.launch_overhead);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero instances")]
+    fn zero_instances_panics() {
+        ColdStorage::aws_default().load_time(1, 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Spot-capacity availability traces.
+//!
+//! An [`AvailabilityTrace`] is a step function `t -> capacity`: how many
+//! spot instances the cloud is willing to lease us at simulated time `t`.
+//! The paper extracts two 20-minute segments, `A_S` and `B_S`, from a real
+//! 12-hour AWS `g4dn` spot trace (Figure 5). The real segments are not
+//! published, so [`AvailabilityTrace::paper_as`] / [`paper_bs`] are
+//! hand-authored to match the figure's envelopes: `A_S` is moderately
+//! dynamic (5–10 instances), `B_S` is volatile with deep dips (3–10).
+//! [`TraceGenerator`] synthesizes additional segments with the same texture
+//! for robustness experiments.
+//!
+//! [`paper_bs`]: AvailabilityTrace::paper_bs
+
+use simkit::{SimDuration, SimRng, SimTime};
+
+/// A step function from simulated time to spot-instance capacity.
+///
+/// # Example
+///
+/// ```
+/// use cloudsim::AvailabilityTrace;
+/// use simkit::SimTime;
+///
+/// let tr = AvailabilityTrace::paper_as();
+/// assert_eq!(tr.capacity_at(SimTime::ZERO), 8);
+/// assert!(tr.max_capacity() <= 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AvailabilityTrace {
+    /// `(time, capacity)` steps; strictly increasing in time, first at t=0.
+    steps: Vec<(SimTime, u32)>,
+}
+
+impl AvailabilityTrace {
+    /// Builds a trace from `(time, capacity)` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty, does not start at `t = 0`, or is not
+    /// strictly increasing in time.
+    pub fn from_steps(steps: Vec<(SimTime, u32)>) -> Self {
+        assert!(!steps.is_empty(), "trace must have at least one step");
+        assert_eq!(steps[0].0, SimTime::ZERO, "trace must start at t=0");
+        for w in steps.windows(2) {
+            assert!(w[0].0 < w[1].0, "trace steps must be strictly increasing");
+        }
+        AvailabilityTrace { steps }
+    }
+
+    /// A trace with constant capacity forever.
+    pub fn constant(capacity: u32) -> Self {
+        AvailabilityTrace {
+            steps: vec![(SimTime::ZERO, capacity)],
+        }
+    }
+
+    /// Capacity at time `t`.
+    pub fn capacity_at(&self, t: SimTime) -> u32 {
+        match self.steps.binary_search_by_key(&t, |&(st, _)| st) {
+            Ok(i) => self.steps[i].1,
+            Err(0) => unreachable!("first step is at t=0"),
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+
+    /// The raw `(time, capacity)` steps.
+    pub fn steps(&self) -> &[(SimTime, u32)] {
+        &self.steps
+    }
+
+    /// The largest capacity the trace ever reaches.
+    pub fn max_capacity(&self) -> u32 {
+        self.steps.iter().map(|&(_, c)| c).max().unwrap_or(0)
+    }
+
+    /// The smallest capacity the trace ever reaches.
+    pub fn min_capacity(&self) -> u32 {
+        self.steps.iter().map(|&(_, c)| c).min().unwrap_or(0)
+    }
+
+    /// Timestamp of the last step (the trace is constant afterwards).
+    pub fn last_change(&self) -> SimTime {
+        self.steps.last().expect("non-empty").0
+    }
+
+    /// Hand-authored stand-in for the paper's `A_S` segment (Figure 5):
+    /// 20 minutes, moderately dynamic, 5–10 four-GPU instances.
+    pub fn paper_as() -> Self {
+        let s = |t: u64, c: u32| (SimTime::from_secs(t), c);
+        AvailabilityTrace::from_steps(vec![
+            s(0, 8),
+            s(90, 9),
+            s(180, 8),
+            s(300, 6),
+            s(420, 7),
+            s(480, 5),
+            s(560, 6),
+            s(660, 8),
+            s(780, 7),
+            s(840, 9),
+            s(960, 10),
+            s(1050, 8),
+            s(1140, 9),
+        ])
+    }
+
+    /// Hand-authored stand-in for the paper's `B_S` segment (Figure 5):
+    /// 20 minutes, volatile with deep dips, 3–10 four-GPU instances.
+    pub fn paper_bs() -> Self {
+        let s = |t: u64, c: u32| (SimTime::from_secs(t), c);
+        AvailabilityTrace::from_steps(vec![
+            s(0, 10),
+            s(60, 8),
+            s(150, 5),
+            s(240, 6),
+            s(330, 3),
+            s(450, 5),
+            s(540, 3),
+            s(630, 6),
+            s(720, 8),
+            s(810, 4),
+            s(900, 6),
+            s(990, 9),
+            s(1080, 7),
+            s(1140, 8),
+        ])
+    }
+
+    /// Availability trace used for the Figure 8 fluctuating-workload study
+    /// (`A'_S`): like `A_S` but with preemptions at the narrative times
+    /// (t = 120 s and t = 240 s) and head-room for later acquisitions.
+    pub fn paper_as_prime() -> Self {
+        let s = |t: u64, c: u32| (SimTime::from_secs(t), c);
+        AvailabilityTrace::from_steps(vec![
+            s(0, 10),
+            s(120, 9),
+            s(240, 8),
+            s(390, 10),
+            s(540, 11),
+            s(700, 9),
+            s(840, 10),
+        ])
+    }
+
+    /// Volatile availability trace for Figure 8 (`B'_S`).
+    pub fn paper_bs_prime() -> Self {
+        let s = |t: u64, c: u32| (SimTime::from_secs(t), c);
+        AvailabilityTrace::from_steps(vec![
+            s(0, 10),
+            s(120, 8),
+            s(240, 7),
+            s(330, 5),
+            s(450, 8),
+            s(600, 10),
+            s(720, 7),
+            s(840, 9),
+        ])
+    }
+}
+
+/// Synthesizes availability traces statistically similar to spot-market
+/// behaviour: alternating calm plateaus and change bursts.
+///
+/// # Example
+///
+/// ```
+/// use cloudsim::TraceGenerator;
+/// use simkit::{SimDuration, SimRng};
+///
+/// let gen = TraceGenerator {
+///     duration: SimDuration::from_secs(1200),
+///     min_capacity: 3,
+///     max_capacity: 12,
+///     mean_dwell: SimDuration::from_secs(90),
+///     ..TraceGenerator::default()
+/// };
+/// let trace = gen.generate(&mut SimRng::new(7).stream("trace"));
+/// assert!(trace.max_capacity() <= 12);
+/// assert!(trace.min_capacity() >= 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceGenerator {
+    /// Total trace length.
+    pub duration: SimDuration,
+    /// Capacity floor.
+    pub min_capacity: u32,
+    /// Capacity ceiling.
+    pub max_capacity: u32,
+    /// Initial capacity (clamped into range).
+    pub start_capacity: u32,
+    /// Mean dwell time between capacity changes (exponential).
+    pub mean_dwell: SimDuration,
+    /// Probability that a change is a drop (vs a rise).
+    pub drop_probability: f64,
+    /// Maximum magnitude of a single change.
+    pub max_step: u32,
+}
+
+impl Default for TraceGenerator {
+    fn default() -> Self {
+        TraceGenerator {
+            duration: SimDuration::from_secs(1200),
+            min_capacity: 3,
+            max_capacity: 12,
+            start_capacity: 9,
+            mean_dwell: SimDuration::from_secs(100),
+            drop_probability: 0.5,
+            max_step: 3,
+        }
+    }
+}
+
+impl TraceGenerator {
+    /// Draws one trace using the supplied random stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_capacity > max_capacity` or `max_step == 0`.
+    pub fn generate(&self, rng: &mut SimRng) -> AvailabilityTrace {
+        assert!(self.min_capacity <= self.max_capacity, "invalid capacity range");
+        assert!(self.max_step > 0, "max_step must be positive");
+        let mut cap = self
+            .start_capacity
+            .clamp(self.min_capacity, self.max_capacity);
+        let mut steps = vec![(SimTime::ZERO, cap)];
+        let mut t = SimTime::ZERO;
+        loop {
+            let dwell = SimDuration::from_secs_f64(
+                rng.exp(1.0 / self.mean_dwell.as_secs_f64()).max(1.0),
+            );
+            t = t + dwell;
+            if t.saturating_since(SimTime::ZERO) >= self.duration {
+                break;
+            }
+            let step = 1 + rng.below(self.max_step as u64) as u32;
+            let next = if rng.chance(self.drop_probability) {
+                cap.saturating_sub(step).max(self.min_capacity)
+            } else {
+                (cap + step).min(self.max_capacity)
+            };
+            if next != cap {
+                cap = next;
+                steps.push((t, cap));
+            }
+        }
+        AvailabilityTrace::from_steps(steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_lookup_between_steps() {
+        let tr = AvailabilityTrace::from_steps(vec![
+            (SimTime::ZERO, 5),
+            (SimTime::from_secs(100), 3),
+            (SimTime::from_secs(200), 7),
+        ]);
+        assert_eq!(tr.capacity_at(SimTime::ZERO), 5);
+        assert_eq!(tr.capacity_at(SimTime::from_secs(99)), 5);
+        assert_eq!(tr.capacity_at(SimTime::from_secs(100)), 3);
+        assert_eq!(tr.capacity_at(SimTime::from_secs(150)), 3);
+        assert_eq!(tr.capacity_at(SimTime::from_secs(10_000)), 7);
+    }
+
+    #[test]
+    fn paper_traces_have_documented_envelopes() {
+        let a = AvailabilityTrace::paper_as();
+        assert_eq!((a.min_capacity(), a.max_capacity()), (5, 10));
+        assert_eq!(a.last_change(), SimTime::from_secs(1140));
+
+        let b = AvailabilityTrace::paper_bs();
+        assert_eq!((b.min_capacity(), b.max_capacity()), (3, 10));
+        // B_S is the more volatile trace: larger total variation.
+        let variation = |tr: &AvailabilityTrace| -> i64 {
+            tr.steps()
+                .windows(2)
+                .map(|w| (w[1].1 as i64 - w[0].1 as i64).abs())
+                .sum()
+        };
+        assert!(variation(&b) > variation(&a));
+    }
+
+    #[test]
+    fn constant_trace() {
+        let tr = AvailabilityTrace::constant(4);
+        assert_eq!(tr.capacity_at(SimTime::from_secs(1_000_000)), 4);
+        assert_eq!(tr.min_capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at t=0")]
+    fn trace_must_start_at_zero() {
+        AvailabilityTrace::from_steps(vec![(SimTime::from_secs(1), 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn trace_steps_must_increase() {
+        AvailabilityTrace::from_steps(vec![
+            (SimTime::ZERO, 4),
+            (SimTime::ZERO, 5),
+        ]);
+    }
+
+    #[test]
+    fn generator_respects_bounds_and_is_deterministic() {
+        let gen = TraceGenerator::default();
+        let t1 = gen.generate(&mut SimRng::new(11).stream("t"));
+        let t2 = gen.generate(&mut SimRng::new(11).stream("t"));
+        assert_eq!(t1, t2, "same seed, same trace");
+        assert!(t1.min_capacity() >= gen.min_capacity);
+        assert!(t1.max_capacity() <= gen.max_capacity);
+        assert!(
+            t1.last_change().saturating_since(SimTime::ZERO) < gen.duration,
+            "no steps beyond duration"
+        );
+    }
+
+    #[test]
+    fn generator_produces_changes() {
+        let gen = TraceGenerator::default();
+        let tr = gen.generate(&mut SimRng::new(5).stream("t"));
+        assert!(tr.steps().len() > 3, "expected a dynamic trace, got {tr:?}");
+    }
+}

@@ -1,0 +1,146 @@
+//! System-level options: which serving policy runs and which SpotServe
+//! components are enabled (the Figure 9 ablation axes).
+
+use simkit::SimDuration;
+
+/// Which serving system handles preemptions (§6.1 baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// The full system: proactive migration inside grace periods, KM device
+    /// mapping, progressive memory-optimized migration, stateful recovery.
+    SpotServe,
+    /// Varuna-style: the same adaptive configuration optimizer, but every
+    /// transition restarts all engines and reloads weights from storage;
+    /// in-flight decoding progress is lost.
+    Reparallelization,
+    /// MArk/Cocktail-style: a fixed `(P, M, B)` shape; data-parallel
+    /// pipelines are dropped on preemption and re-added (cold) on
+    /// acquisition; interrupted requests reroute and recompute.
+    Rerouting,
+    /// Non-preemptible fleet of a fixed size (the Figure 7 cost baseline).
+    OnDemandOnly {
+        /// Fleet size in instances.
+        instances: u32,
+    },
+}
+
+/// Individually disable SpotServe components (Figure 9).
+///
+/// Flags are *disable* switches so that `default()` is the full system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AblationFlags {
+    /// Freeze the parallel configuration chosen at startup (disables the
+    /// parallelization controller; membership changes still re-map devices).
+    pub no_controller: bool,
+    /// Replace Algorithm 2 with naive index-order migration and
+    /// unbounded buffers (disables the migration planner).
+    pub no_migration_planner: bool,
+    /// Do not migrate cache context; interrupted requests recompute
+    /// (disables the interruption arranger / stateful recovery).
+    pub no_interruption_arranger: bool,
+    /// Replace Kuhn–Munkres mapping with an arbitrary (identity-order)
+    /// mapping (disables the device mapper).
+    pub no_device_mapper: bool,
+}
+
+/// Full option set for one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemOptions {
+    /// The policy under test.
+    pub policy: Policy,
+    /// Component ablations (only meaningful for [`Policy::SpotServe`]).
+    pub ablation: AblationFlags,
+    /// Allow mixing on-demand instances into the fleet (the `+O` traces).
+    pub on_demand_mixing: bool,
+    /// Extra spot instances kept as a warm candidate pool (§3.2 keeps two).
+    pub spare_instances: u32,
+    /// Ceiling on total fleet size the optimizer may target.
+    pub max_instances: u32,
+    /// Safety margin subtracted from the grace period when arranging
+    /// migrations (§4.2 guards against estimate error).
+    pub migration_safety_margin: SimDuration,
+    /// Engine-process launch time on a fresh instance (excludes weight
+    /// loading, which the migration/cold-load path accounts for).
+    pub engine_launch: SimDuration,
+    /// How often the arrival-rate estimate is refreshed (§3.2 footnote:
+    /// "observing the request arrivals within a short past duration").
+    pub rate_tick: SimDuration,
+    /// Keep simulating after the arrival window until the queue drains,
+    /// up to this cap.
+    pub drain_cap: SimDuration,
+}
+
+impl SystemOptions {
+    fn base(policy: Policy) -> Self {
+        SystemOptions {
+            policy,
+            ablation: AblationFlags::default(),
+            on_demand_mixing: false,
+            spare_instances: 2,
+            max_instances: 16,
+            migration_safety_margin: SimDuration::from_secs(2),
+            engine_launch: SimDuration::from_secs(10),
+            rate_tick: SimDuration::from_secs(30),
+            drain_cap: SimDuration::from_secs(3600),
+        }
+    }
+
+    /// The full SpotServe system.
+    pub fn spotserve() -> Self {
+        SystemOptions::base(Policy::SpotServe)
+    }
+
+    /// The Reparallelization baseline (§6.1).
+    pub fn reparallelization() -> Self {
+        SystemOptions::base(Policy::Reparallelization)
+    }
+
+    /// The Rerouting baseline (§6.1).
+    pub fn rerouting() -> Self {
+        SystemOptions::base(Policy::Rerouting)
+    }
+
+    /// The on-demand-only baseline with a fleet of `instances` (§6.2,
+    /// Figure 7).
+    pub fn on_demand_only(instances: u32) -> Self {
+        SystemOptions::base(Policy::OnDemandOnly { instances })
+    }
+
+    /// Enables on-demand mixing (the `+O` trace variants).
+    pub fn with_on_demand_mixing(mut self) -> Self {
+        self.on_demand_mixing = true;
+        self
+    }
+
+    /// Applies ablation flags.
+    pub fn with_ablation(mut self, ablation: AblationFlags) -> Self {
+        self.ablation = ablation;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ablation_is_full_system() {
+        let a = AblationFlags::default();
+        assert!(!a.no_controller && !a.no_migration_planner);
+        assert!(!a.no_interruption_arranger && !a.no_device_mapper);
+    }
+
+    #[test]
+    fn constructors_set_policy() {
+        assert_eq!(SystemOptions::spotserve().policy, Policy::SpotServe);
+        assert_eq!(
+            SystemOptions::rerouting().policy,
+            Policy::Rerouting
+        );
+        assert_eq!(
+            SystemOptions::on_demand_only(4).policy,
+            Policy::OnDemandOnly { instances: 4 }
+        );
+        assert!(SystemOptions::spotserve().with_on_demand_mixing().on_demand_mixing);
+    }
+}

@@ -1,0 +1,324 @@
+//! The device mapper (§3.3): assign available GPUs to the positions of the
+//! next configuration so that reusable context is maximized.
+//!
+//! The mapping is the paper's bipartite matching: GPUs on one side, mesh
+//! positions on the other, edge weight = bytes of model context plus
+//! (for inherited pipelines) cache context shared between what the GPU
+//! holds and what the position needs. Multi-GPU instances use the two-step
+//! hierarchical matching of the supplemental material: a Kuhn–Munkres
+//! matching between *instances* and instance-sized *position groups* whose
+//! edge weight is itself the optimum of the inner GPU-level matching, then
+//! the inner optimum is applied within each matched pair. Position groups
+//! follow canonical mesh order, which keeps tensor groups on as few
+//! instances as possible.
+
+use cloudsim::{GpuRef, InstanceId};
+use kmatch::{max_weight_assignment, WeightMatrix};
+use llmsim::ModelSpec;
+use migration::DeviceAssignment;
+use parallelism::{MeshPosition, ParallelConfig, PositionContext};
+
+/// The outcome of device mapping.
+#[derive(Debug, Clone)]
+pub struct DeviceMapOutcome {
+    /// GPU placement for the new configuration.
+    pub assignment: DeviceAssignment,
+    /// For each new pipeline, the old pipeline whose requests it inherits.
+    pub inheritance: Vec<Option<u32>>,
+    /// Total context bytes the mapping reuses in place (the KM objective).
+    pub reused_bytes: i64,
+}
+
+/// State of the old configuration relevant to mapping.
+#[derive(Debug, Clone, Default)]
+pub struct OldState {
+    /// The configuration being left, with its surviving placement.
+    pub config_and_assignment: Option<(ParallelConfig, DeviceAssignment)>,
+    /// Committed KV-cache bytes per old pipeline.
+    pub cache_bytes_per_pipeline: Vec<u64>,
+    /// Decoding progress (committed tokens) per old pipeline; pipelines
+    /// with more progress are inherited first when pipelines shrink
+    /// (§3.3: "keeps the batches of requests with more decoding
+    /// progresses").
+    pub progress_per_pipeline: Vec<u32>,
+}
+
+/// Maps `instances` (each contributing `gpus_per_instance` GPUs) onto
+/// `new_config`'s mesh.
+///
+/// With `use_km = false` (the `-DeviceMapper` ablation) the mapping is the
+/// arbitrary identity order instead of the KM optimum.
+///
+/// # Panics
+///
+/// Panics if the instances provide fewer GPUs than the mesh needs.
+pub fn map_devices(
+    model: &ModelSpec,
+    new_config: &ParallelConfig,
+    instances: &[InstanceId],
+    gpus_per_instance: u8,
+    old: &OldState,
+    use_km: bool,
+) -> DeviceMapOutcome {
+    let total_gpus = instances.len() * gpus_per_instance as usize;
+    assert!(
+        total_gpus >= new_config.total_gpus() as usize,
+        "need {} GPUs, have {total_gpus}",
+        new_config.total_gpus()
+    );
+
+    // Decide pipeline inheritance first (it shapes the edge weights):
+    // old pipelines in decreasing progress order fill new pipelines.
+    let d_new = new_config.data as usize;
+    let mut inheritance = vec![None; d_new];
+    if let Some((old_cfg, _)) = &old.config_and_assignment {
+        let mut order: Vec<u32> = (0..old_cfg.data).collect();
+        order.sort_by_key(|&d| {
+            std::cmp::Reverse(old.progress_per_pipeline.get(d as usize).copied().unwrap_or(0))
+        });
+        for (d_prime, d_old) in order.into_iter().take(d_new).enumerate() {
+            inheritance[d_prime] = Some(d_old);
+        }
+    }
+
+    // Position groups in canonical order, one instance's worth each.
+    let positions: Vec<MeshPosition> = new_config.positions().collect();
+    let groups: Vec<&[MeshPosition]> = positions.chunks(gpus_per_instance as usize).collect();
+
+    let weight = |gpu: GpuRef, pos: MeshPosition| -> i64 {
+        edge_weight(model, new_config, gpu, pos, old, &inheritance)
+    };
+
+    let mut sorted_instances = instances.to_vec();
+    sorted_instances.sort_unstable();
+
+    let mut assignment = DeviceAssignment::new();
+    let mut reused = 0i64;
+
+    if !use_km {
+        // Ablation: arbitrary deterministic mapping.
+        let gpus: Vec<GpuRef> = sorted_instances
+            .iter()
+            .flat_map(|&i| (0..gpus_per_instance).map(move |s| GpuRef::new(i, s)))
+            .collect();
+        for (pos, gpu) in positions.iter().zip(&gpus) {
+            assignment.insert(*pos, *gpu);
+            reused += weight(*gpu, *pos);
+        }
+        return DeviceMapOutcome {
+            assignment,
+            inheritance,
+            reused_bytes: reused,
+        };
+    }
+
+    // Step 1: instance-level KM; each edge weight is the optimum of the
+    // inner GPU-level matching for that (instance, group) pair.
+    let inner = |inst: InstanceId, group: &[MeshPosition]| -> (i64, Vec<(MeshPosition, GpuRef)>) {
+        let gpus: Vec<GpuRef> = (0..gpus_per_instance)
+            .map(|s| GpuRef::new(inst, s))
+            .collect();
+        let w = WeightMatrix::from_fn(gpus.len(), group.len(), |r, c| weight(gpus[r], group[c]));
+        let a = max_weight_assignment(&w);
+        let pairs = a
+            .pairs()
+            .map(|(r, c)| (group[c], gpus[r]))
+            .collect::<Vec<_>>();
+        (a.total_weight, pairs)
+    };
+
+    let outer = WeightMatrix::from_fn(sorted_instances.len(), groups.len(), |r, c| {
+        inner(sorted_instances[r], groups[c]).0
+    });
+    let outer_match = max_weight_assignment(&outer);
+    for (r, c) in outer_match.pairs() {
+        let (w, pairs) = inner(sorted_instances[r], groups[c]);
+        reused += w;
+        for (pos, gpu) in pairs {
+            assignment.insert(pos, gpu);
+        }
+    }
+
+    DeviceMapOutcome {
+        assignment,
+        inheritance,
+        reused_bytes: reused,
+    }
+}
+
+fn edge_weight(
+    model: &ModelSpec,
+    new_config: &ParallelConfig,
+    gpu: GpuRef,
+    pos: MeshPosition,
+    old: &OldState,
+    inheritance: &[Option<u32>],
+) -> i64 {
+    let Some((old_cfg, old_asg)) = &old.config_and_assignment else {
+        return 0;
+    };
+    let Some(old_pos) = old_asg.position_of(gpu) else {
+        return 0;
+    };
+    let old_ctx = PositionContext::new(
+        model.num_layers,
+        old_cfg.pipeline,
+        old_pos.stage,
+        old_cfg.tensor,
+        old_pos.shard,
+    );
+    let new_ctx = PositionContext::new(
+        model.num_layers,
+        new_config.pipeline,
+        pos.stage,
+        new_config.tensor,
+        pos.shard,
+    );
+    let mut w = old_ctx.weight_overlap_bytes(&new_ctx, model.layer_bytes()) as i64;
+    if inheritance.get(pos.pipeline as usize).copied().flatten() == Some(old_pos.pipeline) {
+        let cache_total = old
+            .cache_bytes_per_pipeline
+            .get(old_pos.pipeline as usize)
+            .copied()
+            .unwrap_or(0);
+        let cache_per_layer = cache_total / model.num_layers as u64;
+        w += old_ctx.weight_overlap_bytes(&new_ctx, cache_per_layer) as i64;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ModelSpec {
+        ModelSpec::opt_6_7b()
+    }
+
+    fn instances(n: u64) -> Vec<InstanceId> {
+        (0..n).map(InstanceId).collect()
+    }
+
+    fn old_state(cfg: ParallelConfig, insts: &[InstanceId], cache: u64) -> OldState {
+        let gpus: Vec<GpuRef> = insts
+            .iter()
+            .flat_map(|&i| (0..4).map(move |s| GpuRef::new(i, s)))
+            .collect();
+        OldState {
+            config_and_assignment: Some((cfg, DeviceAssignment::contiguous(&cfg, &gpus))),
+            cache_bytes_per_pipeline: vec![cache; cfg.data as usize],
+            progress_per_pipeline: vec![10; cfg.data as usize],
+        }
+    }
+
+    #[test]
+    fn fresh_fleet_maps_everything() {
+        let cfg = ParallelConfig::new(1, 2, 2, 8);
+        let out = map_devices(&model(), &cfg, &instances(1), 4, &OldState::default(), true);
+        assert_eq!(out.assignment.len(), 4);
+        assert_eq!(out.reused_bytes, 0);
+        assert_eq!(out.inheritance, vec![None]);
+    }
+
+    #[test]
+    fn identity_reconfiguration_reuses_everything() {
+        let cfg = ParallelConfig::new(1, 2, 2, 8);
+        let insts = instances(1);
+        let old = old_state(cfg, &insts, 0);
+        let out = map_devices(&model(), &cfg, &insts, 4, &old, true);
+        // Maximum possible reuse: the whole per-layer model resident once.
+        let full = model().layer_bytes() as i64 * model().num_layers as i64;
+        assert_eq!(out.reused_bytes, full);
+        // And the mapping is exactly the old placement.
+        let (_, old_asg) = old.config_and_assignment.as_ref().unwrap();
+        for (pos, gpu) in old_asg.iter() {
+            assert_eq!(out.assignment.gpu_at(pos), Some(gpu), "{pos}");
+        }
+    }
+
+    #[test]
+    fn km_beats_identity_mapping_after_shift() {
+        // Old config on instances {1,2}; new fleet is {2,3}: the identity
+        // order would put early positions on instance 2's GPUs regardless
+        // of what they held; KM must reuse instance 2's actual context.
+        let cfg = ParallelConfig::new(1, 2, 4, 8);
+        let old_insts = vec![InstanceId(1), InstanceId(2)];
+        let old = old_state(cfg, &old_insts, 0);
+        let new_insts = vec![InstanceId(2), InstanceId(3)];
+        let km = map_devices(&model(), &cfg, &new_insts, 4, &old, true);
+        let naive = map_devices(&model(), &cfg, &new_insts, 4, &old, false);
+        assert!(
+            km.reused_bytes >= naive.reused_bytes,
+            "km {} vs naive {}",
+            km.reused_bytes,
+            naive.reused_bytes
+        );
+        // Instance 2 held stage 1 (positions 4..8 in canonical order);
+        // KM must keep stage 1 on instance 2.
+        let pos = MeshPosition::new(0, 1, 0);
+        assert_eq!(km.assignment.gpu_at(pos).unwrap().instance, InstanceId(2));
+    }
+
+    #[test]
+    fn inheritance_prefers_more_progress() {
+        let cfg = ParallelConfig::new(2, 1, 4, 8);
+        let insts = instances(2);
+        let mut old = old_state(cfg, &insts, 1 << 20);
+        old.progress_per_pipeline = vec![5, 90];
+        // Shrink to one pipeline: it must inherit old pipeline 1.
+        let new_cfg = ParallelConfig::new(1, 1, 4, 8);
+        let out = map_devices(&model(), &new_cfg, &insts[..1], 4, &old, true);
+        assert_eq!(out.inheritance, vec![Some(1)]);
+    }
+
+    #[test]
+    fn cache_weight_pulls_inherited_pipeline_to_its_gpus() {
+        // Two identical pipelines; pipeline 1 has all the cache+progress.
+        // After shrinking to D=1 on the *second* instance only, the new
+        // pipeline inherits old pipeline 1, whose GPUs live on instance 1.
+        let cfg = ParallelConfig::new(2, 1, 4, 8);
+        let insts = instances(2);
+        let mut old = old_state(cfg, &insts, 1 << 30);
+        old.progress_per_pipeline = vec![0, 64];
+        let new_cfg = ParallelConfig::new(1, 1, 4, 8);
+        // Both instances available: KM should pick instance 1's GPUs (the
+        // inherited pipeline's) because of the cache bonus.
+        let out = map_devices(&model(), &new_cfg, &insts, 4, &old, true);
+        let gpu = out.assignment.gpu_at(MeshPosition::new(0, 0, 0)).unwrap();
+        assert_eq!(gpu.instance, InstanceId(1));
+    }
+
+    #[test]
+    fn figure_4b_shape_mapping_is_optimal_for_first_stage() {
+        // Figure 4b: old (D=2,P=2,M=2) on 8 GPUs (2 instances), new
+        // (D=2,P=3,M=1) needs 6 GPUs. u1 = old (0,0,1) overlaps most with
+        // the new first stages; the overall matching must reuse >0 bytes
+        // and assign all 6 positions.
+        let old_cfg = ParallelConfig::new(2, 2, 2, 8);
+        let insts = instances(2);
+        let old = old_state(old_cfg, &insts, 1 << 24);
+        let new_cfg = ParallelConfig::new(2, 3, 1, 8);
+        let out = map_devices(&model(), &new_cfg, &insts, 4, &old, true);
+        assert_eq!(out.assignment.len(), 6);
+        assert!(out.reused_bytes > 0);
+        assert_eq!(out.inheritance, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 8 GPUs")]
+    fn too_few_instances_panics() {
+        let cfg = ParallelConfig::new(1, 2, 4, 8);
+        map_devices(&model(), &cfg, &instances(1), 4, &OldState::default(), true);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let cfg = ParallelConfig::new(2, 2, 2, 8);
+        let insts = instances(3);
+        let old = old_state(ParallelConfig::new(1, 2, 4, 8), &insts[..2], 1 << 20);
+        let a = map_devices(&model(), &cfg, &insts, 4, &old, true);
+        let b = map_devices(&model(), &cfg, &insts, 4, &old, true);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.reused_bytes, b.reused_bytes);
+    }
+}

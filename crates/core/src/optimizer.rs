@@ -1,0 +1,425 @@
+//! Algorithm 1: the adaptive configuration optimizer.
+//!
+//! Given the currently available instance count `N_t` and the estimated
+//! arrival rate `α_t`, pick the next parallel configuration `C_{t+1}`:
+//!
+//! * if some configuration can sustain `α_t` (`φ(C) ≥ α_t`) within the
+//!   fleet ceiling, choose — among sustaining configurations — the one
+//!   minimizing end-to-end request latency `l_req(C)`, breaking ties toward
+//!   fewer instances (lower cost);
+//! * otherwise maximize throughput within the instances at hand (`N_t`);
+//! * report the instance delta so the instance manager can allocate
+//!   (on-demand and spot together, §3.2) or release (on-demand first).
+
+use cloudsim::GpuSpec;
+use llmsim::{MemoryModel, ModelSpec};
+use parallelism::{enumerate_configs, ConfigSpace, ParallelConfig, PerfModel};
+
+/// The optimizer's verdict for one invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerDecision {
+    /// The configuration to materialize *now* (fits in `N_t` instances),
+    /// or `None` when even the smallest feasible mesh does not fit.
+    pub now: Option<ParallelConfig>,
+    /// The configuration the fleet should grow toward (may need more
+    /// instances than `N_t`); equals `now` when no growth is warranted.
+    pub target: Option<ParallelConfig>,
+    /// `#Instances(target) − N_t` (Algorithm 1, line 6).
+    pub instance_delta: i64,
+}
+
+/// The paper's Algorithm 1, parameterized by model, memory model and
+/// hardware.
+///
+/// # Example
+///
+/// ```
+/// use spotserve::ConfigOptimizer;
+///
+/// let opt = ConfigOptimizer::paper_defaults(llmsim::ModelSpec::gpt_20b(), 16);
+/// // Ten 4-GPU instances, 0.35 req/s: a sustaining config exists.
+/// let d = opt.decide(10, 0.35);
+/// let c = d.now.expect("feasible");
+/// assert!(opt.perf().throughput(&c) >= 0.35);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfigOptimizer {
+    perf: PerfModel,
+    mem: MemoryModel,
+    gpu: GpuSpec,
+    space: ConfigSpace,
+    gpus_per_instance: u8,
+    max_instances: u32,
+}
+
+impl ConfigOptimizer {
+    /// Builds an optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus_per_instance` or `max_instances` is zero.
+    pub fn new(
+        perf: PerfModel,
+        mem: MemoryModel,
+        gpu: GpuSpec,
+        space: ConfigSpace,
+        gpus_per_instance: u8,
+        max_instances: u32,
+    ) -> Self {
+        assert!(gpus_per_instance > 0 && max_instances > 0);
+        ConfigOptimizer {
+            perf,
+            mem,
+            gpu,
+            space,
+            gpus_per_instance,
+            max_instances,
+        }
+    }
+
+    /// The paper's evaluation setup for `model` with a fleet ceiling.
+    pub fn paper_defaults(model: ModelSpec, max_instances: u32) -> Self {
+        ConfigOptimizer::new(
+            PerfModel::paper_defaults(model),
+            MemoryModel::default(),
+            GpuSpec::t4(),
+            ConfigSpace::default(),
+            4,
+            max_instances,
+        )
+    }
+
+    /// The performance model in use.
+    pub fn perf(&self) -> &PerfModel {
+        &self.perf
+    }
+
+    /// The memory model in use.
+    pub fn memory(&self) -> &MemoryModel {
+        &self.mem
+    }
+
+    /// GPUs per instance.
+    pub fn gpus_per_instance(&self) -> u8 {
+        self.gpus_per_instance
+    }
+
+    /// Enumerates feasible configurations for a fleet of `instances`.
+    pub fn feasible(&self, instances: u32) -> Vec<ParallelConfig> {
+        enumerate_configs(
+            self.perf.model(),
+            &self.mem,
+            &self.gpu,
+            &self.space,
+            instances * self.gpus_per_instance as u32,
+        )
+    }
+
+    /// Scores candidates: minimize `l_req(C, α)`, tie-break toward fewer
+    /// instances, then canonical order for determinism.
+    fn best_latency(
+        &self,
+        configs: impl IntoIterator<Item = ParallelConfig>,
+        alpha: f64,
+    ) -> Option<ParallelConfig> {
+        configs
+            .into_iter()
+            .map(|c| {
+                let l = self.perf.request_latency(&c, alpha);
+                (l, c.instances_needed(self.gpus_per_instance), c)
+            })
+            .min_by(|a, b| a.cmp(b))
+            .map(|(_, _, c)| c)
+    }
+
+    /// Runs Algorithm 1 for `n_instances` available instances (including
+    /// grace-period arrivals, excluding instances being reclaimed) and
+    /// arrival-rate estimate `alpha`.
+    pub fn decide(&self, n_instances: u32, alpha: f64) -> OptimizerDecision {
+        self.decide_with_incumbent(n_instances, alpha, None)
+    }
+
+    /// Like [`ConfigOptimizer::decide`], but biased toward the `incumbent`
+    /// configuration: switching has a real migration cost, so the incumbent
+    /// is kept whenever it still sustains `alpha` and its estimated latency
+    /// is within 15% of the best candidate's.
+    pub fn decide_with_incumbent(
+        &self,
+        n_instances: u32,
+        alpha: f64,
+        incumbent: Option<ParallelConfig>,
+    ) -> OptimizerDecision {
+        let mut d = self.decide_fresh(n_instances, alpha);
+        let Some(inc) = incumbent else { return d };
+        if inc.instances_needed(self.gpus_per_instance) > n_instances {
+            return d;
+        }
+        if !self.feasible(n_instances).contains(&inc) {
+            return d;
+        }
+        let keepable = |best: ParallelConfig| {
+            let inc_l = self.perf.request_latency(&inc, alpha);
+            let best_l = self.perf.request_latency(&best, alpha);
+            self.perf.throughput(&inc) >= alpha
+                && inc_l != simkit::SimDuration::MAX
+                && inc_l.as_secs_f64() <= best_l.as_secs_f64() * 1.15
+        };
+        if let Some(best) = d.now {
+            if best != inc && keepable(best) {
+                d.now = Some(inc);
+            }
+        }
+        if let Some(best) = d.target {
+            if best != inc && keepable(best) {
+                d.target = Some(inc);
+                d.instance_delta =
+                    inc.instances_needed(self.gpus_per_instance) as i64 - n_instances as i64;
+            }
+        }
+        d
+    }
+
+    /// The §3.2 alternative objective: instead of minimizing latency, meet
+    /// a pre-defined SLO (`l_req(C) ≤ slo`) with the *cheapest* fleet.
+    /// Falls back to plain latency minimization when no configuration can
+    /// meet the SLO.
+    pub fn decide_slo(
+        &self,
+        n_instances: u32,
+        alpha: f64,
+        slo: simkit::SimDuration,
+    ) -> OptimizerDecision {
+        let ceiling = self.max_instances.max(n_instances);
+        let meeting: Vec<ParallelConfig> = self
+            .feasible(ceiling)
+            .into_iter()
+            .filter(|c| self.perf.request_latency(c, alpha) <= slo)
+            .collect();
+        if meeting.is_empty() {
+            return self.decide(n_instances, alpha);
+        }
+        let target = meeting
+            .iter()
+            .copied()
+            .map(|c| {
+                // Cheapest first, then lowest latency, then canonical.
+                (
+                    c.instances_needed(self.gpus_per_instance),
+                    self.perf.request_latency(&c, alpha),
+                    c,
+                )
+            })
+            .min()
+            .map(|(_, _, c)| c);
+        let now = target
+            .filter(|t| t.instances_needed(self.gpus_per_instance) <= n_instances)
+            .or_else(|| {
+                meeting
+                    .into_iter()
+                    .filter(|c| c.instances_needed(self.gpus_per_instance) <= n_instances)
+                    .map(|c| {
+                        (
+                            c.instances_needed(self.gpus_per_instance),
+                            self.perf.request_latency(&c, alpha),
+                            c,
+                        )
+                    })
+                    .min()
+                    .map(|(_, _, c)| c)
+            })
+            .or(self.decide(n_instances, alpha).now);
+        let needed = target
+            .map(|t| t.instances_needed(self.gpus_per_instance))
+            .unwrap_or(0);
+        OptimizerDecision {
+            now,
+            target,
+            instance_delta: needed as i64 - n_instances as i64,
+        }
+    }
+
+    fn decide_fresh(&self, n_instances: u32, alpha: f64) -> OptimizerDecision {
+        // Line 2: does any configuration within the ceiling sustain α?
+        let ceiling = self.max_instances.max(n_instances);
+        let all = self.feasible(ceiling);
+        let sustaining: Vec<ParallelConfig> = all
+            .iter()
+            .copied()
+            .filter(|c| self.perf.throughput(c) >= alpha)
+            .collect();
+
+        let target = if !sustaining.is_empty() {
+            // Line 3: minimize l_req among sustaining configs.
+            self.best_latency(sustaining, alpha)
+        } else {
+            // Line 5: maximize throughput within the current fleet.
+            self.feasible(n_instances)
+                .into_iter()
+                .map(|c| (self.perf.throughput(&c), std::cmp::Reverse(c)))
+                .max_by(|a, b| a.partial_cmp(b).expect("throughput is finite"))
+                .map(|(_, std::cmp::Reverse(c))| c)
+        };
+
+        // What can actually run right now, consistent with the target's
+        // shape preference.
+        let now_candidates = self.feasible(n_instances);
+        let now = match target {
+            Some(t) if t.instances_needed(self.gpus_per_instance) <= n_instances => Some(t),
+            _ => {
+                let sustaining_now: Vec<ParallelConfig> = now_candidates
+                    .iter()
+                    .copied()
+                    .filter(|c| self.perf.throughput(c) >= alpha)
+                    .collect();
+                if sustaining_now.is_empty() {
+                    // Max throughput with what we have.
+                    now_candidates
+                        .into_iter()
+                        .map(|c| (self.perf.throughput(&c), std::cmp::Reverse(c)))
+                        .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+                        .map(|(_, std::cmp::Reverse(c))| c)
+                } else {
+                    self.best_latency(sustaining_now, alpha)
+                }
+            }
+        };
+
+        let needed = target
+            .map(|t| t.instances_needed(self.gpus_per_instance))
+            .unwrap_or(0);
+        OptimizerDecision {
+            now,
+            target,
+            instance_delta: needed as i64 - n_instances as i64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opt(model: ModelSpec) -> ConfigOptimizer {
+        ConfigOptimizer::paper_defaults(model, 16)
+    }
+
+    #[test]
+    fn sustaining_config_minimizes_latency() {
+        let o = opt(ModelSpec::gpt_20b());
+        let d = o.decide(10, 0.35);
+        let c = d.now.expect("feasible at 10 instances");
+        assert!(o.perf().throughput(&c) >= 0.35);
+        // Exhaustive check: no sustaining config within 10 instances has
+        // strictly lower l_req.
+        let l = o.perf().request_latency(&c, 0.35);
+        for other in o.feasible(10) {
+            if o.perf().throughput(&other) >= 0.35 {
+                assert!(
+                    o.perf().request_latency(&other, 0.35) >= l,
+                    "{other} beats {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overload_maximizes_throughput() {
+        let o = opt(ModelSpec::gpt_20b());
+        // 3 instances = 12 GPUs: nothing sustains 0.35 req/s.
+        let d = o.decide(3, 0.35);
+        let c = d.now.expect("12 GPUs fit GPT-20B");
+        let phi = o.perf().throughput(&c);
+        for other in o.feasible(3) {
+            assert!(o.perf().throughput(&other) <= phi + 1e-12, "{other}");
+        }
+        // The optimizer wants more instances.
+        assert!(d.instance_delta > 0, "delta {}", d.instance_delta);
+    }
+
+    #[test]
+    fn too_few_instances_yields_none() {
+        let o = opt(ModelSpec::llama_30b());
+        // LLaMA-30B needs 16 GPUs = 4 instances (Table 1).
+        let d = o.decide(3, 0.2);
+        assert_eq!(d.now, None);
+        assert!(d.target.is_some(), "growth target exists");
+        assert!(d.instance_delta > 0);
+    }
+
+    #[test]
+    fn overprovision_suggests_release() {
+        let o = opt(ModelSpec::opt_6_7b());
+        // Tiny load: one pipeline suffices; with 12 instances the optimizer
+        // should want fewer.
+        let d = o.decide(12, 0.05);
+        assert!(d.instance_delta < 0, "delta {}", d.instance_delta);
+        let c = d.now.unwrap();
+        assert!(o.perf().throughput(&c) >= 0.05);
+    }
+
+    #[test]
+    fn gpt20b_paper_scenario_prefers_2_2_8_at_8_instances() {
+        // §6.2: with ≥8 instances, (D=2,P=2,M=8) is the minimum-latency
+        // sustaining configuration for 0.35 req/s.
+        let o = opt(ModelSpec::gpt_20b());
+        let d = o.decide(8, 0.35);
+        let c = d.now.unwrap();
+        assert_eq!(c.mesh_key(), (2, 2, 8), "picked {c}");
+    }
+
+    #[test]
+    fn gpt20b_after_preemption_avoids_overload() {
+        // §6.2: at 7 instances, Rerouting's fixed (1,2,8) overloads, while
+        // the optimizer finds a sustaining alternative, e.g. (2,3,4).
+        let o = opt(ModelSpec::gpt_20b());
+        let d = o.decide(7, 0.35);
+        let c = d.now.unwrap();
+        assert!(
+            o.perf().throughput(&c) >= 0.35,
+            "{c} must sustain 0.35 req/s"
+        );
+        assert!(c.total_gpus() <= 28);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let o = opt(ModelSpec::gpt_20b());
+        assert_eq!(o.decide(9, 0.4), o.decide(9, 0.4));
+    }
+
+    #[test]
+    fn slo_objective_picks_cheapest_meeting_config() {
+        let o = opt(ModelSpec::gpt_20b());
+        // A loose SLO: many configs qualify, so the cheapest fleet wins.
+        let loose = simkit::SimDuration::from_secs(120);
+        let d = o.decide_slo(10, 0.35, loose);
+        let c = d.now.expect("feasible");
+        assert!(o.perf().request_latency(&c, 0.35) <= loose);
+        // No cheaper configuration also meets the SLO.
+        let needed = c.instances_needed(4);
+        for other in o.feasible(10) {
+            if o.perf().request_latency(&other, 0.35) <= loose {
+                assert!(other.instances_needed(4) >= needed, "{other} is cheaper");
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_slo_falls_back_to_latency_minimization() {
+        let o = opt(ModelSpec::gpt_20b());
+        let impossible = simkit::SimDuration::from_secs(1);
+        let d = o.decide_slo(10, 0.35, impossible);
+        assert_eq!(d.now, o.decide(10, 0.35).now);
+    }
+
+    #[test]
+    fn zero_rate_picks_cheapest_feasible() {
+        let o = opt(ModelSpec::gpt_20b());
+        let d = o.decide(10, 0.0);
+        let c = d.now.unwrap();
+        // Everything sustains α=0; latency minimization should not pick
+        // more GPUs than help latency, and the tie-break favours fewer
+        // instances.
+        assert!(c.total_gpus() <= 40);
+    }
+}

@@ -1,0 +1,105 @@
+//! Run results: latency report, monetary cost, configuration history.
+
+use parallelism::ParallelConfig;
+use simkit::{SimDuration, SimTime};
+use workload::LatencyReport;
+
+/// One reconfiguration recorded during a run (the annotations of
+/// Figures 8g/8h).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfigChange {
+    /// When the new configuration went live.
+    pub at: SimTime,
+    /// The configuration adopted (`None` = serving halted, no feasible
+    /// configuration).
+    pub config: Option<ParallelConfig>,
+    /// How long serving was paused for this transition.
+    pub pause: SimDuration,
+    /// Bytes moved over the network for the transition.
+    pub migrated_bytes: u64,
+    /// Bytes reloaded from storage for the transition.
+    pub reloaded_bytes: u64,
+}
+
+/// Everything a serving run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-request latencies.
+    pub latency: LatencyReport,
+    /// Total fleet spend in USD over the run.
+    pub cost_usd: f64,
+    /// Requests still unfinished when the drain cap hit.
+    pub unfinished: usize,
+    /// Configuration history.
+    pub config_changes: Vec<ConfigChange>,
+    /// Wall-clock end of the simulation.
+    pub finished_at: SimTime,
+    /// Count of preemption notices received.
+    pub preemptions: u32,
+    /// Count of instance grants received.
+    pub grants: u32,
+    /// Instance-count samples over time: `(t, spot, on_demand)`
+    /// (the Figure 5 / Figure 8c-d panels).
+    pub fleet_timeline: Vec<(SimTime, u32, u32)>,
+}
+
+impl RunReport {
+    /// USD per generated output token (Figure 7's cost metric), `None`
+    /// when no tokens were produced.
+    pub fn cost_per_token(&self) -> Option<f64> {
+        let tokens = self.latency.tokens_generated();
+        (tokens > 0).then(|| self.cost_usd / tokens as f64)
+    }
+
+    /// The configurations adopted, in order, without pauses/bytes.
+    pub fn config_sequence(&self) -> Vec<Option<ParallelConfig>> {
+        self.config_changes.iter().map(|c| c.config).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+    use workload::{Request, RequestId, RequestOutcome};
+
+    #[test]
+    fn cost_per_token() {
+        let mut latency = LatencyReport::new("x");
+        latency.record(RequestOutcome {
+            request: Request {
+                id: RequestId(0),
+                arrival: SimTime::ZERO,
+                s_in: 512,
+                s_out: 128,
+            },
+            finished: SimTime::from_secs(30),
+        });
+        let rep = RunReport {
+            latency,
+            cost_usd: 1.28,
+            unfinished: 0,
+            config_changes: vec![],
+            finished_at: SimTime::from_secs(100),
+            preemptions: 0,
+            grants: 0,
+            fleet_timeline: vec![],
+        };
+        assert!((rep.cost_per_token().unwrap() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_has_no_cost_per_token() {
+        let rep = RunReport {
+            latency: LatencyReport::new("x"),
+            cost_usd: 5.0,
+            unfinished: 0,
+            config_changes: vec![],
+            finished_at: SimTime::ZERO,
+            preemptions: 0,
+            grants: 0,
+            fleet_timeline: vec![],
+        };
+        assert_eq!(rep.cost_per_token(), None);
+    }
+}

@@ -1,0 +1,1439 @@
+//! The serving system: a discrete-event simulation wiring the cloud, the
+//! engine, and SpotServe's control plane (or a baseline policy) together.
+//!
+//! One [`ServingSystem`] run replays an availability trace and a request
+//! stream and produces a [`RunReport`]. The three §6.1 systems share every
+//! mechanism except preemption handling, mirroring the paper's
+//! same-backbone fairness setup:
+//!
+//! * **SpotServe** — on a preemption notice, keep decoding until just
+//!   enough grace period remains (JIT arrangement), then migrate context
+//!   (weights + KV cache) to the KM-optimal placement of the next
+//!   configuration and *resume* interrupted batches token-exact;
+//! * **Reparallelization** — same configuration optimizer, but transitions
+//!   are reactive cold restarts: weights reload from storage and in-flight
+//!   progress is lost;
+//! * **Rerouting** — fixed `(P, M, B)`; preempted pipelines drop, their
+//!   requests reroute and recompute; new pipelines cold-start.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use cloudsim::{
+    AvailabilityTrace, CloudConfig, CloudEvent, CloudSim, ColdStorage, InstanceId, InstanceKind,
+};
+use enginesim::{preemption_stop_time, recovery_worthwhile, BatchRun, ContextDaemon};
+use llmsim::ModelSpec;
+use migration::{
+    evaluate_plan, plan_migration, DeviceAssignment, MigrationPlan, MigrationTask, PlannerOptions,
+};
+use parallelism::ParallelConfig;
+use simkit::event::EventKey;
+use simkit::{EventQueue, SimDuration, SimRng, SimTime};
+use workload::{LatencyReport, Request, WorkloadSpec};
+
+use crate::config::{Policy, SystemOptions};
+use crate::devicemap::{map_devices, OldState};
+use crate::optimizer::ConfigOptimizer;
+use crate::report::{ConfigChange, RunReport};
+
+/// A complete experiment input: model, availability trace, request stream.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The model being served.
+    pub model: ModelSpec,
+    /// Spot-capacity trace the cloud replays.
+    pub trace: AvailabilityTrace,
+    /// The request stream (arrival-sorted).
+    pub requests: Vec<Request>,
+    /// Cloud tunables (grace period, grant delays, instance type).
+    pub cloud: CloudConfig,
+    /// Cold-storage model for weight reloads.
+    pub storage: ColdStorage,
+    /// Master seed (cloud tie-breaking etc.).
+    pub seed: u64,
+    /// Initial arrival-rate estimate used for the warm start.
+    pub initial_rate: f64,
+}
+
+impl Scenario {
+    /// The paper's stable-workload setup (§6.1): Gamma arrivals with CV 6
+    /// at `rate` req/s for 20 minutes, `S_in = 512`, `S_out = 128`.
+    pub fn paper_stable(model: ModelSpec, trace: AvailabilityTrace, rate: f64, seed: u64) -> Self {
+        let spec = WorkloadSpec::paper_stable(rate);
+        let requests = spec.generate(&mut SimRng::new(seed).stream("arrivals"));
+        Scenario {
+            model,
+            trace,
+            requests,
+            cloud: CloudConfig::default(),
+            storage: ColdStorage::default(),
+            seed,
+            initial_rate: rate,
+        }
+    }
+
+    /// A scenario with an explicit pre-generated request stream.
+    pub fn with_requests(
+        model: ModelSpec,
+        trace: AvailabilityTrace,
+        requests: Vec<Request>,
+        initial_rate: f64,
+        seed: u64,
+    ) -> Self {
+        Scenario {
+            model,
+            trace,
+            requests,
+            cloud: CloudConfig::default(),
+            storage: ColdStorage::default(),
+            seed,
+            initial_rate,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Arrival(usize),
+    BatchDone { pipeline: u64 },
+    InitDone { id: InstanceId },
+    TransitionCommit { epoch: u64 },
+    TransitionDone { epoch: u64 },
+    PipelineReady { pipeline: u64 },
+    RateTick,
+}
+
+/// One inference pipeline (a `P × M` GPU group serving batches).
+#[derive(Debug)]
+struct PipelineSlot {
+    /// Stable identifier (survives vector reshuffles).
+    id: u64,
+    daemon: ContextDaemon,
+    batch_key: Option<EventKey>,
+    /// Instances this pipeline runs on (used by Rerouting teardown).
+    instances: Vec<InstanceId>,
+    /// The pipeline is cold-loading until this instant (Rerouting).
+    ready_at: SimTime,
+}
+
+/// A reconfiguration in flight.
+#[derive(Debug)]
+struct Transition {
+    epoch: u64,
+    /// Earliest kill deadline that motivated this transition, if any.
+    deadline: Option<SimTime>,
+}
+
+/// The discrete-event serving simulation. See the crate-level example.
+pub struct ServingSystem {
+    opts: SystemOptions,
+    scenario: Scenario,
+    optimizer: ConfigOptimizer,
+    cloud: CloudSim,
+    events: EventQueue<Ev>,
+    now: SimTime,
+    epoch: u64,
+
+    // Fleet state.
+    ready: BTreeSet<InstanceId>,
+    initializing: BTreeMap<InstanceId, SimTime>,
+    noticed: BTreeMap<InstanceId, SimTime>,
+
+    // Serving state.
+    current: Option<ParallelConfig>,
+    /// The configuration whose context is materialized on `assignment` —
+    /// survives serving halts (the context daemons outlive the engines).
+    context_shape: Option<ParallelConfig>,
+    assignment: DeviceAssignment,
+    pipelines: Vec<PipelineSlot>,
+    pending: VecDeque<Request>,
+    transition: Option<Transition>,
+    next_pipeline_id: u64,
+    /// Rate-triggered reconfigurations are suppressed until this instant
+    /// (hysteresis: let the previous transition settle).
+    settle_until: SimTime,
+    rerouting_shape: Option<(u32, u32, u32)>, // fixed (P, M, B)
+    /// The bootstrap configuration (the `-Controller` ablation pins this).
+    frozen_config: Option<ParallelConfig>,
+    initial_fleet_target: u32,
+
+    // Accounting.
+    outstanding: usize,
+    arrivals_seen: Vec<SimTime>,
+    latency: LatencyReport,
+    config_changes: Vec<ConfigChange>,
+    fleet_timeline: Vec<(SimTime, u32, u32)>,
+    preemptions: u32,
+    grants: u32,
+    arrivals_end: SimTime,
+}
+
+impl ServingSystem {
+    /// Builds a system ready to [`run`](ServingSystem::run).
+    pub fn new(opts: SystemOptions, scenario: Scenario) -> Self {
+        let gpus_per_instance = scenario.cloud.instance_type.gpus_per_instance;
+        let mem = if opts.ablation.no_migration_planner {
+            // Without Algorithm 2's memory-optimized ordering, engines must
+            // reserve communication buffers sized like a weight shard
+            // (§6.2: this is what raises GPT-20B's minimum from 12 to 16
+            // GPUs). Use the shard size at the paper's largest mesh.
+            let shard = scenario.model.param_bytes() / 16;
+            llmsim::MemoryModel::default().with_migration_buffer(shard)
+        } else {
+            llmsim::MemoryModel::default()
+        };
+        let optimizer = ConfigOptimizer::new(
+            parallelism::PerfModel::paper_defaults(scenario.model.clone()),
+            mem,
+            scenario.cloud.instance_type.gpu,
+            parallelism::ConfigSpace::default(),
+            gpus_per_instance,
+            opts.max_instances,
+        );
+        let cloud = CloudSim::new(scenario.cloud.clone(), scenario.trace.clone(), scenario.seed);
+        let name = match opts.policy {
+            Policy::SpotServe => "SpotServe",
+            Policy::Reparallelization => "Reparallelization",
+            Policy::Rerouting => "Rerouting",
+            Policy::OnDemandOnly { .. } => "OnDemand",
+        };
+        let arrivals_end = scenario
+            .requests
+            .last()
+            .map(|r| r.arrival)
+            .unwrap_or(SimTime::ZERO);
+        ServingSystem {
+            opts,
+            optimizer,
+            cloud,
+            events: EventQueue::new(),
+            now: SimTime::ZERO,
+            epoch: 0,
+            ready: BTreeSet::new(),
+            initializing: BTreeMap::new(),
+            noticed: BTreeMap::new(),
+            current: None,
+            context_shape: None,
+            assignment: DeviceAssignment::new(),
+            pipelines: Vec::new(),
+            pending: VecDeque::new(),
+            transition: None,
+            next_pipeline_id: 0,
+            settle_until: SimTime::ZERO,
+            rerouting_shape: None,
+            frozen_config: None,
+            initial_fleet_target: 0,
+            outstanding: scenario.requests.len(),
+            arrivals_seen: Vec::new(),
+            latency: LatencyReport::new(name),
+            config_changes: Vec::new(),
+            fleet_timeline: Vec::new(),
+            preemptions: 0,
+            grants: 0,
+            arrivals_end,
+            scenario,
+        }
+    }
+
+    fn gpus_per_instance(&self) -> u8 {
+        self.scenario.cloud.instance_type.gpus_per_instance
+    }
+
+    /// Instances usable for serving decisions: engine up, not being killed.
+    fn usable(&self) -> Vec<InstanceId> {
+        self.ready
+            .iter()
+            .copied()
+            .filter(|id| !self.noticed.contains_key(id))
+            .collect()
+    }
+
+    fn sample_fleet(&mut self) {
+        let spot = self
+            .ready
+            .iter()
+            .chain(self.initializing.keys())
+            .filter(|id| {
+                self.cloud
+                    .fleet()
+                    .any(|i| i.id == **id && i.kind == InstanceKind::Spot)
+            })
+            .count() as u32;
+        let od = self
+            .ready
+            .iter()
+            .chain(self.initializing.keys())
+            .filter(|id| {
+                self.cloud
+                    .fleet()
+                    .any(|i| i.id == **id && i.kind == InstanceKind::OnDemand)
+            })
+            .count() as u32;
+        self.fleet_timeline.push((self.now, spot, od));
+    }
+
+    /// Estimated arrival rate over the last rate-tick window (§3.2).
+    fn rate_estimate(&self) -> f64 {
+        let window = self.opts.rate_tick;
+        let lo = SimTime::from_micros(
+            self.now
+                .as_micros()
+                .saturating_sub(window.as_micros() * 4),
+        );
+        let recent = self
+            .arrivals_seen
+            .iter()
+            .rev()
+            .take_while(|&&t| t >= lo)
+            .count();
+        if self.now == SimTime::ZERO || self.arrivals_seen.is_empty() {
+            return self.scenario.initial_rate;
+        }
+        let span = self.now.saturating_since(lo).as_secs_f64().max(1.0);
+        recent as f64 / span
+    }
+
+    /// Runs the simulation to completion and reports.
+    pub fn run(mut self) -> RunReport {
+        self.bootstrap();
+        // Arrivals.
+        let arrivals: Vec<(usize, SimTime)> = self
+            .scenario
+            .requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, r.arrival))
+            .collect();
+        for (i, t) in arrivals {
+            self.events.schedule(t, Ev::Arrival(i));
+        }
+        self.events
+            .schedule(SimTime::ZERO + self.opts.rate_tick, Ev::RateTick);
+
+        let hard_stop = self.arrivals_end + self.opts.drain_cap;
+        loop {
+            if self.outstanding == 0 {
+                break;
+            }
+            let next_internal = self.events.peek_time();
+            let next_cloud = self.cloud.peek_time();
+            let next = match (next_internal, next_cloud) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            if next > hard_stop {
+                break;
+            }
+            self.now = next;
+            if next_cloud == Some(next) && next_internal.map(|t| next < t).unwrap_or(true) {
+                let (_, ev) = self.cloud.pop_next().expect("peeked");
+                self.on_cloud_event(ev);
+            } else if next_internal == Some(next) {
+                let (_, ev) = self.events.pop().expect("peeked");
+                self.on_event(ev);
+            } else {
+                let (_, ev) = self.cloud.pop_next().expect("peeked");
+                self.on_cloud_event(ev);
+            }
+        }
+
+        // Release the fleet and close the books.
+        let ids: Vec<InstanceId> = self.cloud.fleet().map(|i| i.id).collect();
+        for id in ids {
+            self.cloud.release(self.now, id);
+        }
+        RunReport {
+            cost_usd: self.cloud.meter().total_usd(self.now),
+            latency: self.latency,
+            unfinished: self.outstanding,
+            config_changes: self.config_changes,
+            finished_at: self.now,
+            preemptions: self.preemptions,
+            grants: self.grants,
+            fleet_timeline: self.fleet_timeline,
+        }
+    }
+
+    /// Warm start: the paper's runs begin with an initialized system.
+    fn bootstrap(&mut self) {
+        let alpha = self.scenario.initial_rate;
+        match self.opts.policy {
+            Policy::OnDemandOnly { instances } => {
+                let ids = self.cloud.prewarm_on_demand(instances);
+                self.ready.extend(ids);
+                self.initial_fleet_target = instances;
+            }
+            _ => {
+                let decision = self.optimizer.decide(self.cloud.current_capacity(), alpha);
+                let want = decision
+                    .target
+                    .map(|c| c.instances_needed(self.gpus_per_instance()))
+                    .unwrap_or(0)
+                    + self.opts.spare_instances;
+                let ids = self.cloud.prewarm_spot(want);
+                self.ready.extend(ids);
+                self.initial_fleet_target = want;
+            }
+        }
+        if matches!(self.opts.policy, Policy::Rerouting) {
+            // Fix the model-parallel shape once (§6.1: "fixed pre-defined
+            // optimal model parallel configuration").
+            let d = self.optimizer.decide(self.ready.len() as u32, alpha);
+            if let Some(c) = d.now.or(d.target) {
+                self.rerouting_shape = Some((c.pipeline, c.tensor, c.batch));
+            }
+        }
+        // Adopt the initial configuration at zero cost (pre-loaded).
+        let n = self.ready.len() as u32;
+        let decision = self.optimizer.decide(n, alpha);
+        self.frozen_config = decision.now;
+        if let Some(cfg) = self.pick_config(decision.now, n) {
+            self.adopt_config(cfg, SimDuration::ZERO, 0, 0);
+        }
+        self.sample_fleet();
+    }
+
+    /// Applies the policy's configuration constraints to a decision.
+    fn pick_config(&self, suggested: Option<ParallelConfig>, n: u32) -> Option<ParallelConfig> {
+        match self.opts.policy {
+            Policy::Rerouting => {
+                let (p, m, b) = self.rerouting_shape?;
+                let per = ParallelConfig::new(1, p, m, b).instances_needed(self.gpus_per_instance());
+                let d = n / per;
+                (d > 0).then(|| ParallelConfig::new(d, p, m, b))
+            }
+            _ => {
+                if self.opts.ablation.no_controller {
+                    // The controller is frozen at the bootstrap choice: the
+                    // shape never adapts; data parallelism degrades when the
+                    // fleet cannot hold it and restores afterwards.
+                    if let Some(frz) = self.frozen_config {
+                        let per = ParallelConfig::new(1, frz.pipeline, frz.tensor, frz.batch)
+                            .instances_needed(self.gpus_per_instance());
+                        let d = (n / per).min(frz.data);
+                        return (d > 0)
+                            .then(|| ParallelConfig::new(d, frz.pipeline, frz.tensor, frz.batch));
+                    }
+                    suggested
+                } else {
+                    suggested
+                }
+            }
+        }
+    }
+
+    fn on_cloud_event(&mut self, ev: CloudEvent) {
+        match ev {
+            CloudEvent::SpotGranted { id } | CloudEvent::OnDemandGranted { id } => {
+                self.grants += 1;
+                let done = self.now + self.opts.engine_launch;
+                self.initializing.insert(id, done);
+                self.events.schedule(done, Ev::InitDone { id });
+                self.sample_fleet();
+            }
+            CloudEvent::PreemptionNotice { id, kill_at } => {
+                self.preemptions += 1;
+                self.noticed.insert(id, kill_at);
+                self.on_preemption_notice(id, kill_at);
+                self.sample_fleet();
+            }
+            CloudEvent::Preempted { id } => {
+                self.ready.remove(&id);
+                self.initializing.remove(&id);
+                self.noticed.remove(&id);
+                self.on_instance_gone(id);
+                self.sample_fleet();
+            }
+        }
+    }
+
+    fn on_event(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrival(i) => {
+                let req = self.scenario.requests[i];
+                self.arrivals_seen.push(req.arrival);
+                self.pending.push_back(req);
+                self.dispatch_all();
+            }
+            Ev::BatchDone { pipeline } => {
+                if let Some(idx) = self.pipelines.iter().position(|s| s.id == pipeline) {
+                    self.finish_batch(idx);
+                    self.dispatch_all();
+                }
+            }
+            Ev::InitDone { id } => {
+                if self.initializing.remove(&id).is_some() {
+                    self.ready.insert(id);
+                    self.on_instance_joined(id);
+                    self.rebalance_on_demand();
+                    self.sample_fleet();
+                }
+            }
+            Ev::TransitionCommit { epoch } => {
+                if self.transition.as_ref().map(|t| t.epoch) == Some(epoch) {
+                    self.commit_transition();
+                }
+            }
+            Ev::TransitionDone { epoch } => {
+                if epoch == self.epoch {
+                    self.complete_transition();
+                }
+            }
+            Ev::PipelineReady { pipeline } => {
+                if let Some(slot) = self.pipelines.iter_mut().find(|s| s.id == pipeline) {
+                    slot.ready_at = self.now;
+                    self.dispatch_all();
+                }
+            }
+            Ev::RateTick => {
+                self.on_rate_tick();
+                if self.outstanding > 0 {
+                    self.events
+                        .schedule(self.now + self.opts.rate_tick, Ev::RateTick);
+                }
+            }
+        }
+    }
+
+    // ---- Batch lifecycle -------------------------------------------
+
+    fn dispatch_all(&mut self) {
+        let Some(cfg) = self.current else { return };
+        for pi in 0..self.pipelines.len() {
+            if self.pending.is_empty() {
+                break;
+            }
+            let slot = &self.pipelines[pi];
+            if slot.batch_key.is_some() || slot.ready_at > self.now {
+                continue;
+            }
+            let id = slot.id;
+            let take = (cfg.batch as usize).min(self.pending.len());
+            let reqs: Vec<Request> = self.pending.drain(..take).collect();
+            let run = BatchRun::start(reqs, &cfg, self.now, self.optimizer.perf());
+            let finish = run.finish_time();
+            let key = self.events.schedule(finish, Ev::BatchDone { pipeline: id });
+            let slot = &mut self.pipelines[pi];
+            slot.daemon.attach(run);
+            slot.batch_key = Some(key);
+        }
+    }
+
+    fn finish_batch(&mut self, pipeline: usize) {
+        let slot = &mut self.pipelines[pipeline];
+        slot.batch_key = None;
+        if let Some(run) = slot.daemon.detach() {
+            for req in run.requests() {
+                self.latency.record(workload::RequestOutcome {
+                    request: *req,
+                    finished: self.now,
+                });
+                self.outstanding -= 1;
+            }
+        }
+    }
+
+    /// Tears down a pipeline's in-flight batch, requeueing its requests at
+    /// the front of the queue (recomputation path).
+    fn requeue_pipeline(&mut self, pipeline: usize) {
+        let slot = &mut self.pipelines[pipeline];
+        if let Some(key) = slot.batch_key.take() {
+            self.events.cancel(key);
+        }
+        if let Some(run) = slot.daemon.detach() {
+            for req in run.requests().iter().rev() {
+                self.pending.push_front(*req);
+            }
+        }
+    }
+
+    // ---- Policy reactions ------------------------------------------
+
+    fn on_preemption_notice(&mut self, id: InstanceId, kill_at: SimTime) {
+        match self.opts.policy {
+            Policy::SpotServe => {
+                let involved = self.assignment.instances().contains(&id);
+                if involved {
+                    self.plan_transition(Some(kill_at));
+                } else {
+                    // A spare is dying: just top the pool back up.
+                    self.replenish_fleet();
+                }
+            }
+            // Reactive baselines do nothing until the instance is gone.
+            _ => {}
+        }
+    }
+
+    fn on_instance_gone(&mut self, id: InstanceId) {
+        let involved = self.assignment.instances().contains(&id);
+        self.assignment.remove_instance(id);
+        if self.assignment.is_empty() {
+            self.context_shape = None;
+        }
+        match self.opts.policy {
+            Policy::SpotServe => {
+                if involved {
+                    // The migration should already have moved off this
+                    // instance; if not (fault case §4.2), re-plan now with
+                    // whatever survived.
+                    if self.transition.is_none() {
+                        self.plan_transition(None);
+                    }
+                } else {
+                    self.replenish_fleet();
+                }
+            }
+            Policy::Reparallelization => {
+                if involved {
+                    self.plan_transition(None);
+                } else {
+                    self.replenish_fleet();
+                }
+            }
+            Policy::Rerouting => {
+                // Drop every pipeline touching this instance (slot
+                // membership is authoritative, not the assignment).
+                let mut touched = false;
+                for pi in 0..self.pipelines.len() {
+                    if self.pipelines[pi].instances.contains(&id) {
+                        touched = true;
+                        self.requeue_pipeline(pi);
+                        let slot_id = self.pipelines[pi].id;
+                        self.assignment.remove_pipeline(slot_id as u32);
+                        self.pipelines[pi].instances.clear();
+                        self.pipelines[pi].ready_at = SimTime::MAX;
+                    }
+                }
+                if touched {
+                    self.pipelines.retain(|s| !s.instances.is_empty());
+                    self.reform_rerouting_pipelines();
+                }
+                self.replenish_fleet();
+            }
+            Policy::OnDemandOnly { .. } => {}
+        }
+    }
+
+    fn on_instance_joined(&mut self, _id: InstanceId) {
+        match self.opts.policy {
+            Policy::SpotServe | Policy::Reparallelization => {
+                if self.transition.is_none() {
+                    if self.current.is_none() {
+                        // Halted: any capacity is worth a transition.
+                        self.plan_transition(None);
+                    } else {
+                        // Joining capacity is an optimization opportunity,
+                        // not an emergency: apply the same hysteresis as a
+                        // rate tick.
+                        self.on_rate_tick_decision();
+                    }
+                }
+            }
+            Policy::Rerouting => self.reform_rerouting_pipelines(),
+            Policy::OnDemandOnly { .. } => {
+                if self.current.is_none() {
+                    self.plan_transition(None);
+                }
+            }
+        }
+    }
+
+    fn on_rate_tick(&mut self) {
+        if self.transition.is_some() || self.now < self.settle_until {
+            return;
+        }
+        match self.opts.policy {
+            Policy::SpotServe | Policy::Reparallelization => self.on_rate_tick_decision(),
+            Policy::Rerouting => {
+                self.reform_rerouting_pipelines();
+                self.replenish_fleet();
+            }
+            Policy::OnDemandOnly { .. } => {}
+        }
+    }
+
+    /// The hysteresis-guarded reconfiguration check shared by rate ticks
+    /// and instance joins.
+    fn on_rate_tick_decision(&mut self) {
+        if self.transition.is_some() || self.now < self.settle_until {
+            return;
+        }
+        let alpha = self.rate_estimate();
+        let n = self.usable().len() as u32;
+        let decision = self.optimizer.decide_with_incumbent(n, alpha, self.current);
+        let next = self.pick_config(decision.now, n);
+        self.manage_fleet(decision.instance_delta);
+        if next != self.current {
+            let worthwhile = match (self.current, next) {
+                (Some(cur), Some(new)) => {
+                    // Batch-only changes are free: always take them.
+                    if cur.mesh_key() == new.mesh_key() {
+                        true
+                    } else {
+                        let perf = self.optimizer.perf();
+                        let backlog = self.pending.len();
+                        let cap = cur.concurrent_requests() as usize;
+                        // Overload: estimated rate exceeds capacity AND a
+                        // real queue has formed (§3.2: reconfigure when
+                        // serving capability is incompatible with the
+                        // workload, not on estimator noise).
+                        let overloaded = perf.throughput(&cur) < alpha && backlog > cap;
+                        // Or a large predicted latency win while calm.
+                        let cur_l = perf.request_latency(&cur, alpha);
+                        let new_l = perf.request_latency(&new, alpha);
+                        let big_win =
+                            backlog <= cap && new_l.as_secs_f64() < cur_l.as_secs_f64() * 0.7;
+                        overloaded || big_win
+                    }
+                }
+                _ => true,
+            };
+            if worthwhile {
+                self.plan_transition(None);
+            }
+        }
+    }
+
+    // ---- Fleet management ------------------------------------------
+
+    /// Algorithm 1 lines 6-10: allocate on positive delta (on-demand and
+    /// spot together when mixing), release on negative (on-demand first).
+    fn manage_fleet(&mut self, delta: i64) {
+        if matches!(self.opts.policy, Policy::OnDemandOnly { .. }) {
+            return;
+        }
+        let in_flight = self.initializing.len() as u32 + self.cloud.pending_spot();
+        if delta > 0 {
+            let want = (delta as u32 + self.opts.spare_instances).saturating_sub(in_flight);
+            if want > 0 {
+                self.cloud.request_spot(self.now, want);
+            }
+            if self.opts.on_demand_mixing {
+                // Algorithm 1 line 8: allocate on-demand alongside spot so
+                // a starved spot market does not stall serving. Cover the
+                // part of the serving shortfall that spot requests are
+                // still queueing for.
+                let unfilled = self.cloud.pending_spot().min(delta as u32);
+                let od_in_flight = self.initializing_on_demand();
+                let od = unfilled.saturating_sub(od_in_flight);
+                if od > 0 {
+                    self.cloud.request_on_demand(self.now, od);
+                }
+            }
+        } else if delta < 0 {
+            let surplus = (-delta) as u32;
+            let excess = surplus.saturating_sub(self.opts.spare_instances);
+            if excess > 0 {
+                self.release_surplus(excess);
+            }
+            self.cloud.cancel_pending_spot(u32::MAX.min(surplus));
+        }
+    }
+
+    /// Tops the fleet back to the initial target (Rerouting / spares).
+    fn replenish_fleet(&mut self) {
+        if matches!(self.opts.policy, Policy::OnDemandOnly { .. }) {
+            return;
+        }
+        let have = self.usable().len() as u32
+            + self.initializing.len() as u32
+            + self.cloud.pending_spot();
+        if have < self.initial_fleet_target {
+            let want = self.initial_fleet_target - have;
+            self.cloud.request_spot(self.now, want);
+        }
+        if self.opts.on_demand_mixing {
+            // Cover only the serving shortfall with on-demand, never the
+            // spare pool (spares are cheap-capacity insurance, §3.2).
+            let unfilled = self
+                .cloud
+                .pending_spot()
+                .saturating_sub(self.opts.spare_instances);
+            let od = unfilled.saturating_sub(self.initializing_on_demand());
+            if od > 0 {
+                self.cloud.request_on_demand(self.now, od);
+            }
+        }
+    }
+
+    /// On-demand instances currently provisioning.
+    fn initializing_on_demand(&self) -> u32 {
+        self.initializing
+            .keys()
+            .filter(|id| {
+                self.cloud
+                    .fleet()
+                    .any(|i| i.id == **id && i.kind == InstanceKind::OnDemand)
+            })
+            .count() as u32
+    }
+
+    /// Releases held on-demand instances that spot capacity can now cover
+    /// (Algorithm 1 line 10: on-demand has release priority). On-demand is
+    /// kept only to bridge a spot shortfall, never as spare capacity.
+    fn rebalance_on_demand(&mut self) {
+        if !self.opts.on_demand_mixing {
+            return;
+        }
+        let needed = self
+            .current
+            .map(|c| c.instances_needed(self.gpus_per_instance()))
+            .unwrap_or(0);
+        let usable = self.usable();
+        let used = self.assignment.instances();
+        let spot_usable = usable
+            .iter()
+            .filter(|id| {
+                self.cloud
+                    .fleet()
+                    .any(|i| i.id == **id && i.kind == InstanceKind::Spot)
+            })
+            .count() as u32;
+        let od_held: Vec<InstanceId> = usable
+            .iter()
+            .copied()
+            .filter(|id| {
+                self.cloud
+                    .fleet()
+                    .any(|i| i.id == *id && i.kind == InstanceKind::OnDemand)
+            })
+            .collect();
+        let shortfall = needed.saturating_sub(spot_usable);
+        let keep = shortfall.min(od_held.len() as u32);
+        // Release idle on-demand first, then any excess.
+        let mut excess: Vec<InstanceId> = od_held
+            .iter()
+            .copied()
+            .filter(|id| !used.contains(id))
+            .chain(od_held.iter().copied().filter(|id| used.contains(id)))
+            .skip(keep as usize)
+            .collect();
+        excess.retain(|id| !used.contains(id));
+        for id in excess {
+            self.ready.remove(&id);
+            self.cloud.release(self.now, id);
+        }
+    }
+
+    /// Releases up to `n` instances not used by the current assignment,
+    /// on-demand first (§3.2: "on-demand instances have higher priority due
+    /// to their costs").
+    fn release_surplus(&mut self, n: u32) {
+        let used = self.assignment.instances();
+        let mut idle: Vec<(bool, InstanceId)> = self
+            .usable()
+            .into_iter()
+            .filter(|id| !used.contains(id))
+            .map(|id| {
+                let od = self
+                    .cloud
+                    .fleet()
+                    .any(|i| i.id == id && i.kind == InstanceKind::OnDemand);
+                (!od, id) // false sorts first: on-demand first
+            })
+            .collect();
+        idle.sort_unstable();
+        for (_, id) in idle.into_iter().take(n as usize) {
+            self.ready.remove(&id);
+            self.cloud.release(self.now, id);
+        }
+    }
+
+    // ---- Transitions (SpotServe / Reparallelization) ----------------
+
+    /// Decides the next configuration and schedules the transition: for
+    /// SpotServe under a deadline, decoding continues until the JIT-arranged
+    /// stop; otherwise the transition commits immediately.
+    fn plan_transition(&mut self, deadline: Option<SimTime>) {
+        if self.transition.is_some() {
+            return;
+        }
+        let alpha = self.rate_estimate();
+        let n = self.usable().len() as u32;
+        let decision = self.optimizer.decide_with_incumbent(n, alpha, self.current);
+        let target = self.pick_config(decision.now, n);
+        self.manage_fleet(decision.instance_delta);
+        if target == self.current && deadline.is_none() {
+            return;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.transition = Some(Transition { epoch, deadline });
+        let commit_at = match (self.opts.policy, deadline) {
+            (Policy::SpotServe, Some(kill_at)) => {
+                // JIT arrangement: estimate migration cost, decode until
+                // just enough grace remains (§4.1).
+                let est = self.estimate_migration(target);
+                preemption_stop_time(self.now, kill_at, est, self.opts.migration_safety_margin)
+            }
+            _ => self.now,
+        };
+        self.events.schedule(commit_at, Ev::TransitionCommit { epoch });
+    }
+
+    /// Rough migration-time estimate for JIT arrangement (recomputed
+    /// exactly at commit time).
+    fn estimate_migration(&self, target: Option<ParallelConfig>) -> SimDuration {
+        let Some(cfg) = target else {
+            return SimDuration::ZERO;
+        };
+        let usable = self.usable();
+        let needed = cfg.instances_needed(self.gpus_per_instance()) as usize;
+        if usable.len() < needed {
+            return SimDuration::ZERO;
+        }
+        let (plan, _) = self.build_plan(cfg, &usable, SimTime::MAX);
+        let tl = evaluate_plan(
+            &plan,
+            self.optimizer.perf().cost_model().net(),
+            &self.scenario.storage,
+        );
+        tl.total
+    }
+
+    /// Builds the migration task + plan toward `cfg` on `instances`,
+    /// dropping cache context when the `deadline` cannot otherwise be met
+    /// (§4.2 fault tolerance). Returns the plan and the device-map outcome.
+    fn build_plan(
+        &self,
+        cfg: ParallelConfig,
+        instances: &[InstanceId],
+        deadline: SimTime,
+    ) -> (MigrationPlan, crate::devicemap::DeviceMapOutcome) {
+        let stateful = !self.opts.ablation.no_interruption_arranger;
+        let cache_bytes: Vec<u64> = self
+            .pipelines
+            .iter()
+            .map(|s| if stateful { s.daemon.cache_bytes_at(self.now) } else { 0 })
+            .collect();
+        let progress: Vec<u32> = self
+            .pipelines
+            .iter()
+            .map(|s| s.daemon.committed_iters_at(self.now))
+            .collect();
+        let old = OldState {
+            config_and_assignment: self
+                .context_shape
+                .map(|c| (c, self.assignment.clone())),
+            cache_bytes_per_pipeline: cache_bytes.clone(),
+            progress_per_pipeline: progress,
+        };
+        let outcome = map_devices(
+            &self.scenario.model,
+            &cfg,
+            instances,
+            self.gpus_per_instance(),
+            &old,
+            !self.opts.ablation.no_device_mapper,
+        );
+        let planner_opts = PlannerOptions {
+            memory_optimized: !self.opts.ablation.no_migration_planner,
+            progressive: !self.opts.ablation.no_migration_planner,
+            ..PlannerOptions::default()
+        };
+        let mut task = MigrationTask {
+            model: self.scenario.model.clone(),
+            old_config: self.context_shape.unwrap_or(cfg),
+            new_config: cfg,
+            old_assignment: self.assignment.clone(),
+            new_assignment: outcome.assignment.clone(),
+            cache_bytes_per_pipeline: cache_bytes,
+            pipeline_inheritance: outcome.inheritance.clone(),
+        };
+        let net = self.optimizer.perf().cost_model().net();
+        let plan = plan_migration(&task, &planner_opts);
+        let tl = evaluate_plan(&plan, net, &self.scenario.storage);
+        if self.now + tl.total > deadline {
+            // Grace too short for the cache: give it up and move weights
+            // only (§4.2).
+            task.cache_bytes_per_pipeline = vec![0; task.cache_bytes_per_pipeline.len()];
+            task.pipeline_inheritance = vec![None; cfg.data as usize];
+            let plan = plan_migration(&task, &planner_opts);
+            let mut outcome = outcome;
+            outcome.inheritance = vec![None; cfg.data as usize];
+            return (plan, outcome);
+        }
+        (plan, outcome)
+    }
+
+    /// Executes the transition decided earlier: freeze engines, migrate or
+    /// restart, schedule completion.
+    fn commit_transition(&mut self) {
+        let Some(tr) = self.transition.as_ref() else { return };
+        let deadline = tr.deadline;
+        // Re-decide with the fleet as of now (it may have changed while
+        // decoding through the grace period).
+        let alpha = self.rate_estimate();
+        let n = self.usable().len() as u32;
+        let decision = self.optimizer.decide_with_incumbent(n, alpha, self.current);
+        let target = self.pick_config(decision.now, n);
+
+        // Batch-size-only change: same mesh, nothing to migrate — adopt
+        // instantly without touching running batches or resident context.
+        if let (Some(cur), Some(cfg)) = (self.current, target) {
+            if cur.mesh_key() == cfg.mesh_key() && cur != cfg {
+                self.current = Some(cfg);
+                self.context_shape = Some(cfg);
+                self.config_changes.push(ConfigChange {
+                    at: self.now,
+                    config: Some(cfg),
+                    pause: SimDuration::ZERO,
+                    migrated_bytes: 0,
+                    reloaded_bytes: 0,
+                });
+                self.transition = None;
+                self.dispatch_all();
+                return;
+            }
+            if cur == cfg && deadline.is_none() {
+                self.transition = None;
+                return;
+            }
+        }
+
+        let Some(cfg) = target else {
+            // Nothing feasible: drop all batches and halt serving; the
+            // context daemons keep the model context resident for reuse.
+            for pi in 0..self.pipelines.len() {
+                self.requeue_pipeline(pi);
+            }
+            self.pipelines.clear();
+            self.current = None;
+            self.config_changes.push(ConfigChange {
+                at: self.now,
+                config: None,
+                pause: SimDuration::ZERO,
+                migrated_bytes: 0,
+                reloaded_bytes: 0,
+            });
+            self.transition = None;
+            return;
+        };
+
+        match self.opts.policy {
+            Policy::SpotServe => {
+                let usable = self.usable();
+                let (plan, outcome) =
+                    self.build_plan(cfg, &usable, deadline.unwrap_or(SimTime::MAX));
+                let net = *self.optimizer.perf().cost_model().net();
+                let tl = evaluate_plan(&plan, &net, &self.scenario.storage);
+                // Stage step for progressive overlap: one stage's share of
+                // a prefill pass.
+                let perf = self.optimizer.perf();
+                let (s_in, _) = perf.sequence_shape();
+                let stage_step = perf
+                    .cost_model()
+                    .prefill_time(&self.scenario.model, cfg.pipeline, cfg.tensor, cfg.batch, s_in)
+                    / cfg.pipeline as u64;
+                let pause = if self.opts.ablation.no_migration_planner {
+                    tl.total
+                } else {
+                    tl.effective_pause(stage_step)
+                };
+
+                // Freeze pipelines, preserving progress where the cache
+                // migrates (stateful recovery) and requeueing the rest.
+                let keep: Vec<bool> = outcome
+                    .inheritance
+                    .iter()
+                    .map(|inh| inh.is_some())
+                    .collect();
+                let mut carried: Vec<Option<(Vec<Request>, u32)>> = vec![None; cfg.data as usize];
+                for pi in 0..self.pipelines.len() {
+                    let inherit_to = outcome
+                        .inheritance
+                        .iter()
+                        .position(|inh| *inh == Some(pi as u32));
+                    let slot = &mut self.pipelines[pi];
+                    if let Some(key) = slot.batch_key.take() {
+                        self.events.cancel(key);
+                    }
+                    let Some(run) = slot.daemon.detach() else { continue };
+                    let committed = run.committed_iters_at(self.now);
+                    let finished = run.finished_at(self.now);
+                    if finished {
+                        for req in run.requests() {
+                            self.latency.record(workload::RequestOutcome {
+                                request: *req,
+                                finished: self.now,
+                            });
+                            self.outstanding -= 1;
+                        }
+                        continue;
+                    }
+                    let worthwhile = recovery_worthwhile(
+                        tl.total,
+                        run.finish_time().saturating_since(run.started()),
+                        run.iter_time(),
+                        committed,
+                    );
+                    match inherit_to {
+                        Some(d_new)
+                            if keep[d_new]
+                                && committed > 0
+                                && worthwhile
+                                && !self.opts.ablation.no_interruption_arranger =>
+                        {
+                            carried[d_new] = Some((run.requests().to_vec(), committed));
+                        }
+                        _ => {
+                            for req in run.requests().iter().rev() {
+                                self.pending.push_front(*req);
+                            }
+                        }
+                    }
+                }
+                self.pipelines.clear();
+                self.adopt_config_with_carry(
+                    cfg,
+                    outcome.assignment,
+                    pause,
+                    tl.network_bytes,
+                    tl.storage_bytes,
+                    carried,
+                );
+            }
+            Policy::Reparallelization | Policy::OnDemandOnly { .. } => {
+                // Cold restart: requeue everything, reload from storage.
+                for pi in 0..self.pipelines.len() {
+                    self.requeue_pipeline(pi);
+                }
+                self.pipelines.clear();
+                let instances = cfg.instances_needed(self.gpus_per_instance());
+                let pause = self.opts.engine_launch
+                    + self
+                        .scenario
+                        .storage
+                        .load_time(self.scenario.model.param_bytes(), instances);
+                let usable = self.usable();
+                let gpus: Vec<cloudsim::GpuRef> = usable
+                    .iter()
+                    .flat_map(|&i| {
+                        (0..self.gpus_per_instance()).map(move |s| cloudsim::GpuRef::new(i, s))
+                    })
+                    .collect();
+                let assignment = DeviceAssignment::contiguous(&cfg, &gpus);
+                self.adopt_config_with_carry(
+                    cfg,
+                    assignment,
+                    pause,
+                    0,
+                    self.scenario.model.param_bytes(),
+                    vec![None; cfg.data as usize],
+                );
+            }
+            Policy::Rerouting => unreachable!("rerouting does not use global transitions"),
+        }
+    }
+
+    fn adopt_config(
+        &mut self,
+        cfg: ParallelConfig,
+        pause: SimDuration,
+        migrated: u64,
+        reloaded: u64,
+    ) {
+        let usable = self.usable();
+        let gpus: Vec<cloudsim::GpuRef> = usable
+            .iter()
+            .flat_map(|&i| (0..self.gpus_per_instance()).map(move |s| cloudsim::GpuRef::new(i, s)))
+            .collect();
+        let assignment = DeviceAssignment::contiguous(&cfg, &gpus);
+        self.adopt_config_with_carry(
+            cfg,
+            assignment,
+            pause,
+            migrated,
+            reloaded,
+            vec![None; cfg.data as usize],
+        );
+        if matches!(self.opts.policy, Policy::Rerouting) {
+            // Track per-pipeline instances for teardown.
+            self.index_rerouting_instances();
+        }
+    }
+
+    fn adopt_config_with_carry(
+        &mut self,
+        cfg: ParallelConfig,
+        assignment: DeviceAssignment,
+        pause: SimDuration,
+        migrated: u64,
+        reloaded: u64,
+        carried: Vec<Option<(Vec<Request>, u32)>>,
+    ) {
+        self.epoch += 1;
+        let resume_at = self.now + pause;
+        self.current = Some(cfg);
+        self.context_shape = Some(cfg);
+        self.assignment = assignment;
+        self.pipelines = (0..cfg.data)
+            .map(|_| {
+                let id = self.next_pipeline_id;
+                self.next_pipeline_id += 1;
+                PipelineSlot {
+                    id,
+                    daemon: ContextDaemon::new(self.scenario.model.kv_bytes_per_token()),
+                    batch_key: None,
+                    instances: Vec::new(),
+                    ready_at: resume_at,
+                }
+            })
+            .collect();
+        // Resume carried batches (stateful recovery).
+        for (d, carry) in carried.into_iter().enumerate() {
+            let Some((mut reqs, committed)) = carry else { continue };
+            // Shrinking capacity (§3.3 footnote 2): the new configuration
+            // holds fewer concurrent requests; discard the excess cache and
+            // requeue those requests for recomputation.
+            if reqs.len() > cfg.batch as usize {
+                for req in reqs.split_off(cfg.batch as usize).into_iter().rev() {
+                    self.pending.push_front(req);
+                }
+            }
+            let run = if committed == 0 {
+                BatchRun::start(reqs, &cfg, resume_at, self.optimizer.perf())
+            } else {
+                BatchRun::resume(reqs, &cfg, resume_at, self.optimizer.perf(), committed)
+            };
+            let finish = run.finish_time();
+            let id = self.pipelines[d].id;
+            let key = self.events.schedule(finish, Ev::BatchDone { pipeline: id });
+            self.pipelines[d].daemon.attach(run);
+            self.pipelines[d].batch_key = Some(key);
+        }
+        self.config_changes.push(ConfigChange {
+            at: resume_at,
+            config: Some(cfg),
+            pause,
+            migrated_bytes: migrated,
+            reloaded_bytes: reloaded,
+        });
+        self.settle_until = resume_at + self.opts.rate_tick;
+        let epoch = self.epoch;
+        self.transition = None;
+        self.events.schedule(resume_at, Ev::TransitionDone { epoch });
+        // Give back what the new configuration does not need.
+        self.rebalance_on_demand();
+        let used = self.assignment.instances().len() as u32;
+        let have = self.usable().len() as u32;
+        if have > used + self.opts.spare_instances {
+            self.release_surplus(have - used - self.opts.spare_instances);
+        }
+    }
+
+    fn complete_transition(&mut self) {
+        self.dispatch_all();
+    }
+
+    // ---- Rerouting specifics -----------------------------------------
+
+    fn index_rerouting_instances(&mut self) {
+        let Some(cfg) = self.current else { return };
+        let mut rekeyed = DeviceAssignment::new();
+        for (d, slot) in self.pipelines.iter_mut().enumerate() {
+            let mut insts: Vec<InstanceId> = Vec::new();
+            for pos in cfg.positions().filter(|p| p.pipeline == d as u32) {
+                if let Some(gpu) = self.assignment.gpu_at(pos) {
+                    insts.push(gpu.instance);
+                    // Re-key into the slot-id namespace (see reform).
+                    rekeyed.insert(
+                        parallelism::MeshPosition::new(slot.id as u32, pos.stage, pos.shard),
+                        gpu,
+                    );
+                }
+            }
+            insts.sort_unstable();
+            insts.dedup();
+            slot.instances = insts;
+        }
+        self.assignment = rekeyed;
+    }
+
+    /// Forms new Rerouting pipelines from idle ready instances, cold.
+    fn reform_rerouting_pipelines(&mut self) {
+        let Some((p, m, b)) = self.rerouting_shape else { return };
+        let shape = ParallelConfig::new(1, p, m, b);
+        let per = shape.instances_needed(self.gpus_per_instance());
+        loop {
+            let used: BTreeSet<InstanceId> = self
+                .pipelines
+                .iter()
+                .flat_map(|s| s.instances.iter().copied())
+                .collect();
+            let idle: Vec<InstanceId> = self
+                .usable()
+                .into_iter()
+                .filter(|id| !used.contains(id))
+                .collect();
+            if (idle.len() as u32) < per {
+                break;
+            }
+            let chosen: Vec<InstanceId> = idle.into_iter().take(per as usize).collect();
+            // Cold pipeline: engine relaunch + weight load for one replica.
+            let ready_at = self.now
+                + self.opts.engine_launch
+                + self
+                    .scenario
+                    .storage
+                    .load_time(self.scenario.model.param_bytes(), per);
+            let gpus: Vec<cloudsim::GpuRef> = chosen
+                .iter()
+                .flat_map(|&i| {
+                    (0..self.gpus_per_instance()).map(move |s| cloudsim::GpuRef::new(i, s))
+                })
+                .collect();
+            let id = self.next_pipeline_id;
+            self.next_pipeline_id += 1;
+            // Extend the assignment with this pipeline's positions, using
+            // the slot id as the pipeline namespace so reformations never
+            // clobber a surviving pipeline's bindings.
+            for (pos, gpu) in shape.positions().zip(&gpus) {
+                let pos = parallelism::MeshPosition::new(id as u32, pos.stage, pos.shard);
+                self.assignment.insert(pos, *gpu);
+            }
+            self.pipelines.push(PipelineSlot {
+                id,
+                daemon: ContextDaemon::new(self.scenario.model.kv_bytes_per_token()),
+                batch_key: None,
+                instances: chosen,
+                ready_at,
+            });
+            self.events.schedule(ready_at, Ev::PipelineReady { pipeline: id });
+            // Track the effective configuration for reporting.
+            let d_total = self.pipelines.len() as u32;
+            self.current = Some(ParallelConfig::new(d_total, p, m, b));
+            self.config_changes.push(ConfigChange {
+                at: ready_at,
+                config: self.current,
+                pause: ready_at.saturating_since(self.now),
+                migrated_bytes: 0,
+                reloaded_bytes: self.scenario.model.param_bytes(),
+            });
+        }
+        if self.pipelines.is_empty() {
+            self.current = None;
+        } else if let Some((p, m, b)) = self.rerouting_shape {
+            self.current = Some(ParallelConfig::new(self.pipelines.len() as u32, p, m, b));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::AvailabilityTrace;
+
+    fn small_scenario(trace: AvailabilityTrace, rate: f64, seed: u64) -> Scenario {
+        let mut s = Scenario::paper_stable(ModelSpec::opt_6_7b(), trace, rate, seed);
+        // Shorten: keep the first 120 s of arrivals.
+        s.requests.retain(|r| r.arrival < SimTime::from_secs(120));
+        s
+    }
+
+    #[test]
+    fn serves_everything_on_a_stable_fleet() {
+        let scenario = small_scenario(AvailabilityTrace::constant(6), 1.0, 7);
+        let total = scenario.requests.len();
+        let mut report = ServingSystem::new(SystemOptions::spotserve(), scenario).run();
+        assert_eq!(report.unfinished, 0);
+        assert_eq!(report.latency.percentiles().count, total);
+        assert!(report.cost_usd > 0.0);
+        assert_eq!(report.preemptions, 0);
+    }
+
+    #[test]
+    fn all_policies_complete_without_preemptions() {
+        for opts in [
+            SystemOptions::spotserve(),
+            SystemOptions::reparallelization(),
+            SystemOptions::rerouting(),
+            SystemOptions::on_demand_only(6),
+        ] {
+            let scenario = small_scenario(AvailabilityTrace::constant(6), 0.8, 11);
+            let report = ServingSystem::new(opts.clone(), scenario).run();
+            assert_eq!(
+                report.unfinished, 0,
+                "{:?} left requests unfinished",
+                opts.policy
+            );
+        }
+    }
+
+    #[test]
+    fn preemption_is_survived_by_all_policies() {
+        let trace = AvailabilityTrace::from_steps(vec![
+            (SimTime::ZERO, 6),
+            (SimTime::from_secs(60), 5),
+        ]);
+        for opts in [
+            SystemOptions::spotserve(),
+            SystemOptions::reparallelization(),
+            SystemOptions::rerouting(),
+        ] {
+            let scenario = small_scenario(trace.clone(), 1.0, 13);
+            let report = ServingSystem::new(opts.clone(), scenario).run();
+            assert_eq!(report.unfinished, 0, "{:?}", opts.policy);
+            assert!(report.preemptions >= 1, "{:?}", opts.policy);
+        }
+    }
+
+    #[test]
+    fn spotserve_beats_reparallelization_under_churn() {
+        let trace = AvailabilityTrace::from_steps(vec![
+            (SimTime::ZERO, 6),
+            (SimTime::from_secs(40), 5),
+            (SimTime::from_secs(80), 4),
+        ]);
+        let mut p99 = Vec::new();
+        for opts in [SystemOptions::spotserve(), SystemOptions::reparallelization()] {
+            let scenario = small_scenario(trace.clone(), 1.2, 17);
+            let mut report = ServingSystem::new(opts, scenario).run();
+            assert_eq!(report.unfinished, 0);
+            p99.push(report.latency.percentiles().p99);
+        }
+        assert!(
+            p99[0] < p99[1],
+            "SpotServe P99 {} must beat Reparallelization {}",
+            p99[0],
+            p99[1]
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let scenario = small_scenario(AvailabilityTrace::paper_bs(), 1.0, 23);
+            let mut r = ServingSystem::new(SystemOptions::spotserve(), scenario).run();
+            (
+                r.latency.percentiles().mean,
+                r.cost_usd,
+                r.config_changes.len(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn on_demand_only_never_sees_preemption() {
+        let scenario = small_scenario(AvailabilityTrace::paper_bs(), 1.0, 29);
+        let report = ServingSystem::new(SystemOptions::on_demand_only(5), scenario).run();
+        assert_eq!(report.preemptions, 0);
+        assert_eq!(report.unfinished, 0);
+    }
+
+    #[test]
+    fn config_history_is_recorded() {
+        let trace = AvailabilityTrace::from_steps(vec![
+            (SimTime::ZERO, 6),
+            (SimTime::from_secs(50), 4),
+        ]);
+        let scenario = small_scenario(trace, 1.0, 31);
+        let report = ServingSystem::new(SystemOptions::spotserve(), scenario).run();
+        assert!(!report.config_changes.is_empty());
+        assert!(report.config_changes[0].config.is_some());
+    }
+}

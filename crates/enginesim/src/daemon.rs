@@ -1,0 +1,184 @@
+//! The context daemon: per-pipeline context accounting that survives
+//! engine interruptions.
+//!
+//! In the real system the daemon is a separate process per GPU holding the
+//! CUDA allocations (model context + cache context) so that an engine
+//! restart does not lose them (§3.1, §5). In the simulator the daemon
+//! tracks, per pipeline, which batch's KV cache is resident and how many
+//! tokens of it are committed — the inputs the device mapper and migration
+//! planner need.
+
+use parallelism::ParallelConfig;
+use simkit::SimTime;
+
+use crate::batch::BatchRun;
+
+/// Context inventory for one inference pipeline.
+///
+/// # Example
+///
+/// ```
+/// use enginesim::{BatchRun, ContextDaemon};
+/// use parallelism::{ParallelConfig, PerfModel};
+/// use simkit::SimTime;
+/// use workload::{Request, RequestId};
+///
+/// let model = llmsim::ModelSpec::opt_6_7b();
+/// let perf = PerfModel::paper_defaults(model.clone());
+/// let cfg = ParallelConfig::new(1, 1, 4, 8);
+/// let mut daemon = ContextDaemon::new(model.kv_bytes_per_token());
+/// let run = BatchRun::start(
+///     vec![Request { id: RequestId(0), arrival: SimTime::ZERO, s_in: 512, s_out: 128 }],
+///     &cfg, SimTime::ZERO, &perf,
+/// );
+/// daemon.attach(run);
+/// assert!(daemon.cache_bytes_at(SimTime::ZERO) > 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ContextDaemon {
+    kv_bytes_per_token: u64,
+    batch: Option<BatchRun>,
+}
+
+impl ContextDaemon {
+    /// Creates a daemon for a model with the given whole-model KV bytes per
+    /// token.
+    pub fn new(kv_bytes_per_token: u64) -> Self {
+        ContextDaemon {
+            kv_bytes_per_token,
+            batch: None,
+        }
+    }
+
+    /// Registers the batch whose cache this pipeline now holds.
+    pub fn attach(&mut self, batch: BatchRun) {
+        self.batch = Some(batch);
+    }
+
+    /// Drops the cache context (batch finished, or cache given up under
+    /// fault handling §4.2).
+    pub fn detach(&mut self) -> Option<BatchRun> {
+        self.batch.take()
+    }
+
+    /// The resident batch, if any.
+    pub fn batch(&self) -> Option<&BatchRun> {
+        self.batch.as_ref()
+    }
+
+    /// Committed KV-cache bytes at `t` (0 when idle).
+    pub fn cache_bytes_at(&self, t: SimTime) -> u64 {
+        self.batch
+            .as_ref()
+            .map(|b| b.cache_bytes_at(t, self.kv_bytes_per_token))
+            .unwrap_or(0)
+    }
+
+    /// Output tokens committed at `t` (0 when idle).
+    pub fn committed_iters_at(&self, t: SimTime) -> u32 {
+        self.batch
+            .as_ref()
+            .map(|b| b.committed_iters_at(t))
+            .unwrap_or(0)
+    }
+
+    /// Re-registers the resident batch as resumed at `now` from its current
+    /// progress under a (possibly different) configuration — the mechanics
+    /// of stateful inference recovery. Returns the committed token count
+    /// carried over, or `None` if idle or the batch already finished.
+    pub fn rebase(
+        &mut self,
+        now: SimTime,
+        cfg: &ParallelConfig,
+        perf: &parallelism::PerfModel,
+    ) -> Option<u32> {
+        let batch = self.batch.take()?;
+        let committed = batch.committed_iters_at(now);
+        if committed >= batch.total_iters() {
+            // Finished: nothing to carry.
+            self.batch = Some(batch);
+            return None;
+        }
+        let reqs = batch.requests().to_vec();
+        let resumed = if committed == 0 {
+            BatchRun::start(reqs, cfg, now, perf)
+        } else {
+            BatchRun::resume(reqs, cfg, now, perf, committed)
+        };
+        self.batch = Some(resumed);
+        Some(committed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsim::ModelSpec;
+    use parallelism::PerfModel;
+    use simkit::SimDuration;
+    use workload::{Request, RequestId};
+
+    fn setup() -> (ContextDaemon, BatchRun, PerfModel, ParallelConfig) {
+        let model = ModelSpec::opt_6_7b();
+        let perf = PerfModel::paper_defaults(model.clone());
+        let cfg = ParallelConfig::new(1, 1, 4, 8);
+        let reqs: Vec<Request> = (0..4)
+            .map(|i| Request {
+                id: RequestId(i),
+                arrival: SimTime::ZERO,
+                s_in: 512,
+                s_out: 128,
+            })
+            .collect();
+        let run = BatchRun::start(reqs, &cfg, SimTime::ZERO, &perf);
+        (ContextDaemon::new(model.kv_bytes_per_token()), run, perf, cfg)
+    }
+
+    #[test]
+    fn idle_daemon_reports_zero() {
+        let (daemon, ..) = setup();
+        assert_eq!(daemon.cache_bytes_at(SimTime::from_secs(10)), 0);
+        assert_eq!(daemon.committed_iters_at(SimTime::from_secs(10)), 0);
+    }
+
+    #[test]
+    fn attach_then_detach_round_trips() {
+        let (mut daemon, run, ..) = setup();
+        daemon.attach(run.clone());
+        assert_eq!(daemon.batch(), Some(&run));
+        assert_eq!(daemon.detach(), Some(run));
+        assert_eq!(daemon.batch(), None);
+    }
+
+    #[test]
+    fn rebase_preserves_progress() {
+        let (mut daemon, run, perf, _) = setup();
+        let halfway = run.time_of_iter(64).unwrap() + SimDuration::from_micros(1);
+        daemon.attach(run);
+        // Resume under a different configuration (e.g. after migration).
+        let new_cfg = ParallelConfig::new(1, 2, 2, 8);
+        let carried = daemon.rebase(halfway, &new_cfg, &perf);
+        assert_eq!(carried, Some(64));
+        let b = daemon.batch().unwrap();
+        assert_eq!(b.resumed_from(), 64);
+        assert_eq!(b.committed_iters_at(halfway), 64);
+        assert!(b.finish_time() > halfway);
+    }
+
+    #[test]
+    fn rebase_before_any_token_restarts() {
+        let (mut daemon, run, perf, cfg) = setup();
+        daemon.attach(run);
+        let carried = daemon.rebase(SimTime::from_micros(10), &cfg, &perf);
+        assert_eq!(carried, Some(0));
+        assert_eq!(daemon.batch().unwrap().resumed_from(), 0);
+    }
+
+    #[test]
+    fn rebase_finished_batch_is_none() {
+        let (mut daemon, run, perf, cfg) = setup();
+        let end = run.finish_time();
+        daemon.attach(run);
+        assert_eq!(daemon.rebase(end, &cfg, &perf), None);
+    }
+}

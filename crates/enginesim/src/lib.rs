@@ -1,0 +1,36 @@
+//! Discrete-event inference engine: batch execution, token-level progress,
+//! context-daemon cache accounting, and the just-in-time interruption
+//! arranger.
+//!
+//! The paper's engine is FasterTransformer extended with a *context daemon*
+//! (owns model + cache tensors, survives engine restarts) and an
+//! *interruption arranger* (decides how many decoding iterations to run
+//! inside a grace period, §4.1). Here the engine is simulated at token
+//! granularity: a [`BatchRun`] knows exactly how many tokens are committed
+//! at any instant, which is what makes stateful recovery — resuming an
+//! interrupted request from its cached tokens instead of recomputing — an
+//! executable mechanic rather than bookkeeping fiction.
+//!
+//! # Example
+//!
+//! ```
+//! use enginesim::BatchRun;
+//! use parallelism::{ParallelConfig, PerfModel};
+//! use simkit::SimTime;
+//! use workload::{Request, RequestId};
+//!
+//! let perf = PerfModel::paper_defaults(llmsim::ModelSpec::opt_6_7b());
+//! let cfg = ParallelConfig::new(1, 1, 4, 8);
+//! let reqs = vec![Request { id: RequestId(0), arrival: SimTime::ZERO, s_in: 512, s_out: 128 }];
+//! let run = BatchRun::start(reqs, &cfg, SimTime::ZERO, &perf);
+//! assert_eq!(run.committed_iters_at(SimTime::ZERO), 0);
+//! assert_eq!(run.committed_iters_at(run.finish_time()), 128);
+//! ```
+
+pub mod arranger;
+pub mod batch;
+pub mod daemon;
+
+pub use arranger::{acquisition_defer_until, preemption_stop_time, recovery_worthwhile};
+pub use batch::BatchRun;
+pub use daemon::ContextDaemon;

@@ -1,0 +1,120 @@
+//! Factorial-time exhaustive assignment solver.
+//!
+//! Used as a correctness oracle in tests and benchmarks. Do not call on
+//! matrices larger than ~9 on a side.
+
+use crate::hungarian::Assignment;
+use crate::matrix::WeightMatrix;
+
+/// Finds the maximum-weight assignment by trying every injection of the
+/// smaller side into the larger.
+///
+/// # Example
+///
+/// ```
+/// use kmatch::{exhaustive, WeightMatrix};
+/// let w = WeightMatrix::from_rows(&[vec![2, 1], vec![1, 3]]);
+/// assert_eq!(exhaustive::best_assignment(&w).total_weight, 5);
+/// ```
+pub fn best_assignment(weights: &WeightMatrix) -> Assignment {
+    if weights.rows() > weights.cols() {
+        let t = best_assignment(&weights.transposed());
+        let pairs: Vec<(usize, usize)> = t.pairs().map(|(c, r)| (r, c)).collect();
+        return assignment_from_pairs(weights, &pairs);
+    }
+    let n = weights.rows();
+    let m = weights.cols();
+    let mut cols: Vec<usize> = (0..m).collect();
+    let mut best: Option<(i64, Vec<usize>)> = None;
+    // Iterate over all m!/(m-n)! injections via permutations of columns,
+    // considering only the first n entries.
+    permute(&mut cols, 0, &mut |perm: &[usize]| {
+        let total: i64 = (0..n).map(|r| weights.get(r, perm[r])).sum();
+        if best.as_ref().map(|(b, _)| total > *b).unwrap_or(true) {
+            best = Some((total, perm[..n].to_vec()));
+        }
+    });
+    let (_, cols) = best.expect("non-empty matrix");
+    let pairs: Vec<(usize, usize)> = cols.iter().copied().enumerate().collect();
+    assignment_from_pairs(weights, &pairs)
+}
+
+fn assignment_from_pairs(weights: &WeightMatrix, pairs: &[(usize, usize)]) -> Assignment {
+    let mut builder = AssignmentBuilder::new(weights.rows(), weights.cols());
+    for &(r, c) in pairs {
+        builder.push(r, c, weights.get(r, c));
+    }
+    builder.finish()
+}
+
+struct AssignmentBuilder {
+    row_to_col: Vec<Option<usize>>,
+    col_to_row: Vec<Option<usize>>,
+    total: i64,
+}
+
+impl AssignmentBuilder {
+    fn new(rows: usize, cols: usize) -> Self {
+        AssignmentBuilder {
+            row_to_col: vec![None; rows],
+            col_to_row: vec![None; cols],
+            total: 0,
+        }
+    }
+
+    fn push(&mut self, r: usize, c: usize, w: i64) {
+        assert!(self.row_to_col[r].is_none() && self.col_to_row[c].is_none());
+        self.row_to_col[r] = Some(c);
+        self.col_to_row[c] = Some(r);
+        self.total += w;
+    }
+
+    fn finish(self) -> Assignment {
+        Assignment {
+            row_to_col: self.row_to_col,
+            col_to_row: self.col_to_row,
+            total_weight: self.total,
+        }
+    }
+}
+
+fn permute(xs: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == xs.len() {
+        visit(xs);
+        return;
+    }
+    for i in k..xs.len() {
+        xs.swap(k, i);
+        permute(xs, k + 1, visit);
+        xs.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cases() {
+        let w = WeightMatrix::from_rows(&[vec![5]]);
+        assert_eq!(best_assignment(&w).total_weight, 5);
+    }
+
+    #[test]
+    fn rectangular_both_ways() {
+        let wide = WeightMatrix::from_rows(&[vec![1, 7, 3]]);
+        assert_eq!(best_assignment(&wide).total_weight, 7);
+        let tall = wide.transposed();
+        assert_eq!(best_assignment(&tall).total_weight, 7);
+    }
+
+    #[test]
+    fn three_by_three() {
+        let w = WeightMatrix::from_rows(&[
+            vec![1, 2, 5],
+            vec![8, 2, 1],
+            vec![1, 4, 1],
+        ]);
+        assert_eq!(best_assignment(&w).total_weight, 17);
+    }
+}

@@ -1,0 +1,307 @@
+//! The O(n³) Hungarian algorithm (shortest-augmenting-path formulation).
+
+use crate::matrix::WeightMatrix;
+
+/// The result of solving an assignment problem.
+///
+/// Every row (when `rows <= cols`) or every column (when `cols < rows`) of
+/// the weight matrix is matched; vertices on the larger side may stay
+/// unmatched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    pub(crate) row_to_col: Vec<Option<usize>>,
+    pub(crate) col_to_row: Vec<Option<usize>>,
+    /// Sum of weights over matched pairs.
+    pub total_weight: i64,
+}
+
+impl Assignment {
+    /// The column matched to `row`, if any.
+    pub fn col_of_row(&self, row: usize) -> Option<usize> {
+        self.row_to_col.get(row).copied().flatten()
+    }
+
+    /// The row matched to `col`, if any.
+    pub fn row_of_col(&self, col: usize) -> Option<usize> {
+        self.col_to_row.get(col).copied().flatten()
+    }
+
+    /// All matched `(row, col)` pairs in row order.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.row_to_col
+            .iter()
+            .enumerate()
+            .filter_map(|(r, c)| c.map(|c| (r, c)))
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.row_to_col.iter().flatten().count()
+    }
+
+    /// Whether nothing is matched (never true for valid inputs).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Finds a maximum-weight assignment matching every vertex of the smaller
+/// side of `weights`.
+///
+/// Runs in O(`n²·m`) time for an `n × m` matrix (`n ≤ m` after an internal
+/// transpose), the classic Kuhn–Munkres bound the paper cites for its device
+/// mapper (§3.3).
+///
+/// Note this maximizes the weight of a matching that *saturates the smaller
+/// side* — exactly the paper's setting, where every mesh position must
+/// receive a device (or every device a position when positions are scarce).
+///
+/// # Example
+///
+/// ```
+/// use kmatch::{max_weight_assignment, WeightMatrix};
+/// let w = WeightMatrix::from_rows(&[
+///     vec![7, 5, 11],
+///     vec![5, 4, 1],
+/// ]);
+/// let a = max_weight_assignment(&w);
+/// assert_eq!(a.total_weight, 11 + 5);
+/// ```
+pub fn max_weight_assignment(weights: &WeightMatrix) -> Assignment {
+    if weights.rows() > weights.cols() {
+        // Solve the transposed problem and flip the mapping back.
+        let t = max_weight_assignment(&weights.transposed());
+        let mut row_to_col = vec![None; weights.rows()];
+        let mut col_to_row = vec![None; weights.cols()];
+        for (c, r) in t.pairs() {
+            row_to_col[r] = Some(c);
+            col_to_row[c] = Some(r);
+        }
+        return Assignment {
+            row_to_col,
+            col_to_row,
+            total_weight: t.total_weight,
+        };
+    }
+
+    let n = weights.rows();
+    let m = weights.cols();
+    const INF: i64 = i64::MAX / 4;
+
+    // Minimize cost = -weight. 1-indexed potentials as in the classic
+    // formulation: u over rows, v over columns, p[j] = row matched to j.
+    let cost = |i: usize, j: usize| -> i64 { -weights.get(i - 1, j - 1) };
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; m + 1];
+    let mut p = vec![0usize; m + 1];
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0, j) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Unwind the augmenting path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![None; n];
+    let mut col_to_row = vec![None; m];
+    let mut total = 0i64;
+    for j in 1..=m {
+        if p[j] != 0 {
+            row_to_col[p[j] - 1] = Some(j - 1);
+            col_to_row[j - 1] = Some(p[j] - 1);
+            total += weights.get(p[j] - 1, j - 1);
+        }
+    }
+    Assignment {
+        row_to_col,
+        col_to_row,
+        total_weight: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive;
+
+    #[test]
+    fn one_by_one() {
+        let a = max_weight_assignment(&WeightMatrix::from_rows(&[vec![-3]]));
+        assert_eq!(a.total_weight, -3);
+        assert_eq!(a.col_of_row(0), Some(0));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn square_known_answer() {
+        // Classic example: optimal is 5 + 8 + 4 = anti-diagonal-ish.
+        let w = WeightMatrix::from_rows(&[
+            vec![1, 2, 5],
+            vec![8, 2, 1],
+            vec![1, 4, 1],
+        ]);
+        let a = max_weight_assignment(&w);
+        assert_eq!(a.total_weight, 5 + 8 + 4);
+        assert_eq!(a.col_of_row(0), Some(2));
+        assert_eq!(a.col_of_row(1), Some(0));
+        assert_eq!(a.col_of_row(2), Some(1));
+    }
+
+    #[test]
+    fn wide_matrix_leaves_columns_unmatched() {
+        let w = WeightMatrix::from_rows(&[vec![1, 9, 2, 3]]);
+        let a = max_weight_assignment(&w);
+        assert_eq!(a.total_weight, 9);
+        assert_eq!(a.col_of_row(0), Some(1));
+        assert_eq!(a.row_of_col(0), None);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn tall_matrix_leaves_rows_unmatched() {
+        let w = WeightMatrix::from_rows(&[vec![1], vec![9], vec![2]]);
+        let a = max_weight_assignment(&w);
+        assert_eq!(a.total_weight, 9);
+        assert_eq!(a.row_of_col(0), Some(1));
+        assert_eq!(a.col_of_row(0), None);
+        assert_eq!(a.col_of_row(2), None);
+    }
+
+    #[test]
+    fn negative_weights_still_perfect_on_small_side() {
+        let w = WeightMatrix::from_rows(&[vec![-5, -1], vec![-2, -7]]);
+        let a = max_weight_assignment(&w);
+        // Must match both rows; best total is -1 + -2 = -3.
+        assert_eq!(a.total_weight, -3);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn matches_exhaustive_on_fixed_cases() {
+        let cases = [
+            WeightMatrix::from_rows(&[
+                vec![4, 1, 3],
+                vec![2, 0, 5],
+                vec![3, 2, 2],
+            ]),
+            WeightMatrix::from_rows(&[
+                vec![0, 0, 0, 0],
+                vec![0, 1, 0, 0],
+                vec![0, 0, 0, 2],
+            ]),
+            WeightMatrix::from_fn(5, 5, |r, c| ((r * 31 + c * 17) % 13) as i64 - 6),
+        ];
+        for w in &cases {
+            let fast = max_weight_assignment(w);
+            let slow = exhaustive::best_assignment(w);
+            assert_eq!(fast.total_weight, slow.total_weight, "matrix:\n{w}");
+        }
+    }
+
+    #[test]
+    fn duplicate_weights_are_fine() {
+        let w = WeightMatrix::from_fn(6, 6, |_, _| 7);
+        let a = max_weight_assignment(&w);
+        assert_eq!(a.total_weight, 42);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn large_identity_prefers_diagonal() {
+        let n = 64;
+        let w = WeightMatrix::from_fn(n, n, |r, c| if r == c { 1000 } else { 1 });
+        let a = max_weight_assignment(&w);
+        assert_eq!(a.total_weight, 1000 * n as i64);
+        for r in 0..n {
+            assert_eq!(a.col_of_row(r), Some(r));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::exhaustive;
+    use proptest::prelude::*;
+
+    fn arb_matrix(max_dim: usize) -> impl Strategy<Value = WeightMatrix> {
+        (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+            proptest::collection::vec(-1000i64..1000, r * c).prop_map(move |data| {
+                WeightMatrix::from_fn(r, c, |i, j| data[i * c + j])
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn agrees_with_exhaustive_oracle(w in arb_matrix(6)) {
+            let fast = max_weight_assignment(&w);
+            let slow = exhaustive::best_assignment(&w);
+            prop_assert_eq!(fast.total_weight, slow.total_weight);
+        }
+
+        #[test]
+        fn assignment_is_valid_matching(w in arb_matrix(8)) {
+            let a = max_weight_assignment(&w);
+            // Smaller side fully matched.
+            prop_assert_eq!(a.len(), w.rows().min(w.cols()));
+            // Injective both ways.
+            let mut cols: Vec<usize> = a.pairs().map(|(_, c)| c).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            prop_assert_eq!(cols.len(), a.len());
+            // total matches the sum over pairs.
+            let sum: i64 = a.pairs().map(|(r, c)| w.get(r, c)).sum();
+            prop_assert_eq!(sum, a.total_weight);
+        }
+
+        #[test]
+        fn invariant_under_transpose(w in arb_matrix(6)) {
+            let a = max_weight_assignment(&w);
+            let b = max_weight_assignment(&w.transposed());
+            prop_assert_eq!(a.total_weight, b.total_weight);
+        }
+    }
+}

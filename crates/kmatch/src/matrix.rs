@@ -1,0 +1,162 @@
+//! Dense weight matrices for assignment problems.
+
+use std::fmt;
+
+/// A dense `rows × cols` matrix of edge weights.
+///
+/// Row `u` and column `v` index the two vertex sets of the bipartite graph;
+/// `get(u, v)` is the benefit of assigning `u` to `v`. Weights may be
+/// negative (the solver maximizes a perfect matching over the smaller side
+/// regardless).
+///
+/// # Example
+///
+/// ```
+/// use kmatch::WeightMatrix;
+/// let mut w = WeightMatrix::zeros(2, 3);
+/// w.set(1, 2, 42);
+/// assert_eq!(w.get(1, 2), 42);
+/// assert_eq!(w.get(0, 0), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl WeightMatrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "empty weight matrix");
+        WeightMatrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for each cell.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> i64) -> Self {
+        let mut m = WeightMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have uneven lengths.
+    pub fn from_rows(rows: &[Vec<i64>]) -> Self {
+        assert!(!rows.is_empty(), "no rows");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        let mut m = WeightMatrix::zeros(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &w) in row.iter().enumerate() {
+                m.set(r, c, w);
+            }
+        }
+        m
+    }
+
+    /// Number of rows (left vertices).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (right vertices).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The weight of edge `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> i64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the weight of edge `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, w: i64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = w;
+    }
+
+    /// The transposed matrix.
+    pub fn transposed(&self) -> WeightMatrix {
+        WeightMatrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+}
+
+impl fmt::Display for WeightMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>6}", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = WeightMatrix::from_fn(3, 2, |r, c| (r * 10 + c) as i64);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(2, 1), 21);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = WeightMatrix::from_fn(2, 4, |r, c| (r * 7 + c * 3) as i64);
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed().get(3, 1), m.get(1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        WeightMatrix::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        WeightMatrix::from_rows(&[vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn display_has_all_cells() {
+        let m = WeightMatrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+        let s = format!("{m}");
+        for x in ["1", "2", "3", "4"] {
+            assert!(s.contains(x));
+        }
+    }
+}

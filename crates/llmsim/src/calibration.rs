@@ -1,0 +1,127 @@
+//! Calibration of the cost model against the paper's Table 1.
+//!
+//! The paper's Table 1 reports single-request end-to-end latencies
+//! (`S_in = 512`, `S_out = 128`, `B = 1`) on the minimal parallel
+//! configuration of each model. We fit one multiplicative scale per model
+//! so our analytical model reproduces those anchors exactly; every other
+//! quantity (batching behaviour, configuration ordering, communication
+//! penalties) then follows from the model's structure.
+
+use simkit::SimDuration;
+
+use crate::costmodel::CostModel;
+use crate::spec::ModelSpec;
+
+/// Table 1 anchor: `(model name, (P, M), l_exe seconds at B=1)`.
+pub const TABLE1_ANCHORS: [(&str, (u32, u32), f64); 3] = [
+    ("OPT-6.7B", (1, 4), 5.447),
+    ("GPT-20B", (3, 4), 14.373),
+    ("LLaMA-30B", (2, 8), 17.540),
+];
+
+/// Input/output lengths used throughout the paper's evaluation (§6.1).
+pub const PAPER_S_IN: u32 = 512;
+/// Output length used throughout the paper's evaluation (§6.1).
+pub const PAPER_S_OUT: u32 = 128;
+
+/// The fitted calibration scale for `model`, 1.0 for unknown models.
+///
+/// Scales are fitted once (see `tests::fitted_scales_are_stable`) and baked
+/// in so all consumers agree.
+pub fn calibration_scale(model: &ModelSpec) -> f64 {
+    match model.name {
+        "OPT-6.7B" => OPT_SCALE,
+        "GPT-20B" => GPT_SCALE,
+        "LLaMA-30B" => LLAMA_SCALE,
+        _ => 1.0,
+    }
+}
+
+// Fitted so `exec_latency` matches TABLE1_ANCHORS on the T4 cluster.
+// See `fit_scale` below for the procedure.
+const OPT_SCALE: f64 = 0.631_33;
+const GPT_SCALE: f64 = 0.711_37;
+const LLAMA_SCALE: f64 = 0.741_08;
+
+/// A [`CostModel`] for the paper's T4 cluster, calibrated for `model`.
+pub fn calibrated_cost_model(model: &ModelSpec) -> CostModel {
+    CostModel::t4_cluster().with_scale(calibration_scale(model))
+}
+
+/// The Table 1 anchor latency for `model`, if it is one of the paper's
+/// models.
+pub fn table1_latency(model: &ModelSpec) -> Option<SimDuration> {
+    TABLE1_ANCHORS
+        .iter()
+        .find(|(name, _, _)| *name == model.name)
+        .map(|&(_, _, secs)| SimDuration::from_secs_f64(secs))
+}
+
+/// Computes the scale that would make the uncalibrated model hit the
+/// Table 1 anchor for `model`. Used to (re)fit the baked-in constants
+/// whenever the underlying cost model changes.
+pub fn fit_scale(model: &ModelSpec) -> Option<f64> {
+    let &(_, (p, m), target) = TABLE1_ANCHORS
+        .iter()
+        .find(|(name, _, _)| *name == model.name)?;
+    let raw = CostModel::t4_cluster()
+        .exec_latency(model, p, m, 1, PAPER_S_IN, PAPER_S_OUT)
+        .as_secs_f64();
+    Some(target / raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_models_hit_table1_anchors() {
+        for (name, (p, m), target) in TABLE1_ANCHORS {
+            let model = ModelSpec::paper_models()
+                .into_iter()
+                .find(|ms| ms.name == name)
+                .expect("anchor model exists");
+            let cost = calibrated_cost_model(&model);
+            let got = cost
+                .exec_latency(&model, p, m, 1, PAPER_S_IN, PAPER_S_OUT)
+                .as_secs_f64();
+            let rel = (got - target).abs() / target;
+            assert!(
+                rel < 0.02,
+                "{name}: calibrated latency {got:.3}s vs Table 1 {target}s"
+            );
+        }
+    }
+
+    #[test]
+    fn fitted_scales_are_stable() {
+        // If the cost model changes, this test prints the new constants to
+        // bake in.
+        for model in ModelSpec::paper_models() {
+            let fresh = fit_scale(&model).expect("paper model");
+            let baked = calibration_scale(&model);
+            assert!(
+                (fresh - baked).abs() / baked < 0.02,
+                "{}: refit scale to {fresh:.5} (baked {baked:.5})",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn scales_are_moderate() {
+        // A calibration factor far from 1 would mean the structural model is
+        // wrong, not just offset.
+        for model in ModelSpec::paper_models() {
+            let s = calibration_scale(&model);
+            assert!((0.5..2.0).contains(&s), "{}: scale {s}", model.name);
+        }
+    }
+
+    #[test]
+    fn unknown_model_gets_unit_scale() {
+        let m = ModelSpec::llama_13b();
+        assert_eq!(calibration_scale(&m), 1.0);
+        assert!(table1_latency(&m).is_none());
+    }
+}

@@ -1,0 +1,343 @@
+//! Analytical iteration-latency model (the stand-in for the paper's
+//! offline profiler, §5).
+
+use cloudsim::{GpuSpec, NetFabric};
+use simkit::SimDuration;
+
+use crate::spec::ModelSpec;
+
+/// Hardware-utilization knobs of the cost model.
+///
+/// The paper's profiler "carefully considers the resource under-utilization
+/// effects (GPU, network, PCIe) due to several practical factors (rarely
+/// small batch size, single input token, over-sharded intra-op parallelism,
+/// GPU memory accessing, too small communication data volume)". These three
+/// parameters encode exactly those effects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Efficiency {
+    /// Fraction of [`GpuSpec::peak_flops`] achievable at full occupancy
+    /// (fp32 GEMMs on a mixed-precision part run far below tensor peak).
+    pub compute_fraction: f64,
+    /// Tokens in flight at which compute efficiency reaches half of its
+    /// maximum (small decode batches under-utilize the GPU).
+    pub compute_half_tokens: f64,
+    /// Fraction of [`GpuSpec::mem_bandwidth`] achieved when streaming
+    /// weights.
+    pub mem_fraction: f64,
+    /// Multiplier on KV-cache read traffic: attention reads are strided
+    /// (head-major, per-sequence) and achieve far less than streaming
+    /// bandwidth, which is what erodes large-batch decode gains.
+    pub kv_read_penalty: f64,
+    /// Host-side time per forward pass: the engine's decoder loop,
+    /// batched sampling, and collective-launch coordination.
+    pub host_overhead: f64,
+}
+
+impl Default for Efficiency {
+    fn default() -> Self {
+        Efficiency {
+            compute_fraction: 0.06,
+            compute_half_tokens: 8.0,
+            mem_fraction: 0.65,
+            kv_read_penalty: 24.0,
+            host_overhead: 12e-3,
+        }
+    }
+}
+
+/// Closed-form latency model for one inference pipeline.
+///
+/// All methods take the *intra-pipeline* parallel degrees `(p, m)`
+/// (pipeline stages, tensor shards); data parallelism never changes
+/// single-request latency.
+///
+/// # Example
+///
+/// ```
+/// use llmsim::{CostModel, ModelSpec};
+///
+/// let cost = CostModel::t4_cluster();
+/// let model = ModelSpec::opt_6_7b();
+/// let one = cost.decode_time(&model, 1, 4, 1, 512);
+/// let eight = cost.decode_time(&model, 1, 4, 8, 512);
+/// // Decoding is memory-bound: batching is nearly free.
+/// assert!(eight < one * 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    gpu: GpuSpec,
+    net: NetFabric,
+    gpus_per_instance: u8,
+    eff: Efficiency,
+    latency_scale: f64,
+}
+
+impl CostModel {
+    /// Builds a cost model for a cluster of instances with `gpus_per_instance`
+    /// GPUs of type `gpu` connected by `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus_per_instance == 0`.
+    pub fn new(gpu: GpuSpec, net: NetFabric, gpus_per_instance: u8) -> Self {
+        assert!(gpus_per_instance > 0, "instances must have GPUs");
+        CostModel {
+            gpu,
+            net,
+            gpus_per_instance,
+            eff: Efficiency::default(),
+            latency_scale: 1.0,
+        }
+    }
+
+    /// The paper's evaluation platform: 4×T4 `g4dn.12xlarge` instances.
+    pub fn t4_cluster() -> Self {
+        CostModel::new(GpuSpec::t4(), NetFabric::g4dn_default(), 4)
+    }
+
+    /// Replaces the efficiency knobs.
+    pub fn with_efficiency(mut self, eff: Efficiency) -> Self {
+        self.eff = eff;
+        self
+    }
+
+    /// Applies a multiplicative calibration factor to all latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "invalid scale {scale}");
+        self.latency_scale = scale;
+        self
+    }
+
+    /// The network fabric this model assumes.
+    pub fn net(&self) -> &NetFabric {
+        &self.net
+    }
+
+    /// The GPU this model assumes.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// GPUs per instance this model assumes.
+    pub fn gpus_per_instance(&self) -> u8 {
+        self.gpus_per_instance
+    }
+
+    /// Compute-efficiency saturation at `tokens` tokens in flight.
+    fn compute_eff(&self, tokens: f64) -> f64 {
+        self.eff.compute_fraction * tokens / (tokens + self.eff.compute_half_tokens)
+    }
+
+    /// Whether an `m`-way tensor-parallel group spans instances.
+    fn tp_spans_instances(&self, m: u32) -> bool {
+        m > self.gpus_per_instance as u32
+    }
+
+    /// Latency of one full forward pass (all `L` layers) for a batch of `b`
+    /// sequences, each contributing `tokens_per_seq` new tokens, with
+    /// `ctx` tokens of attention context per sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `p`, `m`, `b`, `tokens_per_seq` is zero.
+    pub fn forward_time(
+        &self,
+        model: &ModelSpec,
+        p: u32,
+        m: u32,
+        b: u32,
+        tokens_per_seq: u32,
+        ctx: u32,
+    ) -> SimDuration {
+        assert!(p > 0 && m > 0 && b > 0 && tokens_per_seq > 0, "degenerate forward");
+        let layers = model.num_layers as f64;
+        let tokens_total = (b * tokens_per_seq) as f64;
+
+        // Per-layer compute: dense projections + context attention.
+        let flops_per_layer = tokens_total
+            * (model.flops_per_token_per_layer()
+                + model.attn_flops_per_token_per_layer(ctx));
+        let eff_flops = self.gpu.peak_flops * self.compute_eff(tokens_total);
+        let compute_t = flops_per_layer / (m as f64 * eff_flops);
+
+        // Per-layer memory: stream the weight shard once per forward pass,
+        // plus KV-cache reads for attention.
+        let eff_bw = self.gpu.mem_bandwidth * self.eff.mem_fraction;
+        let weight_bytes = model.layer_bytes() as f64 / m as f64;
+        let kv_bytes_layer =
+            (b as f64) * (ctx as f64) * 2.0 * model.hidden_size as f64
+                * model.bytes_per_kv as f64
+                * self.eff.kv_read_penalty
+                / m as f64;
+        let mem_t = (weight_bytes + kv_bytes_layer) / eff_bw;
+
+        let layer_t = compute_t.max(mem_t);
+
+        // Unembedding (logits projection): stream the V×h matrix and run
+        // the GEMM once per forward pass on the last stage's shard group.
+        let unembed_bytes =
+            model.vocab_size as f64 * model.hidden_size as f64 * model.bytes_per_param as f64
+                / m as f64;
+        let unembed_flops =
+            2.0 * tokens_total * model.vocab_size as f64 * model.hidden_size as f64;
+        let unembed_t =
+            (unembed_bytes / eff_bw).max(unembed_flops / (m as f64 * eff_flops));
+
+        // Tensor parallelism: two ring all-reduces per layer over the
+        // activation tensor (fp32).
+        let act_bytes = (tokens_total * model.hidden_size as f64 * 4.0) as u64;
+        let ar = if m > 1 {
+            self.net
+                .all_reduce_time(act_bytes, m, self.tp_spans_instances(m))
+                .as_secs_f64()
+                * 2.0
+        } else {
+            0.0
+        };
+
+        // Pipeline parallelism: p−1 cross-stage activation hops
+        // (stages are placed on distinct instances in the common case).
+        let p2p = if p > 1 {
+            self.net.p2p_time(act_bytes, false).as_secs_f64() * (p - 1) as f64
+        } else {
+            0.0
+        };
+
+        let total = layers * (layer_t + ar) + p2p + unembed_t + self.eff.host_overhead;
+        SimDuration::from_secs_f64(total * self.latency_scale)
+    }
+
+    /// Latency of the initial (prefill) phase over `s_in` input tokens.
+    pub fn prefill_time(&self, model: &ModelSpec, p: u32, m: u32, b: u32, s_in: u32) -> SimDuration {
+        self.forward_time(model, p, m, b, s_in, s_in)
+    }
+
+    /// Latency of one incremental decoding iteration at context length `ctx`.
+    pub fn decode_time(&self, model: &ModelSpec, p: u32, m: u32, b: u32, ctx: u32) -> SimDuration {
+        self.forward_time(model, p, m, b, 1, ctx)
+    }
+
+    /// End-to-end execution latency of Eq. (1):
+    /// `l_exe(S_out | S_in) = t_exe(S_in) + Σ_{i=1..S_out} t_exe(1)`.
+    pub fn exec_latency(
+        &self,
+        model: &ModelSpec,
+        p: u32,
+        m: u32,
+        b: u32,
+        s_in: u32,
+        s_out: u32,
+    ) -> SimDuration {
+        let mut total = self.prefill_time(model, p, m, b, s_in);
+        // Context length grows by one per iteration; the dependence is
+        // linear (KV reads + attention FLOPs), so evaluate at the midpoint.
+        if s_out > 0 {
+            let mid_ctx = s_in + s_out / 2;
+            total += self.decode_time(model, p, m, b, mid_ctx) * s_out as u64;
+        }
+        total
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::t4_cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::t4_cluster()
+    }
+
+    #[test]
+    fn decode_is_memory_bound_at_small_batch() {
+        let c = cost();
+        let m = ModelSpec::opt_6_7b();
+        let b1 = c.decode_time(&m, 1, 4, 1, 512).as_secs_f64();
+        let b4 = c.decode_time(&m, 1, 4, 4, 512).as_secs_f64();
+        assert!(b4 / b1 < 1.6, "batching decode should be cheap: {b1} -> {b4}");
+    }
+
+    #[test]
+    fn prefill_is_compute_bound() {
+        let c = cost();
+        let m = ModelSpec::opt_6_7b();
+        let p1 = c.prefill_time(&m, 1, 4, 1, 512).as_secs_f64();
+        let p2 = c.prefill_time(&m, 1, 4, 2, 512).as_secs_f64();
+        assert!(p2 / p1 > 1.7, "doubling prefill work should nearly double time");
+    }
+
+    #[test]
+    fn more_tensor_shards_speed_up_within_instance() {
+        let c = cost();
+        let m = ModelSpec::opt_6_7b();
+        let t2 = c.decode_time(&m, 1, 2, 1, 512);
+        let t4 = c.decode_time(&m, 1, 4, 1, 512);
+        assert!(t4 < t2, "m=4 should beat m=2 inside one instance");
+    }
+
+    #[test]
+    fn cross_instance_tensor_parallelism_pays_latency() {
+        let c = cost();
+        let m = ModelSpec::llama_30b();
+        // m=8 spans two 4-GPU instances; the all-reduce hops get slower.
+        let t8 = c.decode_time(&m, 2, 8, 1, 512).as_secs_f64();
+        let t4 = c.decode_time(&m, 4, 4, 1, 512).as_secs_f64();
+        // Same GPU count; m=8 halves the per-GPU weight stream but pays
+        // cross-instance all-reduce. Both effects must be visible.
+        assert!(t8 != t4);
+    }
+
+    #[test]
+    fn exec_latency_is_prefill_plus_decodes() {
+        let c = cost();
+        let m = ModelSpec::gpt_20b();
+        let l = c.exec_latency(&m, 3, 4, 1, 512, 128).as_secs_f64();
+        let prefill = c.prefill_time(&m, 3, 4, 1, 512).as_secs_f64();
+        let decode = c.decode_time(&m, 3, 4, 1, 512 + 64).as_secs_f64();
+        assert!((l - (prefill + 128.0 * decode)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scale_is_multiplicative() {
+        let c = cost();
+        let scaled = cost().with_scale(0.5);
+        let m = ModelSpec::opt_6_7b();
+        let a = c.exec_latency(&m, 1, 4, 1, 512, 16).as_secs_f64();
+        let b = scaled.exec_latency(&m, 1, 4, 1, 512, 16).as_secs_f64();
+        // Microsecond rounding per iteration allows a tiny deviation.
+        assert!((b - a / 2.0).abs() / a < 1e-4);
+    }
+
+    #[test]
+    fn longer_context_costs_more() {
+        let c = cost();
+        let m = ModelSpec::gpt_20b();
+        let short = c.decode_time(&m, 3, 4, 8, 64);
+        let long = c.decode_time(&m, 3, 4, 8, 2048);
+        assert!(long > short);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate forward")]
+    fn zero_batch_panics() {
+        cost().forward_time(&ModelSpec::opt_6_7b(), 1, 4, 0, 1, 1);
+    }
+
+    #[test]
+    fn pipeline_stages_add_hop_latency() {
+        let c = cost();
+        let m = ModelSpec::gpt_20b();
+        let p2 = c.decode_time(&m, 2, 4, 1, 512);
+        let p4 = c.decode_time(&m, 4, 4, 1, 512);
+        assert!(p4 > p2, "more stages, more hops");
+    }
+}

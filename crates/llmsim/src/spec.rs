@@ -1,0 +1,245 @@
+//! Model architecture specifications.
+
+use std::fmt;
+
+/// Architecture of a decoder-only transformer LLM.
+///
+/// Parameter and KV-cache byte counts are derived from these dimensions.
+/// Weights are stored in fp32 (matching the paper's Table 1 sizes, which
+/// correspond to 4 bytes/parameter) while the KV cache is fp16 (matching
+/// the paper's §2.1 example of 1.7 GB/sequence for LLaMA-13B at 2048
+/// context).
+///
+/// # Example
+///
+/// ```
+/// use llmsim::ModelSpec;
+/// let gpt = ModelSpec::gpt_20b();
+/// // Table 1 reports 74.5 GB for GPT-20B (fp32).
+/// let gib = gpt.param_bytes() as f64 / (1u64 << 30) as f64;
+/// assert!((gib - 74.5).abs() / 74.5 < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Human-readable model name.
+    pub name: &'static str,
+    /// Number of transformer layers.
+    pub num_layers: u32,
+    /// Hidden (embedding) dimension.
+    pub hidden_size: u32,
+    /// Number of attention heads; tensor parallel degree must divide this.
+    pub num_heads: u32,
+    /// Feed-forward inner dimension.
+    pub ffn_hidden: u32,
+    /// Whether the FFN is gated (SwiGLU, 3 projections) like LLaMA,
+    /// vs the classic 2-projection GELU MLP.
+    pub gated_ffn: bool,
+    /// Vocabulary size (embedding + unembedding, tied).
+    pub vocab_size: u32,
+    /// Maximum supported sequence length (input + output).
+    pub max_seq_len: u32,
+    /// Bytes per weight parameter (4 = fp32, matching Table 1).
+    pub bytes_per_param: u32,
+    /// Bytes per KV-cache element (2 = fp16).
+    pub bytes_per_kv: u32,
+}
+
+impl ModelSpec {
+    /// OPT-6.7B (Zhang et al. 2022): the paper's smallest evaluated model.
+    pub const fn opt_6_7b() -> Self {
+        ModelSpec {
+            name: "OPT-6.7B",
+            num_layers: 32,
+            hidden_size: 4096,
+            num_heads: 32,
+            ffn_hidden: 16384,
+            gated_ffn: false,
+            vocab_size: 50272,
+            max_seq_len: 2048,
+            bytes_per_param: 4,
+            bytes_per_kv: 2,
+        }
+    }
+
+    /// GPT-20B (GPT-NeoX-20B dimensions): the paper's mid-size model.
+    pub const fn gpt_20b() -> Self {
+        ModelSpec {
+            name: "GPT-20B",
+            num_layers: 44,
+            hidden_size: 6144,
+            num_heads: 64,
+            ffn_hidden: 24576,
+            gated_ffn: false,
+            vocab_size: 50257,
+            max_seq_len: 2048,
+            bytes_per_param: 4,
+            bytes_per_kv: 2,
+        }
+    }
+
+    /// LLaMA-30B (Touvron et al. 2023): the paper's largest evaluated model.
+    ///
+    /// LLaMA uses a gated SwiGLU FFN; dimensions follow the released 33B
+    /// configuration (h=6656, 60 layers), with the FFN width trimmed to
+    /// match Table 1's 111.8 GB fp32 footprint and the head count rounded
+    /// to 64 so the paper's 8-way tensor-parallel config (Table 1) divides
+    /// it evenly.
+    pub const fn llama_30b() -> Self {
+        ModelSpec {
+            name: "LLaMA-30B",
+            num_layers: 60,
+            hidden_size: 6656,
+            num_heads: 64,
+            ffn_hidden: 16384,
+            gated_ffn: true,
+            vocab_size: 32000,
+            max_seq_len: 2048,
+            bytes_per_param: 4,
+            bytes_per_kv: 2,
+        }
+    }
+
+    /// LLaMA-13B, used for the §2.1 KV-cache sanity check and extra
+    /// experiments.
+    pub const fn llama_13b() -> Self {
+        ModelSpec {
+            name: "LLaMA-13B",
+            num_layers: 40,
+            hidden_size: 5120,
+            num_heads: 40,
+            ffn_hidden: 13824,
+            gated_ffn: true,
+            vocab_size: 32000,
+            max_seq_len: 2048,
+            bytes_per_param: 4,
+            bytes_per_kv: 2,
+        }
+    }
+
+    /// The three models of the paper's Table 1, in size order.
+    pub fn paper_models() -> [ModelSpec; 3] {
+        [Self::opt_6_7b(), Self::gpt_20b(), Self::llama_30b()]
+    }
+
+    /// Weight parameters in one transformer layer.
+    ///
+    /// Attention contributes `4·h²` (Q, K, V, output projections); the FFN
+    /// contributes `2·h·ffn`, or `3·h·ffn` when gated.
+    pub fn params_per_layer(&self) -> u64 {
+        let h = self.hidden_size as u64;
+        let f = self.ffn_hidden as u64;
+        let ffn_mats = if self.gated_ffn { 3 } else { 2 };
+        4 * h * h + ffn_mats * h * f
+    }
+
+    /// Total weight parameters (layers + tied embedding).
+    pub fn param_count(&self) -> u64 {
+        self.params_per_layer() * self.num_layers as u64
+            + self.vocab_size as u64 * self.hidden_size as u64
+    }
+
+    /// Total weight bytes.
+    pub fn param_bytes(&self) -> u64 {
+        self.param_count() * self.bytes_per_param as u64
+    }
+
+    /// Weight bytes of a single layer (the migration planner's unit of
+    /// transfer, Algorithm 2).
+    pub fn layer_bytes(&self) -> u64 {
+        self.params_per_layer() * self.bytes_per_param as u64
+    }
+
+    /// KV-cache bytes per token per sequence across the whole model
+    /// (2 tensors × layers × hidden).
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * self.num_layers as u64 * self.hidden_size as u64 * self.bytes_per_kv as u64
+    }
+
+    /// FLOPs to process one token through one layer (dense projections,
+    /// forward pass = 2 FLOPs per weight).
+    pub fn flops_per_token_per_layer(&self) -> f64 {
+        2.0 * self.params_per_layer() as f64
+    }
+
+    /// Extra attention FLOPs per token per layer at context length `ctx`
+    /// (QKᵀ and attention-weighted V).
+    pub fn attn_flops_per_token_per_layer(&self, ctx: u32) -> f64 {
+        4.0 * ctx as f64 * self.hidden_size as f64
+    }
+}
+
+impl fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (L={}, h={}, {:.1} GB fp32)",
+            self.name,
+            self.num_layers,
+            self.hidden_size,
+            self.param_bytes() as f64 / (1u64 << 30) as f64
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gib(bytes: u64) -> f64 {
+        bytes as f64 / (1u64 << 30) as f64
+    }
+
+    #[test]
+    fn table1_sizes_match_paper() {
+        // Paper Table 1: 25.0 / 74.5 / 111.8 GB.
+        let cases = [
+            (ModelSpec::opt_6_7b(), 25.0),
+            (ModelSpec::gpt_20b(), 74.5),
+            (ModelSpec::llama_30b(), 111.8),
+        ];
+        for (m, expect) in cases {
+            let got = gib(m.param_bytes());
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.06, "{}: {got:.1} GiB vs paper {expect} GiB", m.name);
+        }
+    }
+
+    #[test]
+    fn llama_13b_kv_cache_matches_section_2_1() {
+        // §2.1: "1.7 GB per-sequence in LLaMA-13B" at 2048-token context.
+        let m = ModelSpec::llama_13b();
+        let per_seq = m.kv_bytes_per_token() * 2048;
+        let got = gib(per_seq);
+        assert!((got - 1.7).abs() < 0.15, "KV/seq = {got:.2} GiB");
+    }
+
+    #[test]
+    fn heads_divisible_by_common_tensor_degrees() {
+        for m in ModelSpec::paper_models() {
+            assert_eq!(m.num_heads % 4, 0, "{}: 4-way TP must divide heads", m.name);
+        }
+    }
+
+    #[test]
+    fn layer_bytes_consistent_with_total() {
+        let m = ModelSpec::gpt_20b();
+        let layers_total = m.layer_bytes() * m.num_layers as u64;
+        assert!(layers_total < m.param_bytes());
+        let embed = m.vocab_size as u64 * m.hidden_size as u64 * 4;
+        assert_eq!(layers_total + embed, m.param_bytes());
+    }
+
+    #[test]
+    fn gated_ffn_has_three_matrices() {
+        let llama = ModelSpec::llama_30b();
+        let h = llama.hidden_size as u64;
+        let f = llama.ffn_hidden as u64;
+        assert_eq!(llama.params_per_layer(), 4 * h * h + 3 * h * f);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!("{}", ModelSpec::opt_6_7b());
+        assert!(s.contains("OPT-6.7B") && s.contains("L=32"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Evaluating a migration plan against the network and storage models.
+
+use std::collections::BTreeMap;
+
+use cloudsim::{ColdStorage, InstanceId, NetFabric};
+use simkit::SimDuration;
+
+use crate::planner::{MigrationPlan, PlanStep};
+use crate::transfers::{Transfer, TransferSource};
+
+/// When each part of the migration completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationTimeline {
+    /// Offset at which the preserved cache is fully moved.
+    pub cache_done: SimDuration,
+    /// Offset at which each new-configuration stage may resume serving.
+    pub stage_ready: Vec<SimDuration>,
+    /// Offset at which every transfer has finished (`T_mig`).
+    pub total: SimDuration,
+    /// Bytes moved across the network.
+    pub network_bytes: u64,
+    /// Bytes loaded from storage.
+    pub storage_bytes: u64,
+}
+
+impl MigrationTimeline {
+    /// The effective serving pause of a *progressive* migration: the first
+    /// batch can flow through stage `p` no earlier than `stage_ready[p]`,
+    /// but reaches stage `p` only `p · stage_step` after entering the
+    /// pipeline, so the pause is `max_p (ready_p − p·stage_step)` — the
+    /// paper's "ideally ... reduced into the cost of a single stage's
+    /// context transferring" (§3.4).
+    pub fn effective_pause(&self, stage_step: SimDuration) -> SimDuration {
+        self.stage_ready
+            .iter()
+            .enumerate()
+            .map(|(p, &ready)| ready.saturating_sub(stage_step * p as u64))
+            .max()
+            .unwrap_or(self.total)
+    }
+}
+
+/// Computes how long one batch of transfers takes: every instance moves its
+/// in/out bytes over its NIC in parallel, intra-instance flows use the local
+/// bus, and storage loads stream per instance concurrently with the network.
+fn step_time(transfers: &[Transfer], net: &NetFabric, storage: &ColdStorage) -> SimDuration {
+    if transfers.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let mut nic_out: BTreeMap<InstanceId, u64> = BTreeMap::new();
+    let mut nic_in: BTreeMap<InstanceId, u64> = BTreeMap::new();
+    let mut local: BTreeMap<InstanceId, u64> = BTreeMap::new();
+    let mut storage_in: BTreeMap<InstanceId, u64> = BTreeMap::new();
+    let mut any_inter = false;
+    for t in transfers {
+        match t.source {
+            TransferSource::Gpu(src) if src.instance == t.dest.instance => {
+                *local.entry(src.instance).or_insert(0) += t.bytes;
+            }
+            TransferSource::Gpu(src) => {
+                any_inter = true;
+                *nic_out.entry(src.instance).or_insert(0) += t.bytes;
+                *nic_in.entry(t.dest.instance).or_insert(0) += t.bytes;
+            }
+            TransferSource::Storage => {
+                *storage_in.entry(t.dest.instance).or_insert(0) += t.bytes;
+            }
+        }
+    }
+    let nic_secs = nic_out
+        .values()
+        .chain(nic_in.values())
+        .map(|&b| b as f64 / net.inter_bw)
+        .fold(0.0f64, f64::max);
+    let local_secs = local
+        .values()
+        .map(|&b| b as f64 / net.intra_bw)
+        .fold(0.0f64, f64::max);
+    let storage_secs = storage_in
+        .values()
+        .map(|&b| b as f64 / storage.per_instance_bandwidth)
+        .fold(0.0f64, f64::max);
+    let latency = if any_inter {
+        net.inter_latency
+    } else if !local.is_empty() {
+        net.intra_latency
+    } else {
+        SimDuration::ZERO
+    };
+    latency + SimDuration::from_secs_f64(nic_secs.max(local_secs).max(storage_secs))
+}
+
+/// Walks `plan` step by step and produces its timeline.
+///
+/// # Example
+///
+/// ```
+/// use cloudsim::{ColdStorage, InstanceId, NetFabric};
+/// use migration::{evaluate_plan, plan_migration, MigrationTask, PlannerOptions};
+/// use parallelism::ParallelConfig;
+///
+/// let task = MigrationTask::fresh_start(
+///     &llmsim::ModelSpec::opt_6_7b(),
+///     ParallelConfig::new(1, 1, 4, 8),
+///     &[(InstanceId(0), 4)],
+/// );
+/// let plan = plan_migration(&task, &PlannerOptions::default());
+/// let tl = evaluate_plan(&plan, &NetFabric::g4dn_default(), &ColdStorage::default());
+/// assert!(tl.total.as_secs_f64() > 10.0, "cold loads are slow: {}", tl.total);
+/// ```
+pub fn evaluate_plan(
+    plan: &MigrationPlan,
+    net: &NetFabric,
+    storage: &ColdStorage,
+) -> MigrationTimeline {
+    let mut t = SimDuration::ZERO;
+    let mut cache_done = SimDuration::ZERO;
+    let mut stage_ready = vec![SimDuration::MAX; plan.new_stages as usize];
+    for step in &plan.steps {
+        match step {
+            PlanStep::MigrateCache => {
+                t += step_time(&plan.transfers.cache, net, storage);
+                cache_done = t;
+            }
+            PlanStep::MigrateLayer(layer) => {
+                let xfers = &plan.transfers.layers[*layer as usize].transfers;
+                t += step_time(xfers, net, storage);
+            }
+            PlanStep::StartStage(p) => {
+                stage_ready[*p as usize] = t;
+            }
+        }
+    }
+    for ready in &mut stage_ready {
+        if *ready == SimDuration::MAX {
+            *ready = t;
+        }
+    }
+    MigrationTimeline {
+        cache_done,
+        stage_ready,
+        total: t,
+        network_bytes: plan.transfers.total_network_bytes(),
+        storage_bytes: plan.transfers.total_storage_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{DeviceAssignment, MigrationTask};
+    use crate::planner::{plan_migration, PlannerOptions};
+    use cloudsim::GpuRef;
+    use llmsim::ModelSpec;
+    use parallelism::ParallelConfig;
+
+    fn gpus(n: u64) -> Vec<GpuRef> {
+        (0..n)
+            .flat_map(|i| (0..4u8).map(move |s| GpuRef::new(InstanceId(i), s)))
+            .collect()
+    }
+
+    fn net() -> NetFabric {
+        NetFabric::g4dn_default()
+    }
+
+    fn storage() -> ColdStorage {
+        ColdStorage::aws_default()
+    }
+
+    fn reconfig(old: ParallelConfig, new: ParallelConfig, n_inst: u64) -> MigrationTask {
+        let g = gpus(n_inst);
+        MigrationTask {
+            model: ModelSpec::opt_6_7b(),
+            old_config: old,
+            new_config: new,
+            old_assignment: DeviceAssignment::contiguous(&old, &g),
+            new_assignment: DeviceAssignment::contiguous(&new, &g),
+            cache_bytes_per_pipeline: vec![64 << 20; old.data as usize],
+            pipeline_inheritance: (0..new.data)
+                .map(|d| (d < old.data).then_some(d))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn context_migration_beats_cold_restart() {
+        // The paper's core claim: migrating context over the network is far
+        // cheaper than reloading weights from storage.
+        let old = ParallelConfig::new(1, 2, 4, 8);
+        let new = ParallelConfig::new(1, 4, 2, 8);
+        let warm = plan_migration(&reconfig(old, new, 2), &PlannerOptions::default());
+        let warm_t = evaluate_plan(&warm, &net(), &storage()).total;
+
+        let cold_task = MigrationTask::fresh_start(
+            &ModelSpec::opt_6_7b(),
+            new,
+            &[(InstanceId(0), 4), (InstanceId(1), 4)],
+        );
+        let cold = plan_migration(&cold_task, &PlannerOptions::default());
+        let cold_t = evaluate_plan(&cold, &net(), &storage()).total;
+        assert!(
+            warm_t.as_secs_f64() * 2.0 < cold_t.as_secs_f64(),
+            "warm {warm_t} vs cold {cold_t}"
+        );
+    }
+
+    #[test]
+    fn stage_ready_is_monotone_with_plan_position() {
+        let old = ParallelConfig::new(1, 2, 2, 8);
+        let new = ParallelConfig::new(1, 4, 1, 8);
+        let plan = plan_migration(&reconfig(old, new, 1), &PlannerOptions::default());
+        let tl = evaluate_plan(&plan, &net(), &storage());
+        assert_eq!(tl.stage_ready.len(), 4);
+        for &r in &tl.stage_ready {
+            assert!(r <= tl.total);
+        }
+        // At least one stage becomes ready strictly before the end.
+        assert!(tl.stage_ready.iter().any(|&r| r < tl.total));
+    }
+
+    #[test]
+    fn effective_pause_bounded_by_total() {
+        let old = ParallelConfig::new(1, 2, 2, 8);
+        let new = ParallelConfig::new(1, 4, 1, 8);
+        let plan = plan_migration(&reconfig(old, new, 1), &PlannerOptions::default());
+        let tl = evaluate_plan(&plan, &net(), &storage());
+        let pause = tl.effective_pause(SimDuration::from_millis(500));
+        assert!(pause <= tl.total);
+        // Progressive overlap must actually help vs waiting for everything.
+        assert!(pause < tl.total);
+    }
+
+    #[test]
+    fn non_progressive_pause_equals_total() {
+        let old = ParallelConfig::new(1, 2, 2, 8);
+        let new = ParallelConfig::new(1, 4, 1, 8);
+        let plan = plan_migration(
+            &reconfig(old, new, 1),
+            &PlannerOptions {
+                progressive: false,
+                ..PlannerOptions::default()
+            },
+        );
+        let tl = evaluate_plan(&plan, &net(), &storage());
+        assert_eq!(tl.effective_pause(SimDuration::from_secs(1)), tl.total);
+    }
+
+    #[test]
+    fn cache_first_in_timeline() {
+        let old = ParallelConfig::new(1, 2, 2, 8);
+        let new = ParallelConfig::new(1, 4, 1, 8);
+        let plan = plan_migration(&reconfig(old, new, 1), &PlannerOptions::default());
+        let tl = evaluate_plan(&plan, &net(), &storage());
+        assert!(tl.cache_done > SimDuration::ZERO, "cache moved");
+        assert!(tl.cache_done < tl.total);
+    }
+
+    #[test]
+    fn empty_plan_is_instant() {
+        let cfg = ParallelConfig::new(1, 2, 2, 8);
+        let mut task = reconfig(cfg, cfg, 1);
+        task.cache_bytes_per_pipeline = vec![0];
+        let plan = plan_migration(&task, &PlannerOptions::default());
+        let tl = evaluate_plan(&plan, &net(), &storage());
+        assert_eq!(tl.total, SimDuration::ZERO);
+        assert_eq!(tl.effective_pause(SimDuration::ZERO), SimDuration::ZERO);
+    }
+}

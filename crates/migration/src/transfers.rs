@@ -1,0 +1,583 @@
+//! Deriving the exact byte flows of a reconfiguration.
+//!
+//! For every destination GPU and every layer, work out which interval of
+//! the layer's shard space is missing (not already resident from the old
+//! configuration), and source each missing piece from a surviving holder —
+//! preferring a same-instance source, then balancing load — or from cold
+//! storage when every replica was lost (§4.2 fault tolerance).
+
+use std::collections::BTreeMap;
+
+use cloudsim::GpuRef;
+use parallelism::{stage_layers, MeshPosition};
+
+use crate::task::MigrationTask;
+
+/// Where a transferred piece of context comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferSource {
+    /// A surviving GPU that holds the bytes.
+    Gpu(GpuRef),
+    /// Persistent storage (S3/disk): only possible for weights.
+    Storage,
+}
+
+/// One directed byte flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Source of the bytes.
+    pub source: TransferSource,
+    /// Receiving GPU.
+    pub dest: GpuRef,
+    /// Payload size.
+    pub bytes: u64,
+}
+
+/// All transfers needed for one layer's weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerTransfers {
+    /// The layer index.
+    pub layer: u32,
+    /// The byte flows for this layer.
+    pub transfers: Vec<Transfer>,
+}
+
+/// The complete byte-flow picture of a migration task.
+#[derive(Debug, Clone)]
+pub struct TransferSet {
+    /// KV-cache moves (migrated first, before any weights).
+    pub cache: Vec<Transfer>,
+    /// Cache bytes that could not be preserved (source replica lost);
+    /// the affected requests must recompute (§4.2).
+    pub cache_lost_bytes: u64,
+    /// Per-layer weight moves, indexed by layer.
+    pub layers: Vec<LayerTransfers>,
+    /// Per GPU and per layer: net resident-memory change when that layer
+    /// migrates (incoming new bytes minus freed old bytes). Drives the
+    /// memory-optimized ordering of Algorithm 2.
+    pub layer_deltas: BTreeMap<GpuRef, Vec<i64>>,
+}
+
+impl TransferSet {
+    /// Total bytes crossing the network (weights + cache).
+    pub fn total_network_bytes(&self) -> u64 {
+        let w: u64 = self
+            .layers
+            .iter()
+            .flat_map(|l| &l.transfers)
+            .filter(|t| matches!(t.source, TransferSource::Gpu(_)))
+            .map(|t| t.bytes)
+            .sum();
+        let c: u64 = self.cache.iter().map(|t| t.bytes).sum();
+        w + c
+    }
+
+    /// Total bytes loaded from persistent storage.
+    pub fn total_storage_bytes(&self) -> u64 {
+        self.layers
+            .iter()
+            .flat_map(|l| &l.transfers)
+            .filter(|t| matches!(t.source, TransferSource::Storage))
+            .map(|t| t.bytes)
+            .sum()
+    }
+}
+
+/// Exact rational interval arithmetic over a layer's shard space `[0, den)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    lo: u64,
+    hi: u64,
+}
+
+impl Interval {
+    fn len(&self) -> u64 {
+        self.hi.saturating_sub(self.lo)
+    }
+
+    fn intersect(&self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// `self` minus `other`: up to two residual intervals.
+    fn subtract(&self, other: Interval) -> Vec<Interval> {
+        let inter = self.intersect(other);
+        if inter.len() == 0 {
+            return vec![*self];
+        }
+        let mut out = Vec::new();
+        if self.lo < inter.lo {
+            out.push(Interval { lo: self.lo, hi: inter.lo });
+        }
+        if inter.hi < self.hi {
+            out.push(Interval { lo: inter.hi, hi: self.hi });
+        }
+        out
+    }
+}
+
+/// Computes every byte flow implied by `task`.
+///
+/// Weight pieces with no surviving replica fall back to
+/// [`TransferSource::Storage`]; lost cache pieces are tallied in
+/// [`TransferSet::cache_lost_bytes`] (the whole inherited pipeline's cache
+/// is counted lost if any piece of it is unrecoverable, since decoding
+/// needs every layer's KV to resume).
+pub fn compute_transfers(task: &MigrationTask) -> TransferSet {
+    let model = &task.model;
+    let layers_n = model.num_layers;
+    let (m_old, m_new) = (task.old_config.tensor, task.new_config.tensor);
+    let den = (m_old as u64) * (m_new as u64);
+    let layer_bytes = model.layer_bytes();
+
+    // Index the old assignment: (stage, shard) -> holders per pipeline.
+    let old_cfg = task.old_config;
+    let new_cfg = task.new_config;
+
+    // Bytes each source GPU has been asked to send so far (load balancing).
+    let mut send_load: BTreeMap<GpuRef, u64> = BTreeMap::new();
+    let mut layer_deltas: BTreeMap<GpuRef, Vec<i64>> = BTreeMap::new();
+    let mut delta = |g: GpuRef, layer: u32, amount: i64| {
+        layer_deltas
+            .entry(g)
+            .or_insert_with(|| vec![0i64; layers_n as usize])[layer as usize] += amount;
+    };
+
+    // Which interval of `layer` does an old position hold?
+    let old_interval = |pos: MeshPosition, layer: u32| -> Option<Interval> {
+        let range = stage_layers(layers_n, old_cfg.pipeline, pos.stage);
+        if !range.contains(&layer) {
+            return None;
+        }
+        Some(Interval {
+            lo: pos.shard as u64 * m_new as u64,
+            hi: (pos.shard as u64 + 1) * m_new as u64,
+        })
+    };
+
+    let piece_bytes =
+        |iv: Interval, total: u64| -> u64 { ((iv.len() as u128 * total as u128) / den as u128) as u64 };
+
+    // ---- Weights ----------------------------------------------------
+    let mut layer_xfers: Vec<LayerTransfers> = (0..layers_n)
+        .map(|layer| LayerTransfers {
+            layer,
+            transfers: Vec::new(),
+        })
+        .collect();
+
+    for (new_pos, dest) in task.new_assignment.iter() {
+        let need_layers = stage_layers(layers_n, new_cfg.pipeline, new_pos.stage);
+        let need_iv = Interval {
+            lo: new_pos.shard as u64 * m_old as u64,
+            hi: (new_pos.shard as u64 + 1) * m_old as u64,
+        };
+        let dest_old_pos = task.old_assignment.position_of(dest);
+        for layer in need_layers.clone() {
+            // What the destination already holds of this layer.
+            let held = dest_old_pos.and_then(|p| old_interval(p, layer));
+            let missing = match held {
+                Some(h) => need_iv.subtract(h),
+                None => vec![need_iv],
+            };
+            for miss in missing {
+                if miss.len() == 0 {
+                    continue;
+                }
+                // Split by old shard boundaries and source each piece.
+                for k in 0..m_old {
+                    let shard_iv = Interval {
+                        lo: k as u64 * m_new as u64,
+                        hi: (k as u64 + 1) * m_new as u64,
+                    };
+                    let piece = miss.intersect(shard_iv);
+                    if piece.len() == 0 {
+                        continue;
+                    }
+                    let bytes = piece_bytes(piece, layer_bytes);
+                    if bytes == 0 {
+                        continue;
+                    }
+                    // Candidate sources: any old pipeline's holder of
+                    // (stage_of(layer), shard k) that is still assigned.
+                    let stage = (0..old_cfg.pipeline)
+                        .find(|&p| stage_layers(layers_n, old_cfg.pipeline, p).contains(&layer))
+                        .expect("layer belongs to a stage");
+                    let mut candidates: Vec<GpuRef> = (0..old_cfg.data)
+                        .filter_map(|d| {
+                            task.old_assignment.gpu_at(MeshPosition::new(d, stage, k))
+                        })
+                        .filter(|g| *g != dest)
+                        .collect();
+                    // Prefer same-instance sources, then the least-loaded.
+                    candidates.sort_by_key(|g| {
+                        (
+                            g.instance != dest.instance,
+                            send_load.get(g).copied().unwrap_or(0),
+                            *g,
+                        )
+                    });
+                    let source = match candidates.first() {
+                        Some(&g) => {
+                            *send_load.entry(g).or_insert(0) += bytes;
+                            TransferSource::Gpu(g)
+                        }
+                        None => TransferSource::Storage,
+                    };
+                    layer_xfers[layer as usize].transfers.push(Transfer {
+                        source,
+                        dest,
+                        bytes,
+                    });
+                    delta(dest, layer, bytes as i64);
+                }
+            }
+        }
+    }
+
+    // Freed bytes: every old holder releases the parts of each layer it
+    // does not keep in its own new position.
+    for (old_pos, gpu) in task.old_assignment.iter() {
+        let held_layers = stage_layers(layers_n, old_cfg.pipeline, old_pos.stage);
+        let held_iv = Interval {
+            lo: old_pos.shard as u64 * m_new as u64,
+            hi: (old_pos.shard as u64 + 1) * m_new as u64,
+        };
+        let new_pos = task.new_assignment.position_of(gpu);
+        for layer in held_layers {
+            let kept = new_pos
+                .and_then(|np| {
+                    let r = stage_layers(layers_n, new_cfg.pipeline, np.stage);
+                    if !r.contains(&layer) {
+                        return None;
+                    }
+                    Some(Interval {
+                        lo: np.shard as u64 * m_old as u64,
+                        hi: (np.shard as u64 + 1) * m_old as u64,
+                    })
+                })
+                .map(|iv| held_iv.intersect(iv).len())
+                .unwrap_or(0);
+            let freed = held_iv.len() - kept;
+            if freed > 0 {
+                let bytes = ((freed as u128 * layer_bytes as u128) / den as u128) as i64;
+                delta(gpu, layer, -bytes);
+            }
+        }
+    }
+
+    // ---- Cache ------------------------------------------------------
+    let mut cache = Vec::new();
+    let mut cache_lost = 0u64;
+    for (d_new, inherit) in task.pipeline_inheritance.iter().enumerate() {
+        let Some(d_old) = *inherit else { continue };
+        let total = task
+            .cache_bytes_per_pipeline
+            .get(d_old as usize)
+            .copied()
+            .unwrap_or(0);
+        if total == 0 {
+            continue;
+        }
+        let per_layer = total / layers_n as u64;
+        let mut lost = false;
+        let mut pipeline_cache = Vec::new();
+        for new_pos in new_cfg
+            .positions()
+            .filter(|p| p.pipeline == d_new as u32)
+        {
+            let Some(dest) = task.new_assignment.gpu_at(new_pos) else {
+                lost = true;
+                continue;
+            };
+            let need_layers = stage_layers(layers_n, new_cfg.pipeline, new_pos.stage);
+            let need_iv = Interval {
+                lo: new_pos.shard as u64 * m_old as u64,
+                hi: (new_pos.shard as u64 + 1) * m_old as u64,
+            };
+            let dest_old_pos = task
+                .old_assignment
+                .position_of(dest)
+                .filter(|p| p.pipeline == d_old);
+            for layer in need_layers {
+                let held = dest_old_pos.and_then(|p| old_interval(p, layer));
+                let missing = match held {
+                    Some(h) => need_iv.subtract(h),
+                    None => vec![need_iv],
+                };
+                for miss in missing {
+                    for k in 0..m_old {
+                        let shard_iv = Interval {
+                            lo: k as u64 * m_new as u64,
+                            hi: (k as u64 + 1) * m_new as u64,
+                        };
+                        let piece = miss.intersect(shard_iv);
+                        if piece.len() == 0 {
+                            continue;
+                        }
+                        let bytes = piece_bytes(piece, per_layer);
+                        let stage = (0..old_cfg.pipeline)
+                            .find(|&p| {
+                                stage_layers(layers_n, old_cfg.pipeline, p).contains(&layer)
+                            })
+                            .expect("layer belongs to a stage");
+                        // Cache exists only on the inherited pipeline.
+                        match task
+                            .old_assignment
+                            .gpu_at(MeshPosition::new(d_old, stage, k))
+                        {
+                            Some(src) if src != dest => pipeline_cache.push(Transfer {
+                                source: TransferSource::Gpu(src),
+                                dest,
+                                bytes,
+                            }),
+                            Some(_) => {} // already resident
+                            None => lost = true,
+                        }
+                    }
+                }
+            }
+        }
+        if lost {
+            // Decoding needs every layer's KV: a partial cache is useless.
+            cache_lost += total;
+        } else {
+            cache.extend(pipeline_cache);
+        }
+    }
+
+    TransferSet {
+        cache,
+        cache_lost_bytes: cache_lost,
+        layers: layer_xfers,
+        layer_deltas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::InstanceId;
+    use llmsim::ModelSpec;
+    use parallelism::{ParallelConfig, PositionContext};
+    use crate::task::DeviceAssignment;
+
+    fn gpu(i: u64, s: u8) -> GpuRef {
+        GpuRef::new(InstanceId(i), s)
+    }
+
+    fn gpus(n: u64) -> Vec<GpuRef> {
+        (0..n).flat_map(|i| (0..4).map(move |s| gpu(i, s))).collect()
+    }
+
+    /// Old (D=1,P=2,M=2) on 4 GPUs -> new (D=1,P=4,M=1) on the same 4 GPUs
+    /// with the identity-ish mapping.
+    fn simple_task() -> MigrationTask {
+        let model = ModelSpec::opt_6_7b(); // 32 layers
+        let old = ParallelConfig::new(1, 2, 2, 8);
+        let new = ParallelConfig::new(1, 4, 1, 8);
+        let g = gpus(1);
+        MigrationTask {
+            model,
+            old_config: old,
+            new_config: new,
+            old_assignment: DeviceAssignment::contiguous(&old, &g),
+            new_assignment: DeviceAssignment::contiguous(&new, &g),
+            cache_bytes_per_pipeline: vec![0],
+            pipeline_inheritance: vec![Some(0)],
+        }
+    }
+
+    #[test]
+    fn same_config_same_assignment_moves_nothing() {
+        let model = ModelSpec::opt_6_7b();
+        let cfg = ParallelConfig::new(1, 2, 2, 8);
+        let g = gpus(1);
+        let task = MigrationTask {
+            model,
+            old_config: cfg,
+            new_config: cfg,
+            old_assignment: DeviceAssignment::contiguous(&cfg, &g),
+            new_assignment: DeviceAssignment::contiguous(&cfg, &g),
+            cache_bytes_per_pipeline: vec![1 << 30],
+            pipeline_inheritance: vec![Some(0)],
+        };
+        let t = compute_transfers(&task);
+        assert_eq!(t.total_network_bytes(), 0);
+        assert_eq!(t.total_storage_bytes(), 0);
+        assert_eq!(t.cache_lost_bytes, 0);
+    }
+
+    #[test]
+    fn fresh_start_loads_everything_from_storage() {
+        let model = ModelSpec::opt_6_7b();
+        let task = MigrationTask::fresh_start(
+            &model,
+            ParallelConfig::new(1, 1, 4, 8),
+            &[(InstanceId(0), 4)],
+        );
+        let t = compute_transfers(&task);
+        assert_eq!(t.total_network_bytes(), 0);
+        // All layer weights (embeddings are not per-layer context).
+        let expect = model.layer_bytes() * model.num_layers as u64;
+        assert_eq!(t.total_storage_bytes(), expect);
+    }
+
+    #[test]
+    fn reshard_moves_half_of_each_kept_layer() {
+        // (P=2,M=2) -> (P=4,M=1): new stage 0 holds layers 0..8 full-width;
+        // the GPU that held shard 0 of layers 0..16 must fetch the other
+        // half of layers it keeps and everything of new layers.
+        let t = compute_transfers(&simple_task());
+        let total_weights: u64 = t
+            .layers
+            .iter()
+            .flat_map(|l| &l.transfers)
+            .map(|x| x.bytes)
+            .sum();
+        // Every byte of the model is needed somewhere; reuse means strictly
+        // less than the full model moves.
+        let model_bytes =
+            ModelSpec::opt_6_7b().layer_bytes() * 32;
+        assert!(total_weights > 0);
+        assert!(total_weights < model_bytes, "{total_weights} vs {model_bytes}");
+        assert_eq!(t.total_storage_bytes(), 0, "all pieces have live sources");
+    }
+
+    #[test]
+    fn deltas_balance_to_reconfiguration_difference() {
+        // Sum of all per-layer deltas = (new resident bytes) - (old resident
+        // bytes) summed over GPUs appearing in both assignments.
+        let task = simple_task();
+        let t = compute_transfers(&task);
+        let sum: i64 = t.layer_deltas.values().flat_map(|v| v.iter()).sum();
+        // Same GPUs, same model, full coverage both times: net change 0.
+        assert_eq!(sum, 0);
+    }
+
+    #[test]
+    fn cache_lost_when_source_pipeline_gone() {
+        let mut task = simple_task();
+        task.cache_bytes_per_pipeline = vec![1 << 20];
+        // Remove one old holder: some cache pieces become unsourceable.
+        task.old_assignment.remove_instance(InstanceId(0));
+        let t = compute_transfers(&task);
+        assert_eq!(t.cache_lost_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn cache_moves_when_sources_alive() {
+        let mut task = simple_task();
+        task.cache_bytes_per_pipeline = vec![32 << 20]; // 1 MiB per layer
+        let t = compute_transfers(&task);
+        assert_eq!(t.cache_lost_bytes, 0);
+        let cache_bytes: u64 = t.cache.iter().map(|x| x.bytes).sum();
+        assert!(cache_bytes > 0, "resharding must move some cache");
+        assert!(cache_bytes <= 32 << 20);
+    }
+
+    #[test]
+    fn byte_conservation_across_random_reconfigurations() {
+        // Every byte a destination needs is either already resident or
+        // arrives exactly once (network or storage): total inflow equals
+        // total need minus total reuse, for a grid of reconfigurations.
+        let model = ModelSpec::opt_6_7b();
+        let configs = [
+            ParallelConfig::new(1, 1, 4, 8),
+            ParallelConfig::new(1, 2, 2, 8),
+            ParallelConfig::new(2, 2, 2, 8),
+            ParallelConfig::new(1, 4, 1, 8),
+            ParallelConfig::new(2, 1, 2, 8),
+        ];
+        for old in configs {
+            for new in configs {
+                let total = old.total_gpus().max(new.total_gpus());
+                let g = gpus(total.div_ceil(4) as u64);
+                let task = MigrationTask {
+                    model: model.clone(),
+                    old_config: old,
+                    new_config: new,
+                    old_assignment: DeviceAssignment::contiguous(&old, &g),
+                    new_assignment: DeviceAssignment::contiguous(&new, &g),
+                    cache_bytes_per_pipeline: vec![0; old.data as usize],
+                    pipeline_inheritance: vec![None; new.data as usize],
+                };
+                let t = compute_transfers(&task);
+                let inflow: u64 = t
+                    .layers
+                    .iter()
+                    .flat_map(|l| &l.transfers)
+                    .map(|x| x.bytes)
+                    .sum();
+                // Total need: each of the `new` mesh's pipelines holds one
+                // full copy of all layer weights.
+                let need = model.layer_bytes() * model.num_layers as u64 * new.data as u64;
+                // Total reuse: overlap of what each destination GPU held
+                // with what it now needs.
+                let reuse: u64 = task
+                    .new_assignment
+                    .iter()
+                    .map(|(pos, gpu)| {
+                        let new_ctx = PositionContext::new(
+                            model.num_layers,
+                            new.pipeline,
+                            pos.stage,
+                            new.tensor,
+                            pos.shard,
+                        );
+                        task.old_assignment
+                            .position_of(gpu)
+                            .map(|op| {
+                                let old_ctx = PositionContext::new(
+                                    model.num_layers,
+                                    old.pipeline,
+                                    op.stage,
+                                    old.tensor,
+                                    op.shard,
+                                );
+                                old_ctx.weight_overlap_bytes(&new_ctx, model.layer_bytes())
+                            })
+                            .unwrap_or(0)
+                    })
+                    .sum();
+                assert_eq!(
+                    inflow + reuse,
+                    need,
+                    "{old} -> {new}: inflow {inflow} + reuse {reuse} != need {need}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sources_prefer_same_instance() {
+        // Old (D=1,P=1,M=4) on instance 0; new (D=1,P=2,M=2) split across
+        // instances 0 and 1. Fetches landing on instance 0 should source
+        // from instance 0 GPUs.
+        let model = ModelSpec::opt_6_7b();
+        let old = ParallelConfig::new(1, 1, 4, 8);
+        let new = ParallelConfig::new(1, 2, 2, 8);
+        let old_g = gpus(1);
+        let new_g: Vec<GpuRef> = vec![gpu(0, 0), gpu(0, 1), gpu(1, 0), gpu(1, 1)];
+        let task = MigrationTask {
+            model,
+            old_config: old,
+            new_config: new,
+            old_assignment: DeviceAssignment::contiguous(&old, &old_g),
+            new_assignment: DeviceAssignment::contiguous(&new, &new_g),
+            cache_bytes_per_pipeline: vec![0],
+            pipeline_inheritance: vec![Some(0)],
+        };
+        let t = compute_transfers(&task);
+        for tr in t.layers.iter().flat_map(|l| &l.transfers) {
+            if tr.dest.instance == InstanceId(0) {
+                if let TransferSource::Gpu(src) = tr.source {
+                    assert_eq!(src.instance, InstanceId(0), "{tr:?}");
+                }
+            }
+        }
+    }
+}

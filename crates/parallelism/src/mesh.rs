@@ -1,0 +1,58 @@
+//! Logical mesh positions.
+
+use std::fmt;
+
+/// A pipeline-stage-shard topology position `(d, p, m)` (§3.3): the `m`-th
+/// tensor shard of the `p`-th pipeline stage in the `d`-th data-parallel
+/// pipeline. All indices are 0-based.
+///
+/// # Example
+///
+/// ```
+/// use parallelism::MeshPosition;
+/// let pos = MeshPosition::new(1, 0, 3);
+/// assert_eq!(format!("{pos}"), "d1.s0.t3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MeshPosition {
+    /// Data-parallel pipeline index `d`.
+    pub pipeline: u32,
+    /// Pipeline stage index `p`.
+    pub stage: u32,
+    /// Tensor shard index `m`.
+    pub shard: u32,
+}
+
+impl MeshPosition {
+    /// Creates a position.
+    pub fn new(pipeline: u32, stage: u32, shard: u32) -> Self {
+        MeshPosition {
+            pipeline,
+            stage,
+            shard,
+        }
+    }
+}
+
+impl fmt::Display for MeshPosition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}.s{}.t{}", self.pipeline, self.stage, self.shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_pipeline_major() {
+        let a = MeshPosition::new(0, 5, 5);
+        let b = MeshPosition::new(1, 0, 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", MeshPosition::new(2, 1, 0)), "d2.s1.t0");
+    }
+}

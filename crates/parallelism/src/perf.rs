@@ -1,0 +1,200 @@
+//! Performance estimation for parallel configurations.
+//!
+//! Algorithm 1 needs two quantities per candidate configuration: the peak
+//! serving throughput `φ(C)` and the expected end-to-end request latency
+//! `l_req(C)` at the current arrival rate (§3.2). Both come from the
+//! calibrated cost model; the scheduling-delay component uses a standard
+//! multi-server queueing heuristic, mirroring the paper's offline profiler.
+
+use llmsim::{CostModel, ModelSpec};
+use simkit::SimDuration;
+
+use crate::config::ParallelConfig;
+
+/// Latency/throughput estimator for one model on one cluster.
+///
+/// # Example
+///
+/// ```
+/// use llmsim::{calibration, ModelSpec};
+/// use parallelism::{ParallelConfig, PerfModel};
+///
+/// let model = ModelSpec::gpt_20b();
+/// let perf = PerfModel::paper_defaults(model.clone());
+/// let c = ParallelConfig::new(2, 3, 4, 8);
+/// let phi = perf.throughput(&c);
+/// assert!(phi > 0.35, "paper: this config sustains the 0.35 req/s workload");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    model: ModelSpec,
+    cost: CostModel,
+    s_in: u32,
+    s_out: u32,
+}
+
+impl PerfModel {
+    /// Creates an estimator from an explicit cost model and sequence shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s_out == 0`.
+    pub fn new(model: ModelSpec, cost: CostModel, s_in: u32, s_out: u32) -> Self {
+        assert!(s_out > 0, "generation must produce tokens");
+        PerfModel {
+            model,
+            cost,
+            s_in,
+            s_out,
+        }
+    }
+
+    /// The paper's evaluation setup: T4 cluster, calibrated scales,
+    /// `S_in = 512`, `S_out = 128`.
+    pub fn paper_defaults(model: ModelSpec) -> Self {
+        let cost = llmsim::calibration::calibrated_cost_model(&model);
+        PerfModel::new(
+            model,
+            cost,
+            llmsim::calibration::PAPER_S_IN,
+            llmsim::calibration::PAPER_S_OUT,
+        )
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &ModelSpec {
+        &self.model
+    }
+
+    /// The underlying cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The `(S_in, S_out)` shape this estimator assumes.
+    pub fn sequence_shape(&self) -> (u32, u32) {
+        (self.s_in, self.s_out)
+    }
+
+    /// Execution latency `l_exe` of one full batch under `c` (Eq. 1).
+    pub fn exec_latency(&self, c: &ParallelConfig) -> SimDuration {
+        self.cost
+            .exec_latency(&self.model, c.pipeline, c.tensor, c.batch, self.s_in, self.s_out)
+    }
+
+    /// Peak serving throughput `φ(C)` in requests/second: `D·B` requests
+    /// complete every `l_exe`.
+    pub fn throughput(&self, c: &ParallelConfig) -> f64 {
+        (c.data * c.batch) as f64 / self.exec_latency(c).as_secs_f64()
+    }
+
+    /// Expected end-to-end request latency `l_req(C) = l_sch + l_exe` at
+    /// arrival rate `alpha` (req/s).
+    ///
+    /// The scheduling component models (a) the wait to fill a batch of `B`
+    /// at rate `alpha` and (b) multi-server queueing delay that grows as
+    /// utilization `ρ = α / φ(C)` approaches 1 (Allen–Cunneen style
+    /// approximation). Returns [`SimDuration::MAX`] when the system is
+    /// saturated (`ρ ≥ 1`), matching the optimizer's "overloaded" treatment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative or not finite.
+    pub fn request_latency(&self, c: &ParallelConfig, alpha: f64) -> SimDuration {
+        assert!(alpha >= 0.0 && alpha.is_finite(), "bad arrival rate {alpha}");
+        let l_exe = self.exec_latency(c);
+        if alpha == 0.0 {
+            return l_exe;
+        }
+        let phi = self.throughput(c);
+        let rho = alpha / phi;
+        if rho >= 1.0 {
+            return SimDuration::MAX;
+        }
+        // Batch-fill delay: the average request waits for half the rest of
+        // its batch to arrive.
+        let fill = (c.batch as f64 - 1.0) / (2.0 * alpha);
+        // Queueing delay: M/D/c heuristic with c = D servers whose service
+        // time is l_exe per batch.
+        let servers = c.data as f64;
+        let queue = l_exe.as_secs_f64() * rho.powf((2.0 * (servers + 1.0)).sqrt())
+            / (2.0 * servers * (1.0 - rho));
+        l_exe + SimDuration::from_secs_f64(fill + queue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perf(model: ModelSpec) -> PerfModel {
+        PerfModel::paper_defaults(model)
+    }
+
+    #[test]
+    fn table1_anchor_through_perf_model() {
+        let p = perf(ModelSpec::opt_6_7b());
+        let c = ParallelConfig::new(1, 1, 4, 1);
+        let l = p.exec_latency(&c).as_secs_f64();
+        assert!((l - 5.447).abs() / 5.447 < 0.02, "got {l}");
+    }
+
+    #[test]
+    fn throughput_scales_with_data_parallelism() {
+        let p = perf(ModelSpec::gpt_20b());
+        let c1 = ParallelConfig::new(1, 3, 4, 8);
+        let c2 = ParallelConfig::new(2, 3, 4, 8);
+        let r = p.throughput(&c2) / p.throughput(&c1);
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_batches_raise_throughput_sublinearly() {
+        let p = perf(ModelSpec::gpt_20b());
+        let b1 = p.throughput(&ParallelConfig::new(1, 3, 4, 1));
+        let b8 = p.throughput(&ParallelConfig::new(1, 3, 4, 8));
+        assert!(b8 > 2.0 * b1, "batching must help: {b1} -> {b8}");
+        assert!(b8 < 8.0 * b1, "but not perfectly linearly");
+    }
+
+    #[test]
+    fn saturated_config_reports_max_latency() {
+        let p = perf(ModelSpec::llama_30b());
+        let c = ParallelConfig::new(1, 2, 8, 1);
+        let phi = p.throughput(&c);
+        assert_eq!(p.request_latency(&c, phi * 1.1), SimDuration::MAX);
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let p = perf(ModelSpec::gpt_20b());
+        let c = ParallelConfig::new(2, 3, 4, 8);
+        let lo = p.request_latency(&c, 0.1);
+        let hi = p.request_latency(&c, p.throughput(&c) * 0.9);
+        assert!(hi > lo);
+        assert!(lo >= p.exec_latency(&c));
+    }
+
+    #[test]
+    fn zero_load_latency_is_exec_latency() {
+        let p = perf(ModelSpec::opt_6_7b());
+        let c = ParallelConfig::new(1, 1, 4, 4);
+        assert_eq!(p.request_latency(&c, 0.0), p.exec_latency(&c));
+    }
+
+    #[test]
+    fn paper_gpt20b_overload_example() {
+        // §6.2: for GPT-20B at 0.35 req/s, (D=2,P=2,M=8) has "sufficient
+        // throughput", while dropping one pipeline — (D=1,P=2,M=8) — makes
+        // requests stack up.
+        let p = perf(ModelSpec::gpt_20b());
+        let healthy = ParallelConfig::new(2, 2, 8, 8);
+        let degraded = ParallelConfig::new(1, 2, 8, 8);
+        assert!(p.throughput(&healthy) > 0.35);
+        assert!(
+            p.throughput(&degraded) < 0.35,
+            "one pipeline must be insufficient: {}",
+            p.throughput(&degraded)
+        );
+    }
+}

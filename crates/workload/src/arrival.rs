@@ -1,0 +1,245 @@
+//! Stationary arrival processes.
+
+use simkit::{SimDuration, SimRng, SimTime};
+
+use crate::rate::RateProfile;
+use crate::request::{Request, RequestId};
+
+/// How request inter-arrival times are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at `rate` requests/second.
+    Poisson {
+        /// Mean arrival rate, requests/second.
+        rate: f64,
+    },
+    /// Gamma-renewal arrivals: mean `1/rate`, coefficient of variation
+    /// `cv`. The paper uses `cv = 6` "to simulate the burstiness of real
+    /// workloads" (§6.1); `cv = 1` degenerates to Poisson.
+    Gamma {
+        /// Mean arrival rate, requests/second.
+        rate: f64,
+        /// Coefficient of variation of inter-arrival times.
+        cv: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Draws one inter-arrival gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process parameters are not strictly positive.
+    pub fn sample_gap(&self, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            ArrivalProcess::Poisson { rate } => {
+                assert!(rate > 0.0, "rate must be positive");
+                SimDuration::from_secs_f64(rng.exp(rate))
+            }
+            ArrivalProcess::Gamma { rate, cv } => {
+                assert!(rate > 0.0 && cv > 0.0, "rate and cv must be positive");
+                // Gamma with mean 1/rate and CV c has shape k = 1/c²,
+                // scale θ = c²/rate.
+                let k = 1.0 / (cv * cv);
+                let theta = cv * cv / rate;
+                SimDuration::from_secs_f64(rng.gamma(k, theta))
+            }
+        }
+    }
+
+    /// The mean rate of the process.
+    pub fn rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } | ArrivalProcess::Gamma { rate, .. } => rate,
+        }
+    }
+}
+
+/// A complete workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// The arrival process.
+    pub process: ArrivalProcess,
+    /// How long requests keep arriving.
+    pub duration: SimDuration,
+    /// Prompt length of every request (the paper fixes 512).
+    pub s_in: u32,
+    /// Generation length of every request (the paper fixes 128).
+    pub s_out: u32,
+}
+
+impl WorkloadSpec {
+    /// The paper's stable workload for `model_rate` (1.5 / 0.35 / 0.2 req/s
+    /// for OPT-6.7B / GPT-20B / LLaMA-30B), 20 minutes, Gamma CV 6.
+    pub fn paper_stable(model_rate: f64) -> Self {
+        WorkloadSpec {
+            process: ArrivalProcess::Gamma {
+                rate: model_rate,
+                cv: 6.0,
+            },
+            duration: SimDuration::from_secs(1200),
+            s_in: 512,
+            s_out: 128,
+        }
+    }
+
+    /// Generates the request stream.
+    pub fn generate(&self, rng: &mut SimRng) -> Vec<Request> {
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            t = t + self.process.sample_gap(rng);
+            if t.saturating_since(SimTime::ZERO) >= self.duration {
+                break;
+            }
+            out.push(Request {
+                id: RequestId(out.len() as u64),
+                arrival: t,
+                s_in: self.s_in,
+                s_out: self.s_out,
+            });
+        }
+        out
+    }
+
+    /// Generates a request stream whose rate follows `profile` (for the
+    /// fluctuating MAF experiment): inter-arrival gaps are drawn from this
+    /// spec's process shape, rescaled to the instantaneous rate.
+    pub fn generate_with_profile(&self, profile: &RateProfile, rng: &mut SimRng) -> Vec<Request> {
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            let rate = profile.rate_at(t);
+            let gap = if rate <= 0.0 {
+                // Jump to the next profile step with a positive rate.
+                match profile.next_change_after(t) {
+                    Some(next) => next.saturating_since(t),
+                    None => break,
+                }
+            } else {
+                let scaled = match self.process {
+                    ArrivalProcess::Poisson { .. } => ArrivalProcess::Poisson { rate },
+                    ArrivalProcess::Gamma { cv, .. } => ArrivalProcess::Gamma { rate, cv },
+                };
+                scaled.sample_gap(rng)
+            };
+            t = t + gap;
+            if t.saturating_since(SimTime::ZERO) >= self.duration {
+                break;
+            }
+            if profile.rate_at(t) <= 0.0 {
+                continue;
+            }
+            out.push(Request {
+                id: RequestId(out.len() as u64),
+                arrival: t,
+                s_in: self.s_in,
+                s_out: self.s_out,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(42).stream("arrivals")
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let spec = WorkloadSpec {
+            process: ArrivalProcess::Poisson { rate: 2.0 },
+            duration: SimDuration::from_secs(10_000),
+            s_in: 512,
+            s_out: 128,
+        };
+        let reqs = spec.generate(&mut rng());
+        let rate = reqs.len() as f64 / 10_000.0;
+        assert!((rate - 2.0).abs() < 0.1, "rate {rate}");
+    }
+
+    #[test]
+    fn gamma_cv6_is_bursty() {
+        // With CV 6 the inter-arrival distribution is heavily skewed:
+        // most gaps tiny, a few huge. Compare squared CV empirically.
+        let spec = WorkloadSpec {
+            process: ArrivalProcess::Gamma { rate: 1.0, cv: 6.0 },
+            duration: SimDuration::from_secs(200_000),
+            s_in: 512,
+            s_out: 128,
+        };
+        let reqs = spec.generate(&mut rng());
+        let gaps: Vec<f64> = reqs
+            .windows(2)
+            .map(|w| (w[1].arrival - w[0].arrival).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 4.0, "measured CV {cv}");
+        assert!((mean - 1.0).abs() < 0.25, "mean gap {mean}");
+    }
+
+    #[test]
+    fn ids_are_dense_and_arrivals_sorted() {
+        let spec = WorkloadSpec::paper_stable(1.5);
+        let reqs = spec.generate(&mut rng());
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id, RequestId(i as u64));
+        }
+        assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(reqs
+            .iter()
+            .all(|r| r.arrival.saturating_since(SimTime::ZERO) < spec.duration));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let spec = WorkloadSpec::paper_stable(0.35);
+        let a = spec.generate(&mut rng());
+        let b = spec.generate(&mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profile_modulates_rate() {
+        let profile = RateProfile::from_steps(vec![
+            (SimTime::ZERO, 0.2),
+            (SimTime::from_secs(500), 2.0),
+        ]);
+        let spec = WorkloadSpec {
+            process: ArrivalProcess::Poisson { rate: 1.0 },
+            duration: SimDuration::from_secs(1000),
+            s_in: 512,
+            s_out: 128,
+        };
+        let reqs = spec.generate_with_profile(&profile, &mut rng());
+        let early = reqs.iter().filter(|r| r.arrival < SimTime::from_secs(500)).count();
+        let late = reqs.len() - early;
+        assert!(late > early * 3, "late {late} vs early {early}");
+    }
+
+    #[test]
+    fn zero_rate_segments_produce_no_requests() {
+        let profile = RateProfile::from_steps(vec![
+            (SimTime::ZERO, 0.0),
+            (SimTime::from_secs(100), 1.0),
+            (SimTime::from_secs(200), 0.0),
+        ]);
+        let spec = WorkloadSpec {
+            process: ArrivalProcess::Poisson { rate: 1.0 },
+            duration: SimDuration::from_secs(300),
+            s_in: 512,
+            s_out: 128,
+        };
+        let reqs = spec.generate_with_profile(&profile, &mut rng());
+        assert!(!reqs.is_empty());
+        assert!(reqs
+            .iter()
+            .all(|r| r.arrival >= SimTime::from_secs(100) && r.arrival < SimTime::from_secs(200)));
+    }
+}

@@ -1,0 +1,37 @@
+//! Request workloads for the serving experiments.
+//!
+//! The paper evaluates on (a) *stable* workloads — fixed arrival rate with
+//! a Gamma arrival process of coefficient-of-variation 6 to model burstiness
+//! (§6.1) — and (b) a *fluctuating* workload replayed from a rescaled
+//! Microsoft Azure Functions (MAF) trace (§6.3). This crate generates both,
+//! deterministically, from named [`simkit::SimRng`] streams, and provides
+//! the latency-report plumbing shared by all experiment harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::{SimDuration, SimRng};
+//! use workload::{ArrivalProcess, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec {
+//!     process: ArrivalProcess::Gamma { rate: 0.35, cv: 6.0 },
+//!     duration: SimDuration::from_secs(1200),
+//!     s_in: 512,
+//!     s_out: 128,
+//! };
+//! let reqs = spec.generate(&mut SimRng::new(1).stream("arrivals"));
+//! assert!(!reqs.is_empty());
+//! // Mean rate over 20 minutes should be in the right ballpark.
+//! let rate = reqs.len() as f64 / 1200.0;
+//! assert!((rate - 0.35).abs() < 0.15, "rate {rate}");
+//! ```
+
+pub mod arrival;
+pub mod rate;
+pub mod request;
+pub mod stats;
+
+pub use arrival::{ArrivalProcess, WorkloadSpec};
+pub use rate::RateProfile;
+pub use request::{Request, RequestId, RequestOutcome};
+pub use stats::LatencyReport;

@@ -1,0 +1,89 @@
+//! Inference requests and their outcomes.
+
+use std::fmt;
+
+use simkit::{SimDuration, SimTime};
+
+/// Unique request identifier (arrival order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One generative inference request.
+///
+/// # Example
+///
+/// ```
+/// use simkit::SimTime;
+/// use workload::{Request, RequestId};
+/// let r = Request {
+///     id: RequestId(0),
+///     arrival: SimTime::from_secs(3),
+///     s_in: 512,
+///     s_out: 128,
+/// };
+/// assert_eq!(r.total_tokens(), 640);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Identifier, dense in arrival order.
+    pub id: RequestId,
+    /// When the request reaches the inference server.
+    pub arrival: SimTime,
+    /// Input (prompt) length in tokens.
+    pub s_in: u32,
+    /// Output length in tokens (the paper fixes the generation length).
+    pub s_out: u32,
+}
+
+impl Request {
+    /// Input plus output tokens.
+    pub fn total_tokens(&self) -> u32 {
+        self.s_in + self.s_out
+    }
+}
+
+/// A completed request with its end-to-end latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// The request served.
+    pub request: Request,
+    /// When its last output token was delivered.
+    pub finished: SimTime,
+}
+
+impl RequestOutcome {
+    /// End-to-end latency `l_req = l_sch + l_exe`.
+    pub fn latency(&self) -> SimDuration {
+        self.finished.saturating_since(self.request.arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_finish_minus_arrival() {
+        let o = RequestOutcome {
+            request: Request {
+                id: RequestId(1),
+                arrival: SimTime::from_secs(10),
+                s_in: 512,
+                s_out: 128,
+            },
+            finished: SimTime::from_secs(40),
+        };
+        assert_eq!(o.latency(), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn display_request_id() {
+        assert_eq!(format!("{}", RequestId(7)), "r7");
+    }
+}

@@ -1,0 +1,58 @@
+//! Explore the configuration space the way Algorithm 1 sees it: every
+//! memory-feasible `(D, P, M, B)` for a fleet size, with estimated
+//! throughput and request latency — useful for capacity planning before
+//! deploying a model on spot instances.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planner -- [instances] [rate]
+//! ```
+
+use llmsim::ModelSpec;
+use spotserve::ConfigOptimizer;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let instances: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let rate: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.35);
+
+    for model in ModelSpec::paper_models() {
+        let opt = ConfigOptimizer::paper_defaults(model.clone(), 16);
+        println!("\n=== {model} on {instances} x g4dn.12xlarge, α = {rate} req/s ===");
+        let mut rows: Vec<_> = opt
+            .feasible(instances)
+            .into_iter()
+            .map(|c| {
+                let phi = opt.perf().throughput(&c);
+                let l = opt.perf().request_latency(&c, rate);
+                (l, c, phi)
+            })
+            .collect();
+        rows.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        println!(
+            "{:<22} {:>10} {:>12} {:>10}",
+            "config", "φ (req/s)", "l_req (s)", "sustains?"
+        );
+        for (l, c, phi) in rows.iter().take(10) {
+            let lr = if *l == simkit::SimDuration::MAX {
+                "overload".to_string()
+            } else {
+                format!("{:.1}", l.as_secs_f64())
+            };
+            println!(
+                "{:<22} {:>10.3} {:>12} {:>10}",
+                c.to_string(),
+                phi,
+                lr,
+                if *phi >= rate { "yes" } else { "no" }
+            );
+        }
+        let d = opt.decide(instances, rate);
+        match d.now {
+            Some(c) => println!("Algorithm 1 picks: {c}"),
+            None => println!("Algorithm 1: no feasible configuration at this fleet size"),
+        }
+        if d.instance_delta != 0 {
+            println!("instance manager delta: {:+}", d.instance_delta);
+        }
+    }
+}

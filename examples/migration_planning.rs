@@ -1,0 +1,91 @@
+//! Inspect a single reconfiguration the way SpotServe plans it: device
+//! mapping via Kuhn–Munkres, Algorithm 2's layer ordering, and the
+//! resulting timeline — the paper's Figure 4a scenario,
+//! `(D=1,P=2,M=8) -> (D=1,P=3,M=4)`.
+//!
+//! ```sh
+//! cargo run --release --example migration_planning
+//! ```
+
+use cloudsim::{ColdStorage, GpuRef, InstanceId, NetFabric};
+use llmsim::ModelSpec;
+use migration::{evaluate_plan, plan_migration, DeviceAssignment, MigrationTask, PlannerOptions};
+use parallelism::ParallelConfig;
+use spotserve::devicemap::{map_devices, OldState};
+
+fn main() {
+    let model = ModelSpec::gpt_20b();
+    let old_cfg = ParallelConfig::new(1, 2, 8, 8);
+    let new_cfg = ParallelConfig::new(1, 3, 4, 8);
+    let instances: Vec<InstanceId> = (0..4).map(InstanceId).collect();
+    let gpus: Vec<GpuRef> = instances
+        .iter()
+        .flat_map(|&i| (0..4).map(move |s| GpuRef::new(i, s)))
+        .collect();
+    let old_assignment = DeviceAssignment::contiguous(&old_cfg, &gpus);
+
+    println!("reconfiguring {} from {old_cfg} to {new_cfg}\n", model.name);
+
+    // Step 1: device mapping (KM maximizes reusable context).
+    let old = OldState {
+        config_and_assignment: Some((old_cfg, old_assignment.clone())),
+        cache_bytes_per_pipeline: vec![2 << 30],
+        progress_per_pipeline: vec![64],
+    };
+    let outcome = map_devices(&model, &new_cfg, &instances, 4, &old, true);
+    println!(
+        "device mapper reuses {:.1} GB of context in place",
+        outcome.reused_bytes as f64 / 1e9
+    );
+    for (pos, gpu) in outcome.assignment.iter() {
+        let was = old_assignment.position_of(gpu);
+        println!("  {pos} <- {gpu} (held {:?})", was.map(|p| p.to_string()));
+    }
+
+    // Step 2: Algorithm 2 planning.
+    let task = MigrationTask {
+        model: model.clone(),
+        old_config: old_cfg,
+        new_config: new_cfg,
+        old_assignment,
+        new_assignment: outcome.assignment.clone(),
+        cache_bytes_per_pipeline: vec![2 << 30],
+        pipeline_inheritance: outcome.inheritance.clone(),
+    };
+    let plan = plan_migration(&task, &PlannerOptions::default());
+    println!(
+        "\nplan: {:.1} GB over the network, {:.1} GB from storage, peak buffer {:.0} MB",
+        plan.total_bytes_network() as f64 / 1e9,
+        plan.total_bytes_from_storage() as f64 / 1e9,
+        plan.peak_buffer_growth as f64 / 1e6
+    );
+    println!("layer order (first 12): {:?}", &plan.layer_order[..12]);
+
+    // Step 3: the timeline, progressive vs naive.
+    let net = NetFabric::g4dn_default();
+    let storage = ColdStorage::default();
+    let tl = evaluate_plan(&plan, &net, &storage);
+    println!("\nprogressive timeline:");
+    println!("  cache done at {:.2}s", tl.cache_done.as_secs_f64());
+    for (p, ready) in tl.stage_ready.iter().enumerate() {
+        println!("  stage {p} ready at {:.2}s", ready.as_secs_f64());
+    }
+    println!("  all transfers done at {:.2}s", tl.total.as_secs_f64());
+
+    let naive = plan_migration(
+        &task,
+        &PlannerOptions {
+            progressive: false,
+            memory_optimized: false,
+            ..PlannerOptions::default()
+        },
+    );
+    let ntl = evaluate_plan(&naive, &net, &storage);
+    println!(
+        "\nnaive plan: serving pauses {:.2}s vs progressive {:.2}s, peak buffer {:.0} MB vs {:.0} MB",
+        ntl.total.as_secs_f64(),
+        tl.effective_pause(simkit::SimDuration::from_millis(500)).as_secs_f64(),
+        naive.peak_buffer_growth as f64 / 1e6,
+        plan.peak_buffer_growth as f64 / 1e6,
+    );
+}

@@ -1,0 +1,61 @@
+//! What-if study beyond the paper (§8 future work): how the configuration
+//! space and the SLO-driven optimizer behave on a different GPU generation
+//! (8×A100 instances instead of the paper's 4×T4 `g4dn`).
+//!
+//! ```sh
+//! cargo run --release --example what_if_hardware
+//! ```
+
+use cloudsim::{GpuSpec, NetFabric};
+use llmsim::{CostModel, MemoryModel, ModelSpec};
+use parallelism::{ConfigSpace, PerfModel};
+use simkit::SimDuration;
+use spotserve::ConfigOptimizer;
+
+fn main() {
+    let model = ModelSpec::llama_30b();
+    println!("=== {model} on hypothetical 8xA100-40G spot instances ===\n");
+
+    let cost = CostModel::new(GpuSpec::a100_40g(), NetFabric::g4dn_default(), 8);
+    let perf = PerfModel::new(model.clone(), cost, 512, 128);
+    let opt = ConfigOptimizer::new(
+        perf,
+        MemoryModel::default(),
+        GpuSpec::a100_40g(),
+        ConfigSpace::default(),
+        8,
+        8,
+    );
+
+    // A100s have 2.5x the memory: the model fits on far fewer GPUs.
+    let (n, (p, m)) = opt
+        .memory()
+        .min_gpus(&model, &GpuSpec::a100_40g(), 64)
+        .expect("fits");
+    println!("minimum fleet: {n} GPUs, e.g. (P={p}, M={m})  [T4 needed 16]");
+
+    for alpha in [0.2, 0.5, 1.0] {
+        let d = opt.decide(4, alpha);
+        match d.now {
+            Some(c) => println!(
+                "α={alpha:>4} req/s on 4 instances -> {c}  φ={:.2} req/s, l_exe={:.1}s",
+                opt.perf().throughput(&c),
+                opt.perf().exec_latency(&c).as_secs_f64()
+            ),
+            None => println!("α={alpha:>4} req/s -> no feasible configuration"),
+        }
+    }
+
+    // SLO-driven provisioning (§3.2's alternative objective).
+    println!();
+    for slo_secs in [30u64, 15, 8] {
+        let d = opt.decide_slo(8, 0.5, SimDuration::from_secs(slo_secs));
+        match d.target {
+            Some(c) => println!(
+                "SLO {slo_secs:>2}s at 0.5 req/s -> {c} ({} instances)",
+                c.instances_needed(8)
+            ),
+            None => println!("SLO {slo_secs:>2}s -> unattainable"),
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the SpotServe reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests have a
+//! single dependency surface. See the [`spotserve`] crate for the system
+//! itself and `README.md` for the experiment harness.
+
+pub use cloudsim;
+pub use enginesim;
+pub use kmatch;
+pub use llmsim;
+pub use migration;
+pub use parallelism;
+pub use simkit;
+pub use spotserve;
+pub use workload;

@@ -1,0 +1,131 @@
+//! Fault-injection scenarios for §4.2's interruption fault tolerance:
+//! overlapping grace periods, capacity collapses, churn storms, and
+//! recovery from total outage.
+
+use cloudsim::AvailabilityTrace;
+use llmsim::ModelSpec;
+use simkit::{SimRng, SimTime};
+use spotserve::{Scenario, ServingSystem, SystemOptions};
+
+fn short_scenario(trace: AvailabilityTrace, model: ModelSpec, rate: f64, seed: u64) -> Scenario {
+    let mut s = Scenario::paper_stable(model, trace, rate, seed);
+    s.requests.retain(|r| r.arrival < SimTime::from_secs(600));
+    s
+}
+
+/// Two preemption notices landing 10 s apart: their grace periods overlap,
+/// so the second arrives while the first migration is being arranged.
+#[test]
+fn overlapping_grace_periods_are_survived() {
+    let trace = AvailabilityTrace::from_steps(vec![
+        (SimTime::ZERO, 8),
+        (SimTime::from_secs(100), 7),
+        (SimTime::from_secs(110), 6),
+        (SimTime::from_secs(120), 5),
+    ]);
+    let scenario = short_scenario(trace, ModelSpec::gpt_20b(), 0.35, 3);
+    let total = scenario.requests.len();
+    let report = ServingSystem::new(SystemOptions::spotserve(), scenario).run();
+    assert_eq!(report.latency.outcomes().len() + report.unfinished, total);
+    assert_eq!(report.unfinished, 0, "all requests must eventually finish");
+    assert!(report.preemptions >= 3);
+}
+
+/// The fleet collapses below the model's minimum and recovers: serving
+/// halts, context is preserved where possible, and the system resumes.
+#[test]
+fn total_outage_and_recovery() {
+    let trace = AvailabilityTrace::from_steps(vec![
+        (SimTime::ZERO, 6),
+        (SimTime::from_secs(120), 2), // below GPT-20B's 3-instance minimum
+        (SimTime::from_secs(300), 6),
+    ]);
+    let scenario = short_scenario(trace, ModelSpec::gpt_20b(), 0.35, 5);
+    let total = scenario.requests.len();
+    let report = ServingSystem::new(SystemOptions::spotserve(), scenario).run();
+    assert_eq!(report.unfinished, 0, "recovery must drain the backlog");
+    assert_eq!(report.latency.outcomes().len(), total);
+    // The halt must be visible in the configuration history.
+    assert!(
+        report.config_changes.iter().any(|c| c.config.is_none()),
+        "a halt should be recorded: {:?}",
+        report.config_sequence()
+    );
+}
+
+/// A churn storm: capacity oscillates every 45 s (shorter than a typical
+/// reconfiguration settle interval). Nothing deadlocks, requests conserve.
+#[test]
+fn churn_storm_conserves_requests() {
+    let mut steps = vec![(SimTime::ZERO, 8u32)];
+    for i in 1..16u64 {
+        steps.push((SimTime::from_secs(45 * i), if i % 2 == 0 { 8 } else { 5 }));
+    }
+    let trace = AvailabilityTrace::from_steps(steps);
+    for opts in [
+        SystemOptions::spotserve(),
+        SystemOptions::reparallelization(),
+        SystemOptions::rerouting(),
+    ] {
+        let scenario = short_scenario(trace.clone(), ModelSpec::gpt_20b(), 0.35, 7);
+        let total = scenario.requests.len();
+        let report = ServingSystem::new(opts.clone(), scenario).run();
+        assert_eq!(
+            report.latency.outcomes().len() + report.unfinished,
+            total,
+            "{:?}: requests must be conserved",
+            opts.policy
+        );
+    }
+}
+
+/// Randomized trace fuzzing: many generated availability traces, every one
+/// must conserve requests and terminate (a DES smoke test against hangs,
+/// double-completion and lost-request bugs).
+#[test]
+fn randomized_traces_never_lose_requests() {
+    for seed in 0..12u64 {
+        let gen = cloudsim::TraceGenerator {
+            min_capacity: 2,
+            ..cloudsim::TraceGenerator::default()
+        };
+        let trace = gen.generate(&mut SimRng::new(seed).stream("fuzz"));
+        let scenario = short_scenario(trace, ModelSpec::opt_6_7b(), 1.0, seed);
+        let total = scenario.requests.len();
+        let report = ServingSystem::new(SystemOptions::spotserve(), scenario).run();
+        assert_eq!(
+            report.latency.outcomes().len() + report.unfinished,
+            total,
+            "seed {seed}"
+        );
+        let mut ids: Vec<u64> = report
+            .latency
+            .outcomes()
+            .iter()
+            .map(|o| o.request.id.0)
+            .collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(n, ids.len(), "seed {seed}: duplicated completion");
+    }
+}
+
+/// Preemption exactly during a migration window (§4.2's "preempted before
+/// expected" case): the system re-plans with the survivors.
+#[test]
+fn preemption_during_migration_replans() {
+    // Drop 2 instances 5 s apart so the second dies mid-migration.
+    let trace = AvailabilityTrace::from_steps(vec![
+        (SimTime::ZERO, 10),
+        (SimTime::from_secs(150), 8),
+        (SimTime::from_secs(155), 6),
+        (SimTime::from_secs(160), 4),
+    ]);
+    let scenario = short_scenario(trace, ModelSpec::llama_30b(), 0.2, 9);
+    let total = scenario.requests.len();
+    let report = ServingSystem::new(SystemOptions::spotserve(), scenario).run();
+    assert_eq!(report.latency.outcomes().len() + report.unfinished, total);
+    assert_eq!(report.unfinished, 0);
+    assert!(report.config_changes.len() >= 2, "re-planning happened");
+}

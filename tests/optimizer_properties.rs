@@ -1,0 +1,86 @@
+//! Property tests for Algorithm 1's invariants over the whole input space.
+
+use llmsim::ModelSpec;
+use proptest::prelude::*;
+use spotserve::ConfigOptimizer;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the fleet and load, a `now` decision always fits the fleet.
+    #[test]
+    fn now_config_always_fits_fleet(
+        n in 0u32..20,
+        alpha in 0.0f64..3.0,
+    ) {
+        let opt = ConfigOptimizer::paper_defaults(ModelSpec::gpt_20b(), 16);
+        let d = opt.decide(n, alpha);
+        if let Some(c) = d.now {
+            prop_assert!(c.instances_needed(4) <= n, "{c} needs more than {n}");
+        }
+    }
+
+    /// If any feasible-now configuration sustains α, the chosen one does.
+    #[test]
+    fn sustaining_choice_when_possible(
+        n in 3u32..16,
+        alpha in 0.05f64..1.0,
+    ) {
+        let opt = ConfigOptimizer::paper_defaults(ModelSpec::gpt_20b(), 16);
+        let any_sustains = opt
+            .feasible(n)
+            .into_iter()
+            .any(|c| opt.perf().throughput(&c) >= alpha);
+        let d = opt.decide(n, alpha);
+        if any_sustains {
+            let c = d.now.expect("feasible set non-empty");
+            prop_assert!(
+                opt.perf().throughput(&c) >= alpha,
+                "{c} does not sustain {alpha}"
+            );
+        }
+    }
+
+    /// The incumbent bias never selects an infeasible or overloaded config.
+    #[test]
+    fn incumbent_bias_is_safe(
+        n in 3u32..16,
+        alpha in 0.05f64..1.0,
+        inc_idx in 0usize..64,
+    ) {
+        let opt = ConfigOptimizer::paper_defaults(ModelSpec::gpt_20b(), 16);
+        let feasible = opt.feasible(16);
+        prop_assume!(!feasible.is_empty());
+        let incumbent = feasible[inc_idx % feasible.len()];
+        let with = opt.decide_with_incumbent(n, alpha, Some(incumbent));
+        let without = opt.decide(n, alpha);
+        if let Some(c) = with.now {
+            prop_assert!(c.instances_needed(4) <= n);
+            // Keeping the incumbent is only allowed when it sustains α,
+            // so the choice can never be worse than 15% off the optimum
+            // unless nothing sustains α at all.
+            if let Some(best) = without.now {
+                if opt.perf().throughput(&best) >= alpha && c == incumbent && c != best {
+                    prop_assert!(opt.perf().throughput(&c) >= alpha);
+                }
+            }
+        }
+    }
+
+    /// Positive instance deltas always accompany an unmet target.
+    #[test]
+    fn delta_consistent_with_target(
+        n in 0u32..20,
+        alpha in 0.0f64..2.0,
+    ) {
+        let opt = ConfigOptimizer::paper_defaults(ModelSpec::llama_30b(), 16);
+        let d = opt.decide(n, alpha);
+        match d.target {
+            Some(t) => prop_assert_eq!(
+                d.instance_delta,
+                t.instances_needed(4) as i64 - n as i64
+            ),
+            None => prop_assert_eq!(d.instance_delta, -(n as i64)),
+        }
+    }
+}

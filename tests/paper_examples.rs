@@ -1,0 +1,114 @@
+//! Integration tests reproducing the paper's worked examples
+//! (Figures 1, 4a and 4b) through the public API.
+
+use cloudsim::{GpuRef, InstanceId};
+use llmsim::ModelSpec;
+use migration::{evaluate_plan, plan_migration, DeviceAssignment, MigrationTask, PlannerOptions};
+use parallelism::{ParallelConfig, PositionContext};
+use spotserve::devicemap::{map_devices, OldState};
+
+fn gpus(instances: u64) -> Vec<GpuRef> {
+    (0..instances)
+        .flat_map(|i| (0..4u8).map(move |s| GpuRef::new(InstanceId(i), s)))
+        .collect()
+}
+
+/// Figure 4a: the `(D=1,P=2,M=8) -> (D=1,P=3,M=4)` reconfiguration keeps
+/// the interrupted request's decoding progress and moves strictly less than
+/// the whole model.
+#[test]
+fn figure_4a_context_migration_preserves_progress() {
+    let model = ModelSpec::gpt_20b();
+    let old_cfg = ParallelConfig::new(1, 2, 8, 8);
+    let new_cfg = ParallelConfig::new(1, 3, 4, 8);
+    let g = gpus(4);
+    let old_assignment = DeviceAssignment::contiguous(&old_cfg, &g);
+
+    let old = OldState {
+        config_and_assignment: Some((old_cfg, old_assignment.clone())),
+        cache_bytes_per_pipeline: vec![1 << 30],
+        progress_per_pipeline: vec![100],
+    };
+    let instances: Vec<InstanceId> = (0..4).map(InstanceId).collect();
+    let outcome = map_devices(&model, &new_cfg, &instances, 4, &old, true);
+    // The new pipeline 0' inherits the interrupted requests of pipeline 0.
+    assert_eq!(outcome.inheritance, vec![Some(0)]);
+
+    let task = MigrationTask {
+        model: model.clone(),
+        old_config: old_cfg,
+        new_config: new_cfg,
+        old_assignment,
+        new_assignment: outcome.assignment,
+        cache_bytes_per_pipeline: vec![1 << 30],
+        pipeline_inheritance: outcome.inheritance,
+    };
+    let plan = plan_migration(&task, &PlannerOptions::default());
+    // No replica was lost: the KV cache survives in full and nothing needs
+    // cold storage.
+    assert_eq!(plan.transfers.cache_lost_bytes, 0);
+    assert_eq!(plan.total_bytes_from_storage(), 0);
+    // Reuse means strictly less than one full model crosses the network.
+    assert!(plan.total_bytes_network() < model.param_bytes());
+    assert!(plan.total_bytes_network() > 0);
+}
+
+/// Figure 4b: in the `(D=2,P=2,M=2) -> (D=2,P=3,M=1)` mapping, the GPU
+/// holding the first stage's shard of the inherited pipeline overlaps most
+/// with the new first-stage positions, so KM keeps it on the first stage.
+#[test]
+fn figure_4b_mapping_matches_paper_intuition() {
+    let model = ModelSpec::opt_6_7b();
+    let layer_bytes = model.layer_bytes();
+    // u1 of the figure: stage 0, shard 1 of a 2-way split over 12 "layers".
+    let u1 = PositionContext::new(12, 2, 0, 2, 1);
+    let v0 = PositionContext::new(12, 3, 0, 1, 0); // new stage 0'
+    let v1 = PositionContext::new(12, 3, 1, 1, 0); // new stage 1'
+    let v2 = PositionContext::new(12, 3, 2, 1, 0); // new stage 2'
+    let w0 = u1.weight_overlap_bytes(&v0, layer_bytes);
+    let w1 = u1.weight_overlap_bytes(&v1, layer_bytes);
+    let w2 = u1.weight_overlap_bytes(&v2, layer_bytes);
+    // "u1 ... overlaps the most model context with v0 ... since they are in
+    // charge of the first stage of the new pipeline" (§3.3).
+    assert!(w0 > w1, "{w0} vs {w1}");
+    assert_eq!(w2, 0, "stage 2' shares no layers with old stage 0");
+}
+
+/// Figure 1b: a fresh start (the baseline behaviour) reloads everything
+/// from storage, which is what context migration avoids.
+#[test]
+fn figure_1b_cold_restart_is_expensive() {
+    let model = ModelSpec::llama_30b();
+    let cfg = ParallelConfig::new(1, 2, 8, 8);
+    let fleet: Vec<(InstanceId, u8)> = (0..4).map(|i| (InstanceId(i), 4)).collect();
+    let task = MigrationTask::fresh_start(&model, cfg, &fleet);
+    let plan = plan_migration(&task, &PlannerOptions::default());
+    let tl = evaluate_plan(
+        &plan,
+        &cloudsim::NetFabric::g4dn_default(),
+        &cloudsim::ColdStorage::default(),
+    );
+    // >1 minute to reload a 111 GB model across 4 instances.
+    assert!(tl.total.as_secs_f64() > 45.0, "total {}", tl.total);
+    assert_eq!(plan.total_bytes_network(), 0);
+}
+
+/// Section 3.3: when the new configuration handles fewer concurrent
+/// requests, the inheritance keeps the pipelines with the most decoding
+/// progress.
+#[test]
+fn shrink_keeps_most_progressed_pipelines() {
+    let model = ModelSpec::opt_6_7b();
+    let old_cfg = ParallelConfig::new(3, 1, 4, 8);
+    let g = gpus(3);
+    let old = OldState {
+        config_and_assignment: Some((old_cfg, DeviceAssignment::contiguous(&old_cfg, &g))),
+        cache_bytes_per_pipeline: vec![1 << 20; 3],
+        progress_per_pipeline: vec![10, 120, 50],
+    };
+    let new_cfg = ParallelConfig::new(2, 1, 4, 8);
+    let instances: Vec<InstanceId> = (0..3).map(InstanceId).collect();
+    let outcome = map_devices(&model, &new_cfg, &instances, 4, &old, true);
+    // Pipelines with 120 and 50 committed tokens survive; 10 is dropped.
+    assert_eq!(outcome.inheritance, vec![Some(1), Some(2)]);
+}
