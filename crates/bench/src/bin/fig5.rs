@@ -4,13 +4,18 @@
 
 use cloudsim::AvailabilityTrace;
 use llmsim::ModelSpec;
-use spotserve_bench::{header, run_cell};
 use spotserve::SystemOptions;
+use spotserve_bench::{header, run_cell};
 
 fn print_trace(name: &str, trace: &AvailabilityTrace) {
     println!("\n--- Trace {name} (spot capacity, #instances over time) ---");
     for &(t, c) in trace.steps() {
-        println!("t={:>6.0}s  capacity={:>2}  {}", t.as_secs_f64(), c, "#".repeat(c as usize));
+        println!(
+            "t={:>6.0}s  capacity={:>2}  {}",
+            t.as_secs_f64(),
+            c,
+            "#".repeat(c as usize)
+        );
     }
 }
 

@@ -6,8 +6,8 @@
 //! for latency).
 
 use llmsim::ModelSpec;
-use spotserve_bench::{header, paper_systems, paper_traces, run_cell};
 use spotserve::SystemOptions;
+use spotserve_bench::{header, paper_systems, paper_traces, run_cell};
 
 fn main() {
     header("Figure 7: monetary cost vs latency, GPT-20B");

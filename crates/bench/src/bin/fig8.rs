@@ -9,8 +9,8 @@
 use cloudsim::AvailabilityTrace;
 use llmsim::ModelSpec;
 use simkit::{SimDuration, SimRng};
-use spotserve_bench::{header, latency_row, paper_systems};
 use spotserve::{Scenario, ServingSystem};
+use spotserve_bench::{header, latency_row, paper_systems};
 use workload::{ArrivalProcess, RateProfile, WorkloadSpec};
 
 fn requests_for(profile: &RateProfile, seed: u64) -> Vec<workload::Request> {
@@ -52,13 +52,8 @@ fn main() {
         println!("workload: {} requests over 900 s", requests.len());
         for (sname, opts) in paper_systems() {
             let opts = opts.with_on_demand_mixing();
-            let scenario = Scenario::with_requests(
-                model.clone(),
-                trace.clone(),
-                requests.clone(),
-                0.35,
-                11,
-            );
+            let scenario =
+                Scenario::with_requests(model.clone(), trace.clone(), requests.clone(), 0.35, 11);
             let mut report = ServingSystem::new(opts, scenario).run();
             let p = report.latency.percentiles();
             // (e)(f) latency statistics.
@@ -101,7 +96,12 @@ fn main() {
                 }
                 for (i, (sum, n)) in sums.iter().enumerate() {
                     if *n > 0 {
-                        println!("    minute {:>2}: {:>6.1}s ({} reqs)", i, sum / *n as f64, n);
+                        println!(
+                            "    minute {:>2}: {:>6.1}s ({} reqs)",
+                            i,
+                            sum / *n as f64,
+                            n
+                        );
                     }
                 }
             }

@@ -5,8 +5,8 @@
 
 use cloudsim::AvailabilityTrace;
 use llmsim::ModelSpec;
-use spotserve_bench::{ablation_ladder, header, run_cell};
 use spotserve::{AblationFlags, SystemOptions};
+use spotserve_bench::{ablation_ladder, header, run_cell};
 
 fn main() {
     header("Figure 9: ablation study, GPT-20B @0.35 req/s");
@@ -44,10 +44,34 @@ fn main() {
     header("Fig 9 extension: leave-one-out ablation, GPT-20B");
     let single = [
         ("SpotServe", AblationFlags::default()),
-        ("w/o Controller", AblationFlags { no_controller: true, ..Default::default() }),
-        ("w/o Migration Planner", AblationFlags { no_migration_planner: true, ..Default::default() }),
-        ("w/o Interruption Arranger", AblationFlags { no_interruption_arranger: true, ..Default::default() }),
-        ("w/o Device Mapper", AblationFlags { no_device_mapper: true, ..Default::default() }),
+        (
+            "w/o Controller",
+            AblationFlags {
+                no_controller: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "w/o Migration Planner",
+            AblationFlags {
+                no_migration_planner: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "w/o Interruption Arranger",
+            AblationFlags {
+                no_interruption_arranger: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "w/o Device Mapper",
+            AblationFlags {
+                no_device_mapper: true,
+                ..Default::default()
+            },
+        ),
     ];
     for (tname, trace) in [
         ("AS", AvailabilityTrace::paper_as()),

@@ -20,9 +20,7 @@ fn main() {
         ("GPT-20B", 74.5, 12, (3, 4), 14.373),
         ("LLaMA-30B", 111.8, 16, (2, 8), 17.540),
     ];
-    for (model, (pname, psize, pgpus, ppm, plat)) in
-        ModelSpec::paper_models().iter().zip(paper)
-    {
+    for (model, (pname, psize, pgpus, ppm, plat)) in ModelSpec::paper_models().iter().zip(paper) {
         assert_eq!(model.name, pname);
         let size = model.param_bytes() as f64 / (1u64 << 30) as f64;
         let (n, (p, m)) = mem
@@ -31,7 +29,14 @@ fn main() {
         let cost = calibration::calibrated_cost_model(model);
         let (pp, pm) = ppm;
         let lat = cost
-            .exec_latency(model, pp, pm, 1, calibration::PAPER_S_IN, calibration::PAPER_S_OUT)
+            .exec_latency(
+                model,
+                pp,
+                pm,
+                1,
+                calibration::PAPER_S_IN,
+                calibration::PAPER_S_OUT,
+            )
             .as_secs_f64();
         println!(
             "{:<12} {:>7.1} [{psize:>5.1}] {:>4} [{pgpus:>2}] ({p},{m}) [({},{})] {:>8.3}s [{plat:.3}s]",

@@ -57,7 +57,10 @@ mod tests {
         let evs = [
             CloudEvent::SpotGranted { id },
             CloudEvent::OnDemandGranted { id },
-            CloudEvent::PreemptionNotice { id, kill_at: SimTime::from_secs(30) },
+            CloudEvent::PreemptionNotice {
+                id,
+                kill_at: SimTime::from_secs(30),
+            },
             CloudEvent::Preempted { id },
         ];
         assert!(evs.iter().all(|e| e.instance() == id));

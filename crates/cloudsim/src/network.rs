@@ -99,7 +99,10 @@ mod tests {
         let net = NetFabric::g4dn_default();
         let small = net.p2p_time(1 << 20, false);
         let big = net.p2p_time(1 << 30, false);
-        assert!(big > small * 100, "1 GiB should dwarf 1 MiB: {big} vs {small}");
+        assert!(
+            big > small * 100,
+            "1 GiB should dwarf 1 MiB: {big} vs {small}"
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl BillingMeter {
             InstanceKind::Spot => "spot",
             InstanceKind::OnDemand => "on-demand",
         };
-        self.closed_time.get(key).copied().unwrap_or(SimDuration::ZERO)
+        self.closed_time
+            .get(key)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Number of leases currently open.
@@ -129,7 +132,10 @@ mod tests {
         m.lease_ended(InstanceId(1), t);
         m.lease_ended(InstanceId(2), t);
         assert!((m.total_usd(t) - (1.9 + 3.9)).abs() < 1e-9);
-        assert_eq!(m.closed_time(InstanceKind::Spot), SimDuration::from_secs(3600));
+        assert_eq!(
+            m.closed_time(InstanceKind::Spot),
+            SimDuration::from_secs(3600)
+        );
     }
 
     #[test]

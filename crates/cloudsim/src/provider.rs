@@ -268,8 +268,13 @@ impl CloudSim {
                 .expect("victim is active")
                 .kill_at = Some(kill_at);
             self.internal.schedule(kill_at, Internal::Kill(victim));
-            self.out
-                .push_back((t, CloudEvent::PreemptionNotice { id: victim, kill_at }));
+            self.out.push_back((
+                t,
+                CloudEvent::PreemptionNotice {
+                    id: victim,
+                    kill_at,
+                },
+            ));
         }
         // Freed capacity admits queued requests.
         self.try_start_spot_grants(t);
@@ -374,10 +379,8 @@ mod tests {
 
     #[test]
     fn capacity_drop_issues_notice_then_kill() {
-        let trace = AvailabilityTrace::from_steps(vec![
-            (SimTime::ZERO, 2),
-            (SimTime::from_secs(300), 1),
-        ]);
+        let trace =
+            AvailabilityTrace::from_steps(vec![(SimTime::ZERO, 2), (SimTime::from_secs(300), 1)]);
         let mut cloud = sim(trace);
         cloud.request_spot(SimTime::ZERO, 2);
         let evs = drain(&mut cloud);
@@ -400,10 +403,8 @@ mod tests {
 
     #[test]
     fn released_during_grace_period_is_not_killed_twice() {
-        let trace = AvailabilityTrace::from_steps(vec![
-            (SimTime::ZERO, 1),
-            (SimTime::from_secs(300), 0),
-        ]);
+        let trace =
+            AvailabilityTrace::from_steps(vec![(SimTime::ZERO, 1), (SimTime::from_secs(300), 0)]);
         let mut cloud = sim(trace);
         cloud.request_spot(SimTime::ZERO, 1);
         let (_, grant) = cloud.pop_next().unwrap();
@@ -418,17 +419,19 @@ mod tests {
 
     #[test]
     fn capacity_rise_admits_queued_requests() {
-        let trace = AvailabilityTrace::from_steps(vec![
-            (SimTime::ZERO, 1),
-            (SimTime::from_secs(600), 3),
-        ]);
+        let trace =
+            AvailabilityTrace::from_steps(vec![(SimTime::ZERO, 1), (SimTime::from_secs(600), 3)]);
         let mut cloud = sim(trace);
         cloud.request_spot(SimTime::ZERO, 3);
         let evs = drain(&mut cloud);
         assert_eq!(evs.len(), 3);
         assert_eq!(evs[0].0, SimTime::from_secs(40));
         for (t, _) in &evs[1..] {
-            assert_eq!(*t, SimTime::from_secs(640), "grants 40s after capacity rise");
+            assert_eq!(
+                *t,
+                SimTime::from_secs(640),
+                "grants 40s after capacity rise"
+            );
         }
     }
 
@@ -446,10 +449,8 @@ mod tests {
 
     #[test]
     fn on_demand_never_preempted() {
-        let trace = AvailabilityTrace::from_steps(vec![
-            (SimTime::ZERO, 2),
-            (SimTime::from_secs(300), 0),
-        ]);
+        let trace =
+            AvailabilityTrace::from_steps(vec![(SimTime::ZERO, 2), (SimTime::from_secs(300), 0)]);
         let mut cloud = sim(trace);
         cloud.request_on_demand(SimTime::ZERO, 2);
         cloud.request_spot(SimTime::ZERO, 2);
@@ -470,10 +471,8 @@ mod tests {
     #[test]
     fn inflight_grants_cancelled_on_capacity_drop() {
         // Capacity drops at t=10, before the t=40 grant fires.
-        let trace = AvailabilityTrace::from_steps(vec![
-            (SimTime::ZERO, 2),
-            (SimTime::from_secs(10), 0),
-        ]);
+        let trace =
+            AvailabilityTrace::from_steps(vec![(SimTime::ZERO, 2), (SimTime::from_secs(10), 0)]);
         let mut cloud = sim(trace);
         cloud.request_spot(SimTime::ZERO, 2);
         let evs = drain(&mut cloud);
@@ -497,7 +496,9 @@ mod tests {
             let mut cloud = CloudSim::new(CloudConfig::default(), trace, 99);
             cloud.request_spot(SimTime::ZERO, 10);
             let evs = drain(&mut cloud);
-            evs.iter().map(|(t, e)| (*t, format!("{e:?}"))).collect::<Vec<_>>()
+            evs.iter()
+                .map(|(t, e)| (*t, format!("{e:?}")))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

@@ -218,7 +218,10 @@ impl TraceGenerator {
     ///
     /// Panics if `min_capacity > max_capacity` or `max_step == 0`.
     pub fn generate(&self, rng: &mut SimRng) -> AvailabilityTrace {
-        assert!(self.min_capacity <= self.max_capacity, "invalid capacity range");
+        assert!(
+            self.min_capacity <= self.max_capacity,
+            "invalid capacity range"
+        );
         assert!(self.max_step > 0, "max_step must be positive");
         let mut cap = self
             .start_capacity
@@ -226,10 +229,9 @@ impl TraceGenerator {
         let mut steps = vec![(SimTime::ZERO, cap)];
         let mut t = SimTime::ZERO;
         loop {
-            let dwell = SimDuration::from_secs_f64(
-                rng.exp(1.0 / self.mean_dwell.as_secs_f64()).max(1.0),
-            );
-            t = t + dwell;
+            let dwell =
+                SimDuration::from_secs_f64(rng.exp(1.0 / self.mean_dwell.as_secs_f64()).max(1.0));
+            t += dwell;
             if t.saturating_since(SimTime::ZERO) >= self.duration {
                 break;
             }
@@ -300,10 +302,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn trace_steps_must_increase() {
-        AvailabilityTrace::from_steps(vec![
-            (SimTime::ZERO, 4),
-            (SimTime::ZERO, 5),
-        ]);
+        AvailabilityTrace::from_steps(vec![(SimTime::ZERO, 4), (SimTime::ZERO, 5)]);
     }
 
     #[test]

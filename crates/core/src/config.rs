@@ -133,14 +133,15 @@ mod tests {
     #[test]
     fn constructors_set_policy() {
         assert_eq!(SystemOptions::spotserve().policy, Policy::SpotServe);
-        assert_eq!(
-            SystemOptions::rerouting().policy,
-            Policy::Rerouting
-        );
+        assert_eq!(SystemOptions::rerouting().policy, Policy::Rerouting);
         assert_eq!(
             SystemOptions::on_demand_only(4).policy,
             Policy::OnDemandOnly { instances: 4 }
         );
-        assert!(SystemOptions::spotserve().with_on_demand_mixing().on_demand_mixing);
+        assert!(
+            SystemOptions::spotserve()
+                .with_on_demand_mixing()
+                .on_demand_mixing
+        );
     }
 }

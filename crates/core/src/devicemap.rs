@@ -74,7 +74,12 @@ pub fn map_devices(
     if let Some((old_cfg, _)) = &old.config_and_assignment {
         let mut order: Vec<u32> = (0..old_cfg.data).collect();
         order.sort_by_key(|&d| {
-            std::cmp::Reverse(old.progress_per_pipeline.get(d as usize).copied().unwrap_or(0))
+            std::cmp::Reverse(
+                old.progress_per_pipeline
+                    .get(d as usize)
+                    .copied()
+                    .unwrap_or(0),
+            )
         });
         for (d_prime, d_old) in order.into_iter().take(d_new).enumerate() {
             inheritance[d_prime] = Some(d_old);

@@ -190,7 +190,11 @@ impl ServingSystem {
             gpus_per_instance,
             opts.max_instances,
         );
-        let cloud = CloudSim::new(scenario.cloud.clone(), scenario.trace.clone(), scenario.seed);
+        let cloud = CloudSim::new(
+            scenario.cloud.clone(),
+            scenario.trace.clone(),
+            scenario.seed,
+        );
         let name = match opts.policy {
             Policy::SpotServe => "SpotServe",
             Policy::Reparallelization => "Reparallelization",
@@ -275,11 +279,7 @@ impl ServingSystem {
     /// Estimated arrival rate over the last rate-tick window (§3.2).
     fn rate_estimate(&self) -> f64 {
         let window = self.opts.rate_tick;
-        let lo = SimTime::from_micros(
-            self.now
-                .as_micros()
-                .saturating_sub(window.as_micros() * 4),
-        );
+        let lo = SimTime::from_micros(self.now.as_micros().saturating_sub(window.as_micros() * 4));
         let recent = self
             .arrivals_seen
             .iter()
@@ -400,7 +400,8 @@ impl ServingSystem {
         match self.opts.policy {
             Policy::Rerouting => {
                 let (p, m, b) = self.rerouting_shape?;
-                let per = ParallelConfig::new(1, p, m, b).instances_needed(self.gpus_per_instance());
+                let per =
+                    ParallelConfig::new(1, p, m, b).instances_needed(self.gpus_per_instance());
                 let d = n / per;
                 (d > 0).then(|| ParallelConfig::new(d, p, m, b))
             }
@@ -552,18 +553,15 @@ impl ServingSystem {
     // ---- Policy reactions ------------------------------------------
 
     fn on_preemption_notice(&mut self, id: InstanceId, kill_at: SimTime) {
-        match self.opts.policy {
-            Policy::SpotServe => {
-                let involved = self.assignment.instances().contains(&id);
-                if involved {
-                    self.plan_transition(Some(kill_at));
-                } else {
-                    // A spare is dying: just top the pool back up.
-                    self.replenish_fleet();
-                }
+        // Reactive baselines do nothing until the instance is gone.
+        if self.opts.policy == Policy::SpotServe {
+            let involved = self.assignment.instances().contains(&id);
+            if involved {
+                self.plan_transition(Some(kill_at));
+            } else {
+                // A spare is dying: just top the pool back up.
+                self.replenish_fleet();
             }
-            // Reactive baselines do nothing until the instance is gone.
-            _ => {}
         }
     }
 
@@ -729,7 +727,7 @@ impl ServingSystem {
             if excess > 0 {
                 self.release_surplus(excess);
             }
-            self.cloud.cancel_pending_spot(u32::MAX.min(surplus));
+            self.cloud.cancel_pending_spot(surplus);
         }
     }
 
@@ -738,9 +736,8 @@ impl ServingSystem {
         if matches!(self.opts.policy, Policy::OnDemandOnly { .. }) {
             return;
         }
-        let have = self.usable().len() as u32
-            + self.initializing.len() as u32
-            + self.cloud.pending_spot();
+        let have =
+            self.usable().len() as u32 + self.initializing.len() as u32 + self.cloud.pending_spot();
         if have < self.initial_fleet_target {
             let want = self.initial_fleet_target - have;
             self.cloud.request_spot(self.now, want);
@@ -871,7 +868,8 @@ impl ServingSystem {
             }
             _ => self.now,
         };
-        self.events.schedule(commit_at, Ev::TransitionCommit { epoch });
+        self.events
+            .schedule(commit_at, Ev::TransitionCommit { epoch });
     }
 
     /// Rough migration-time estimate for JIT arrangement (recomputed
@@ -907,7 +905,13 @@ impl ServingSystem {
         let cache_bytes: Vec<u64> = self
             .pipelines
             .iter()
-            .map(|s| if stateful { s.daemon.cache_bytes_at(self.now) } else { 0 })
+            .map(|s| {
+                if stateful {
+                    s.daemon.cache_bytes_at(self.now)
+                } else {
+                    0
+                }
+            })
             .collect();
         let progress: Vec<u32> = self
             .pipelines
@@ -915,9 +919,7 @@ impl ServingSystem {
             .map(|s| s.daemon.committed_iters_at(self.now))
             .collect();
         let old = OldState {
-            config_and_assignment: self
-                .context_shape
-                .map(|c| (c, self.assignment.clone())),
+            config_and_assignment: self.context_shape.map(|c| (c, self.assignment.clone())),
             cache_bytes_per_pipeline: cache_bytes.clone(),
             progress_per_pipeline: progress,
         };
@@ -962,7 +964,9 @@ impl ServingSystem {
     /// Executes the transition decided earlier: freeze engines, migrate or
     /// restart, schedule completion.
     fn commit_transition(&mut self) {
-        let Some(tr) = self.transition.as_ref() else { return };
+        let Some(tr) = self.transition.as_ref() else {
+            return;
+        };
         let deadline = tr.deadline;
         // Re-decide with the fleet as of now (it may have changed while
         // decoding through the grace period).
@@ -1024,10 +1028,13 @@ impl ServingSystem {
                 // a prefill pass.
                 let perf = self.optimizer.perf();
                 let (s_in, _) = perf.sequence_shape();
-                let stage_step = perf
-                    .cost_model()
-                    .prefill_time(&self.scenario.model, cfg.pipeline, cfg.tensor, cfg.batch, s_in)
-                    / cfg.pipeline as u64;
+                let stage_step = perf.cost_model().prefill_time(
+                    &self.scenario.model,
+                    cfg.pipeline,
+                    cfg.tensor,
+                    cfg.batch,
+                    s_in,
+                ) / cfg.pipeline as u64;
                 let pause = if self.opts.ablation.no_migration_planner {
                     tl.total
                 } else {
@@ -1051,7 +1058,9 @@ impl ServingSystem {
                     if let Some(key) = slot.batch_key.take() {
                         self.events.cancel(key);
                     }
-                    let Some(run) = slot.daemon.detach() else { continue };
+                    let Some(run) = slot.daemon.detach() else {
+                        continue;
+                    };
                     let committed = run.committed_iters_at(self.now);
                     let finished = run.finished_at(self.now);
                     if finished {
@@ -1185,7 +1194,9 @@ impl ServingSystem {
             .collect();
         // Resume carried batches (stateful recovery).
         for (d, carry) in carried.into_iter().enumerate() {
-            let Some((mut reqs, committed)) = carry else { continue };
+            let Some((mut reqs, committed)) = carry else {
+                continue;
+            };
             // Shrinking capacity (§3.3 footnote 2): the new configuration
             // holds fewer concurrent requests; discard the excess cache and
             // requeue those requests for recomputation.
@@ -1215,7 +1226,8 @@ impl ServingSystem {
         self.settle_until = resume_at + self.opts.rate_tick;
         let epoch = self.epoch;
         self.transition = None;
-        self.events.schedule(resume_at, Ev::TransitionDone { epoch });
+        self.events
+            .schedule(resume_at, Ev::TransitionDone { epoch });
         // Give back what the new configuration does not need.
         self.rebalance_on_demand();
         let used = self.assignment.instances().len() as u32;
@@ -1255,7 +1267,9 @@ impl ServingSystem {
 
     /// Forms new Rerouting pipelines from idle ready instances, cold.
     fn reform_rerouting_pipelines(&mut self) {
-        let Some((p, m, b)) = self.rerouting_shape else { return };
+        let Some((p, m, b)) = self.rerouting_shape else {
+            return;
+        };
         let shape = ParallelConfig::new(1, p, m, b);
         let per = shape.instances_needed(self.gpus_per_instance());
         loop {
@@ -1302,7 +1316,8 @@ impl ServingSystem {
                 instances: chosen,
                 ready_at,
             });
-            self.events.schedule(ready_at, Ev::PipelineReady { pipeline: id });
+            self.events
+                .schedule(ready_at, Ev::PipelineReady { pipeline: id });
             // Track the effective configuration for reporting.
             let d_total = self.pipelines.len() as u32;
             self.current = Some(ParallelConfig::new(d_total, p, m, b));
@@ -1365,10 +1380,8 @@ mod tests {
 
     #[test]
     fn preemption_is_survived_by_all_policies() {
-        let trace = AvailabilityTrace::from_steps(vec![
-            (SimTime::ZERO, 6),
-            (SimTime::from_secs(60), 5),
-        ]);
+        let trace =
+            AvailabilityTrace::from_steps(vec![(SimTime::ZERO, 6), (SimTime::from_secs(60), 5)]);
         for opts in [
             SystemOptions::spotserve(),
             SystemOptions::reparallelization(),
@@ -1389,7 +1402,10 @@ mod tests {
             (SimTime::from_secs(80), 4),
         ]);
         let mut p99 = Vec::new();
-        for opts in [SystemOptions::spotserve(), SystemOptions::reparallelization()] {
+        for opts in [
+            SystemOptions::spotserve(),
+            SystemOptions::reparallelization(),
+        ] {
             let scenario = small_scenario(trace.clone(), 1.2, 17);
             let mut report = ServingSystem::new(opts, scenario).run();
             assert_eq!(report.unfinished, 0);
@@ -1427,10 +1443,8 @@ mod tests {
 
     #[test]
     fn config_history_is_recorded() {
-        let trace = AvailabilityTrace::from_steps(vec![
-            (SimTime::ZERO, 6),
-            (SimTime::from_secs(50), 4),
-        ]);
+        let trace =
+            AvailabilityTrace::from_steps(vec![(SimTime::ZERO, 6), (SimTime::from_secs(50), 4)]);
         let scenario = small_scenario(trace, 1.0, 31);
         let report = ServingSystem::new(SystemOptions::spotserve(), scenario).run();
         assert!(!report.config_changes.is_empty());

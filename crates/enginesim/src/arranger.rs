@@ -113,8 +113,12 @@ mod tests {
     fn blown_margin_stops_immediately() {
         let now = SimTime::from_secs(100);
         let kill = SimTime::from_secs(105);
-        let stop =
-            preemption_stop_time(now, kill, SimDuration::from_secs(10), SimDuration::from_secs(2));
+        let stop = preemption_stop_time(
+            now,
+            kill,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(2),
+        );
         assert_eq!(stop, now);
     }
 
@@ -124,10 +128,18 @@ mod tests {
         // before the stop.
         let b = batch();
         let t_mig = SimDuration::from_secs(1);
-        let stop_short =
-            preemption_stop_time(SimTime::ZERO, SimTime::from_secs(3), t_mig, SimDuration::ZERO);
-        let stop_long =
-            preemption_stop_time(SimTime::ZERO, SimTime::from_secs(5), t_mig, SimDuration::ZERO);
+        let stop_short = preemption_stop_time(
+            SimTime::ZERO,
+            SimTime::from_secs(3),
+            t_mig,
+            SimDuration::ZERO,
+        );
+        let stop_long = preemption_stop_time(
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+            t_mig,
+            SimDuration::ZERO,
+        );
         let short = b.committed_iters_at(stop_short);
         let long = b.committed_iters_at(stop_long);
         assert!(long > short, "{short} vs {long}");

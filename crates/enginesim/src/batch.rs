@@ -227,9 +227,7 @@ mod tests {
     #[test]
     fn no_tokens_before_prefill_completes() {
         let run = BatchRun::start(reqs(8), &cfg(), SimTime::ZERO, &perf());
-        let just_before = SimTime::from_micros(
-            run.time_of_iter(1).unwrap().as_micros() - 1,
-        );
+        let just_before = SimTime::from_micros(run.time_of_iter(1).unwrap().as_micros() - 1);
         assert_eq!(run.committed_iters_at(just_before), 0);
         assert_eq!(run.committed_iters_at(run.time_of_iter(1).unwrap()), 1);
     }
@@ -285,8 +283,14 @@ mod tests {
         let p = perf();
         let one = BatchRun::start(reqs(1), &cfg(), SimTime::ZERO, &p);
         let eight = BatchRun::start(reqs(8), &cfg(), SimTime::ZERO, &p);
-        let t1 = one.finish_time().saturating_since(SimTime::ZERO).as_secs_f64();
-        let t8 = eight.finish_time().saturating_since(SimTime::ZERO).as_secs_f64();
+        let t1 = one
+            .finish_time()
+            .saturating_since(SimTime::ZERO)
+            .as_secs_f64();
+        let t8 = eight
+            .finish_time()
+            .saturating_since(SimTime::ZERO)
+            .as_secs_f64();
         assert!(t8 > t1);
         assert!(t8 < 4.0 * t1, "batching is efficient: {t1} vs {t8}");
     }

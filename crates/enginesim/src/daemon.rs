@@ -131,7 +131,12 @@ mod tests {
             })
             .collect();
         let run = BatchRun::start(reqs, &cfg, SimTime::ZERO, &perf);
-        (ContextDaemon::new(model.kv_bytes_per_token()), run, perf, cfg)
+        (
+            ContextDaemon::new(model.kv_bytes_per_token()),
+            run,
+            perf,
+            cfg,
+        )
     }
 
     #[test]

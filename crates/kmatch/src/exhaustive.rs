@@ -110,11 +110,7 @@ mod tests {
 
     #[test]
     fn three_by_three() {
-        let w = WeightMatrix::from_rows(&[
-            vec![1, 2, 5],
-            vec![8, 2, 1],
-            vec![1, 4, 1],
-        ]);
+        let w = WeightMatrix::from_rows(&[vec![1, 2, 5], vec![8, 2, 1], vec![1, 4, 1]]);
         assert_eq!(best_assignment(&w).total_weight, 17);
     }
 }

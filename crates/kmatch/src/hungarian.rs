@@ -177,11 +177,7 @@ mod tests {
     #[test]
     fn square_known_answer() {
         // Classic example: optimal is 5 + 8 + 4 = anti-diagonal-ish.
-        let w = WeightMatrix::from_rows(&[
-            vec![1, 2, 5],
-            vec![8, 2, 1],
-            vec![1, 4, 1],
-        ]);
+        let w = WeightMatrix::from_rows(&[vec![1, 2, 5], vec![8, 2, 1], vec![1, 4, 1]]);
         let a = max_weight_assignment(&w);
         assert_eq!(a.total_weight, 5 + 8 + 4);
         assert_eq!(a.col_of_row(0), Some(2));
@@ -221,16 +217,8 @@ mod tests {
     #[test]
     fn matches_exhaustive_on_fixed_cases() {
         let cases = [
-            WeightMatrix::from_rows(&[
-                vec![4, 1, 3],
-                vec![2, 0, 5],
-                vec![3, 2, 2],
-            ]),
-            WeightMatrix::from_rows(&[
-                vec![0, 0, 0, 0],
-                vec![0, 1, 0, 0],
-                vec![0, 0, 0, 2],
-            ]),
+            WeightMatrix::from_rows(&[vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]]),
+            WeightMatrix::from_rows(&[vec![0, 0, 0, 0], vec![0, 1, 0, 0], vec![0, 0, 0, 2]]),
             WeightMatrix::from_fn(5, 5, |r, c| ((r * 31 + c * 17) % 13) as i64 - 6),
         ];
         for w in &cases {
@@ -268,9 +256,8 @@ mod proptests {
 
     fn arb_matrix(max_dim: usize) -> impl Strategy<Value = WeightMatrix> {
         (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-            proptest::collection::vec(-1000i64..1000, r * c).prop_map(move |data| {
-                WeightMatrix::from_fn(r, c, |i, j| data[i * c + j])
-            })
+            proptest::collection::vec(-1000i64..1000, r * c)
+                .prop_map(move |data| WeightMatrix::from_fn(r, c, |i, j| data[i * c + j]))
         })
     }
 

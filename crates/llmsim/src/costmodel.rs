@@ -153,14 +153,16 @@ impl CostModel {
         tokens_per_seq: u32,
         ctx: u32,
     ) -> SimDuration {
-        assert!(p > 0 && m > 0 && b > 0 && tokens_per_seq > 0, "degenerate forward");
+        assert!(
+            p > 0 && m > 0 && b > 0 && tokens_per_seq > 0,
+            "degenerate forward"
+        );
         let layers = model.num_layers as f64;
         let tokens_total = (b * tokens_per_seq) as f64;
 
         // Per-layer compute: dense projections + context attention.
         let flops_per_layer = tokens_total
-            * (model.flops_per_token_per_layer()
-                + model.attn_flops_per_token_per_layer(ctx));
+            * (model.flops_per_token_per_layer() + model.attn_flops_per_token_per_layer(ctx));
         let eff_flops = self.gpu.peak_flops * self.compute_eff(tokens_total);
         let compute_t = flops_per_layer / (m as f64 * eff_flops);
 
@@ -168,11 +170,13 @@ impl CostModel {
         // plus KV-cache reads for attention.
         let eff_bw = self.gpu.mem_bandwidth * self.eff.mem_fraction;
         let weight_bytes = model.layer_bytes() as f64 / m as f64;
-        let kv_bytes_layer =
-            (b as f64) * (ctx as f64) * 2.0 * model.hidden_size as f64
-                * model.bytes_per_kv as f64
-                * self.eff.kv_read_penalty
-                / m as f64;
+        let kv_bytes_layer = (b as f64)
+            * (ctx as f64)
+            * 2.0
+            * model.hidden_size as f64
+            * model.bytes_per_kv as f64
+            * self.eff.kv_read_penalty
+            / m as f64;
         let mem_t = (weight_bytes + kv_bytes_layer) / eff_bw;
 
         let layer_t = compute_t.max(mem_t);
@@ -182,10 +186,8 @@ impl CostModel {
         let unembed_bytes =
             model.vocab_size as f64 * model.hidden_size as f64 * model.bytes_per_param as f64
                 / m as f64;
-        let unembed_flops =
-            2.0 * tokens_total * model.vocab_size as f64 * model.hidden_size as f64;
-        let unembed_t =
-            (unembed_bytes / eff_bw).max(unembed_flops / (m as f64 * eff_flops));
+        let unembed_flops = 2.0 * tokens_total * model.vocab_size as f64 * model.hidden_size as f64;
+        let unembed_t = (unembed_bytes / eff_bw).max(unembed_flops / (m as f64 * eff_flops));
 
         // Tensor parallelism: two ring all-reduces per layer over the
         // activation tensor (fp32).
@@ -212,7 +214,14 @@ impl CostModel {
     }
 
     /// Latency of the initial (prefill) phase over `s_in` input tokens.
-    pub fn prefill_time(&self, model: &ModelSpec, p: u32, m: u32, b: u32, s_in: u32) -> SimDuration {
+    pub fn prefill_time(
+        &self,
+        model: &ModelSpec,
+        p: u32,
+        m: u32,
+        b: u32,
+        s_in: u32,
+    ) -> SimDuration {
         self.forward_time(model, p, m, b, s_in, s_in)
     }
 
@@ -263,7 +272,10 @@ mod tests {
         let m = ModelSpec::opt_6_7b();
         let b1 = c.decode_time(&m, 1, 4, 1, 512).as_secs_f64();
         let b4 = c.decode_time(&m, 1, 4, 4, 512).as_secs_f64();
-        assert!(b4 / b1 < 1.6, "batching decode should be cheap: {b1} -> {b4}");
+        assert!(
+            b4 / b1 < 1.6,
+            "batching decode should be cheap: {b1} -> {b4}"
+        );
     }
 
     #[test]
@@ -272,7 +284,10 @@ mod tests {
         let m = ModelSpec::opt_6_7b();
         let p1 = c.prefill_time(&m, 1, 4, 1, 512).as_secs_f64();
         let p2 = c.prefill_time(&m, 1, 4, 2, 512).as_secs_f64();
-        assert!(p2 / p1 > 1.7, "doubling prefill work should nearly double time");
+        assert!(
+            p2 / p1 > 1.7,
+            "doubling prefill work should nearly double time"
+        );
     }
 
     #[test]

@@ -90,9 +90,8 @@ impl MemoryModel {
     /// KV-cache bytes per GPU, provisioned for the maximum batch at the
     /// provisioned sequence length.
     pub fn kv_bytes_per_gpu(&self, model: &ModelSpec, p: u32, m: u32) -> u64 {
-        let total = model.kv_bytes_per_token()
-            * self.provisioned_seq_len as u64
-            * self.max_batch as u64;
+        let total =
+            model.kv_bytes_per_token() * self.provisioned_seq_len as u64 * self.max_batch as u64;
         total.div_ceil((p * m) as u64)
     }
 
@@ -123,7 +122,7 @@ impl MemoryModel {
     /// Panics if `p` or `m` is zero.
     pub fn fits(&self, model: &ModelSpec, p: u32, m: u32, gpu: &GpuSpec) -> bool {
         assert!(p > 0 && m > 0, "degenerate mesh ({p},{m})");
-        if m > model.num_heads || model.num_heads % m != 0 {
+        if m > model.num_heads || !model.num_heads.is_multiple_of(m) {
             return false; // tensor parallelism must split heads evenly
         }
         if p > model.num_layers {
@@ -137,7 +136,12 @@ impl MemoryModel {
     ///
     /// Tensor degree is limited to powers of two up to 8 (NCCL-style rings
     /// on 4-GPU instances), matching the paper's configuration space.
-    pub fn min_gpus(&self, model: &ModelSpec, gpu: &GpuSpec, max_gpus: u32) -> Option<(u32, (u32, u32))> {
+    pub fn min_gpus(
+        &self,
+        model: &ModelSpec,
+        gpu: &GpuSpec,
+        max_gpus: u32,
+    ) -> Option<(u32, (u32, u32))> {
         let mut best: Option<(u32, (u32, u32))> = None;
         for m in [1u32, 2, 4, 8] {
             for p in 1..=model.num_layers.min(max_gpus) {
@@ -201,7 +205,10 @@ mod tests {
         // reduces the minimum number of GPUs to serve GPT-20B from 16 to 12".
         let gpt = ModelSpec::gpt_20b();
         let naive = MemoryModel::naive_migration(&gpt, 3, 4);
-        assert!(!naive.fits(&gpt, 3, 4, &t4()), "12 GPUs must not fit naively");
+        assert!(
+            !naive.fits(&gpt, 3, 4, &t4()),
+            "12 GPUs must not fit naively"
+        );
         // Recompute the shard-sized buffer for a 16-GPU mesh.
         let naive16 = MemoryModel::naive_migration(&gpt, 2, 8);
         assert!(naive16.fits(&gpt, 2, 8, &t4()), "16 GPUs fit even naively");

@@ -148,8 +148,8 @@ pub fn evaluate_plan(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::task::{DeviceAssignment, MigrationTask};
     use crate::planner::{plan_migration, PlannerOptions};
+    use crate::task::{DeviceAssignment, MigrationTask};
     use cloudsim::GpuRef;
     use llmsim::ModelSpec;
     use parallelism::ParallelConfig;
@@ -177,9 +177,7 @@ mod tests {
             old_assignment: DeviceAssignment::contiguous(&old, &g),
             new_assignment: DeviceAssignment::contiguous(&new, &g),
             cache_bytes_per_pipeline: vec![64 << 20; old.data as usize],
-            pipeline_inheritance: (0..new.data)
-                .map(|d| (d < old.data).then_some(d))
-                .collect(),
+            pipeline_inheritance: (0..new.data).map(|d| (d < old.data).then_some(d)).collect(),
         }
     }
 

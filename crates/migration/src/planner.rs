@@ -100,9 +100,7 @@ pub fn plan_migration(task: &MigrationTask, opts: &PlannerOptions) -> MigrationP
     let mut peak = 0i64;
     let mut steps = vec![PlanStep::MigrateCache];
     let mut remaining_per_stage: Vec<BTreeSet<u32>> = (0..task.new_config.pipeline)
-        .map(|p| {
-            stage_layers(layers_n, task.new_config.pipeline, p).collect::<BTreeSet<u32>>()
-        })
+        .map(|p| stage_layers(layers_n, task.new_config.pipeline, p).collect::<BTreeSet<u32>>())
         .collect();
     let mut started = vec![false; task.new_config.pipeline as usize];
 
@@ -147,16 +145,15 @@ fn memopt_order(transfers: &TransferSet, layers_n: u32, u_max: u64) -> Vec<u32> 
     let mut order = Vec::with_capacity(layers_n as usize);
     let mut deferred: Vec<u32> = Vec::new();
 
-    let would_peak = |usage: &std::collections::BTreeMap<GpuRef, i64>,
-                      transfers: &TransferSet,
-                      layer: u32| {
-        transfers
-            .layer_deltas
-            .iter()
-            .map(|(g, d)| usage.get(g).copied().unwrap_or(0) + d[layer as usize])
-            .max()
-            .unwrap_or(0)
-    };
+    let would_peak =
+        |usage: &std::collections::BTreeMap<GpuRef, i64>, transfers: &TransferSet, layer: u32| {
+            transfers
+                .layer_deltas
+                .iter()
+                .map(|(g, d)| usage.get(g).copied().unwrap_or(0) + d[layer as usize])
+                .max()
+                .unwrap_or(0)
+        };
     let apply = |usage: &mut std::collections::BTreeMap<GpuRef, i64>,
                  transfers: &TransferSet,
                  layer: u32| {
@@ -210,9 +207,7 @@ mod tests {
             old_assignment: DeviceAssignment::contiguous(&old, &g),
             new_assignment: DeviceAssignment::contiguous(&new, &g),
             cache_bytes_per_pipeline: vec![64 << 20; old.data as usize],
-            pipeline_inheritance: (0..new.data)
-                .map(|d| (d < old.data).then_some(d))
-                .collect(),
+            pipeline_inheritance: (0..new.data).map(|d| (d < old.data).then_some(d)).collect(),
         }
     }
 

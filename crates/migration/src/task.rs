@@ -179,7 +179,9 @@ mod tests {
     #[test]
     fn contiguous_assignment_in_position_order() {
         let cfg = ParallelConfig::new(1, 2, 2, 1);
-        let gpus: Vec<GpuRef> = (0..2).flat_map(|i| (0..2).map(move |s| gpu(i, s))).collect();
+        let gpus: Vec<GpuRef> = (0..2)
+            .flat_map(|i| (0..2).map(move |s| gpu(i, s)))
+            .collect();
         let asg = DeviceAssignment::contiguous(&cfg, &gpus);
         assert_eq!(asg.len(), 4);
         // Stage 0 on instance 0, stage 1 on instance 1.
@@ -197,7 +199,9 @@ mod tests {
     #[test]
     fn remove_instance_drops_bindings() {
         let cfg = ParallelConfig::new(1, 2, 2, 1);
-        let gpus: Vec<GpuRef> = (0..2).flat_map(|i| (0..2).map(move |s| gpu(i, s))).collect();
+        let gpus: Vec<GpuRef> = (0..2)
+            .flat_map(|i| (0..2).map(move |s| gpu(i, s)))
+            .collect();
         let mut asg = DeviceAssignment::contiguous(&cfg, &gpus);
         asg.remove_instance(InstanceId(0));
         assert_eq!(asg.len(), 2);

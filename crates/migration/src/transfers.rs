@@ -110,10 +110,16 @@ impl Interval {
         }
         let mut out = Vec::new();
         if self.lo < inter.lo {
-            out.push(Interval { lo: self.lo, hi: inter.lo });
+            out.push(Interval {
+                lo: self.lo,
+                hi: inter.lo,
+            });
         }
         if inter.hi < self.hi {
-            out.push(Interval { lo: inter.hi, hi: self.hi });
+            out.push(Interval {
+                lo: inter.hi,
+                hi: self.hi,
+            });
         }
         out
     }
@@ -158,8 +164,9 @@ pub fn compute_transfers(task: &MigrationTask) -> TransferSet {
         })
     };
 
-    let piece_bytes =
-        |iv: Interval, total: u64| -> u64 { ((iv.len() as u128 * total as u128) / den as u128) as u64 };
+    let piece_bytes = |iv: Interval, total: u64| -> u64 {
+        ((iv.len() as u128 * total as u128) / den as u128) as u64
+    };
 
     // ---- Weights ----------------------------------------------------
     let mut layer_xfers: Vec<LayerTransfers> = (0..layers_n)
@@ -207,9 +214,7 @@ pub fn compute_transfers(task: &MigrationTask) -> TransferSet {
                         .find(|&p| stage_layers(layers_n, old_cfg.pipeline, p).contains(&layer))
                         .expect("layer belongs to a stage");
                     let mut candidates: Vec<GpuRef> = (0..old_cfg.data)
-                        .filter_map(|d| {
-                            task.old_assignment.gpu_at(MeshPosition::new(d, stage, k))
-                        })
+                        .filter_map(|d| task.old_assignment.gpu_at(MeshPosition::new(d, stage, k)))
                         .filter(|g| *g != dest)
                         .collect();
                     // Prefer same-instance sources, then the least-loaded.
@@ -285,10 +290,7 @@ pub fn compute_transfers(task: &MigrationTask) -> TransferSet {
         let per_layer = total / layers_n as u64;
         let mut lost = false;
         let mut pipeline_cache = Vec::new();
-        for new_pos in new_cfg
-            .positions()
-            .filter(|p| p.pipeline == d_new as u32)
-        {
+        for new_pos in new_cfg.positions().filter(|p| p.pipeline == d_new as u32) {
             let Some(dest) = task.new_assignment.gpu_at(new_pos) else {
                 lost = true;
                 continue;
@@ -320,9 +322,7 @@ pub fn compute_transfers(task: &MigrationTask) -> TransferSet {
                         }
                         let bytes = piece_bytes(piece, per_layer);
                         let stage = (0..old_cfg.pipeline)
-                            .find(|&p| {
-                                stage_layers(layers_n, old_cfg.pipeline, p).contains(&layer)
-                            })
+                            .find(|&p| stage_layers(layers_n, old_cfg.pipeline, p).contains(&layer))
                             .expect("layer belongs to a stage");
                         // Cache exists only on the inherited pipeline.
                         match task
@@ -360,17 +360,19 @@ pub fn compute_transfers(task: &MigrationTask) -> TransferSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::task::DeviceAssignment;
     use cloudsim::InstanceId;
     use llmsim::ModelSpec;
     use parallelism::{ParallelConfig, PositionContext};
-    use crate::task::DeviceAssignment;
 
     fn gpu(i: u64, s: u8) -> GpuRef {
         GpuRef::new(InstanceId(i), s)
     }
 
     fn gpus(n: u64) -> Vec<GpuRef> {
-        (0..n).flat_map(|i| (0..4).map(move |s| gpu(i, s))).collect()
+        (0..n)
+            .flat_map(|i| (0..4).map(move |s| gpu(i, s)))
+            .collect()
     }
 
     /// Old (D=1,P=2,M=2) on 4 GPUs -> new (D=1,P=4,M=1) on the same 4 GPUs
@@ -440,10 +442,12 @@ mod tests {
             .sum();
         // Every byte of the model is needed somewhere; reuse means strictly
         // less than the full model moves.
-        let model_bytes =
-            ModelSpec::opt_6_7b().layer_bytes() * 32;
+        let model_bytes = ModelSpec::opt_6_7b().layer_bytes() * 32;
         assert!(total_weights > 0);
-        assert!(total_weights < model_bytes, "{total_weights} vs {model_bytes}");
+        assert!(
+            total_weights < model_bytes,
+            "{total_weights} vs {model_bytes}"
+        );
         assert_eq!(t.total_storage_bytes(), 0, "all pieces have live sources");
     }
 

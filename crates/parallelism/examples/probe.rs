@@ -1,18 +1,37 @@
 use parallelism::{ParallelConfig, PerfModel};
 fn main() {
     let p = PerfModel::paper_defaults(llmsim::ModelSpec::gpt_20b());
-    for (d,pp,m,b) in [(2u32,2u32,8u32,8u32),(1,2,8,8),(2,3,4,8),(1,3,4,8),(3,3,4,8),(3,2,8,8)] {
-        let c = ParallelConfig::new(d,pp,m,b);
-        println!("{c}: l_exe={:.2}s phi={:.3} req/s", p.exec_latency(&c).as_secs_f64(), p.throughput(&c));
+    for (d, pp, m, b) in [
+        (2u32, 2u32, 8u32, 8u32),
+        (1, 2, 8, 8),
+        (2, 3, 4, 8),
+        (1, 3, 4, 8),
+        (3, 3, 4, 8),
+        (3, 2, 8, 8),
+    ] {
+        let c = ParallelConfig::new(d, pp, m, b);
+        println!(
+            "{c}: l_exe={:.2}s phi={:.3} req/s",
+            p.exec_latency(&c).as_secs_f64(),
+            p.throughput(&c)
+        );
     }
     let po = PerfModel::paper_defaults(llmsim::ModelSpec::opt_6_7b());
-    for (d,pp,m,b) in [(1u32,1u32,4u32,8u32),(2,1,4,8),(2,2,2,8)] {
-        let c = ParallelConfig::new(d,pp,m,b);
-        println!("OPT {c}: l_exe={:.2}s phi={:.3}", po.exec_latency(&c).as_secs_f64(), po.throughput(&c));
+    for (d, pp, m, b) in [(1u32, 1u32, 4u32, 8u32), (2, 1, 4, 8), (2, 2, 2, 8)] {
+        let c = ParallelConfig::new(d, pp, m, b);
+        println!(
+            "OPT {c}: l_exe={:.2}s phi={:.3}",
+            po.exec_latency(&c).as_secs_f64(),
+            po.throughput(&c)
+        );
     }
     let pl = PerfModel::paper_defaults(llmsim::ModelSpec::llama_30b());
-    for (d,pp,m,b) in [(1u32,2u32,8u32,8u32),(1,4,4,8),(2,2,8,8)] {
-        let c = ParallelConfig::new(d,pp,m,b);
-        println!("LLaMA {c}: l_exe={:.2}s phi={:.3}", pl.exec_latency(&c).as_secs_f64(), pl.throughput(&c));
+    for (d, pp, m, b) in [(1u32, 2u32, 8u32, 8u32), (1, 4, 4, 8), (2, 2, 8, 8)] {
+        let c = ParallelConfig::new(d, pp, m, b);
+        println!(
+            "LLaMA {c}: l_exe={:.2}s phi={:.3}",
+            pl.exec_latency(&c).as_secs_f64(),
+            pl.throughput(&c)
+        );
     }
 }

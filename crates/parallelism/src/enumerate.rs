@@ -79,7 +79,7 @@ pub fn enumerate_configs(
         return out;
     }
     for &m in &space.tensor_degrees {
-        if m == 0 || m > model.num_heads || model.num_heads % m != 0 {
+        if m == 0 || m > model.num_heads || !model.num_heads.is_multiple_of(m) {
             continue;
         }
         let max_p = space.max_pipeline.min(model.num_layers);
@@ -137,7 +137,10 @@ mod tests {
             for model in ModelSpec::paper_models() {
                 for c in configs_for(&model, gpus) {
                     assert!(c.total_gpus() <= gpus, "{c} over budget {gpus}");
-                    assert!(mem.fits(&model, c.pipeline, c.tensor, &gpu), "{c} infeasible");
+                    assert!(
+                        mem.fits(&model, c.pipeline, c.tensor, &gpu),
+                        "{c} infeasible"
+                    );
                 }
             }
         }
@@ -147,8 +150,14 @@ mod tests {
     fn gpt20b_on_32_gpus_contains_paper_configs() {
         // §6.2 discusses (D=2,P=2,M=8) and (D=2,P=3,M=4) for GPT-20B.
         let cs = configs_for(&ModelSpec::gpt_20b(), 32);
-        assert!(cs.iter().any(|c| c.mesh_key() == (2, 2, 8)), "missing (2,2,8)");
-        assert!(cs.iter().any(|c| c.mesh_key() == (2, 3, 4)), "missing (2,3,4)");
+        assert!(
+            cs.iter().any(|c| c.mesh_key() == (2, 2, 8)),
+            "missing (2,2,8)"
+        );
+        assert!(
+            cs.iter().any(|c| c.mesh_key() == (2, 3, 4)),
+            "missing (2,3,4)"
+        );
     }
 
     #[test]

@@ -150,7 +150,10 @@ mod tests {
                     covered[l as usize] += 1;
                 }
             }
-            assert!(covered.iter().all(|&c| c == 1), "{layers} layers, {stages} stages");
+            assert!(
+                covered.iter().all(|&c| c == 1),
+                "{layers} layers, {stages} stages"
+            );
         }
     }
 
@@ -239,7 +242,10 @@ mod tests {
             .collect();
         let total: u64 = old
             .iter()
-            .flat_map(|o| new.iter().map(move |n| o.weight_overlap_bytes(n, layer_bytes)))
+            .flat_map(|o| {
+                new.iter()
+                    .map(move |n| o.weight_overlap_bytes(n, layer_bytes))
+            })
             .sum();
         assert_eq!(total, layers as u64 * layer_bytes);
     }

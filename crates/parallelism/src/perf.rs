@@ -78,8 +78,14 @@ impl PerfModel {
 
     /// Execution latency `l_exe` of one full batch under `c` (Eq. 1).
     pub fn exec_latency(&self, c: &ParallelConfig) -> SimDuration {
-        self.cost
-            .exec_latency(&self.model, c.pipeline, c.tensor, c.batch, self.s_in, self.s_out)
+        self.cost.exec_latency(
+            &self.model,
+            c.pipeline,
+            c.tensor,
+            c.batch,
+            self.s_in,
+            self.s_out,
+        )
     }
 
     /// Peak serving throughput `φ(C)` in requests/second: `D·B` requests
@@ -101,7 +107,10 @@ impl PerfModel {
     ///
     /// Panics if `alpha` is negative or not finite.
     pub fn request_latency(&self, c: &ParallelConfig, alpha: f64) -> SimDuration {
-        assert!(alpha >= 0.0 && alpha.is_finite(), "bad arrival rate {alpha}");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "bad arrival rate {alpha}"
+        );
         let l_exe = self.exec_latency(c);
         if alpha == 0.0 {
             return l_exe;

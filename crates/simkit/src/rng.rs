@@ -189,9 +189,7 @@ impl SimRng {
             }
             let v3 = v * v * v;
             let u = self.f64();
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
                 return d * v3 * theta;
             }
         }

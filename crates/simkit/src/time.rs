@@ -265,6 +265,9 @@ mod tests {
 
     #[test]
     fn saturating_add_caps_at_max() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 }

@@ -88,7 +88,7 @@ impl WorkloadSpec {
         let mut out = Vec::new();
         let mut t = SimTime::ZERO;
         loop {
-            t = t + self.process.sample_gap(rng);
+            t += self.process.sample_gap(rng);
             if t.saturating_since(SimTime::ZERO) >= self.duration {
                 break;
             }
@@ -123,7 +123,7 @@ impl WorkloadSpec {
                 };
                 scaled.sample_gap(rng)
             };
-            t = t + gap;
+            t += gap;
             if t.saturating_since(SimTime::ZERO) >= self.duration {
                 break;
             }
@@ -207,10 +207,8 @@ mod tests {
 
     #[test]
     fn profile_modulates_rate() {
-        let profile = RateProfile::from_steps(vec![
-            (SimTime::ZERO, 0.2),
-            (SimTime::from_secs(500), 2.0),
-        ]);
+        let profile =
+            RateProfile::from_steps(vec![(SimTime::ZERO, 0.2), (SimTime::from_secs(500), 2.0)]);
         let spec = WorkloadSpec {
             process: ArrivalProcess::Poisson { rate: 1.0 },
             duration: SimDuration::from_secs(1000),
@@ -218,7 +216,10 @@ mod tests {
             s_out: 128,
         };
         let reqs = spec.generate_with_profile(&profile, &mut rng());
-        let early = reqs.iter().filter(|r| r.arrival < SimTime::from_secs(500)).count();
+        let early = reqs
+            .iter()
+            .filter(|r| r.arrival < SimTime::from_secs(500))
+            .count();
         let late = reqs.len() - early;
         assert!(late > early * 3, "late {late} vs early {early}");
     }

@@ -71,10 +71,8 @@ impl RateProfile {
         for minute in 0..180u64 {
             let t = minute as f64;
             // Two diurnal-ish humps plus noise.
-            let base = 0.55
-                + 0.12 * (t / 30.0).sin()
-                + 0.08 * (t / 11.0).cos()
-                + 0.05 * (rng.f64() - 0.5);
+            let base =
+                0.55 + 0.12 * (t / 30.0).sin() + 0.08 * (t / 11.0).cos() + 0.05 * (rng.f64() - 0.5);
             steps.push((SimTime::from_secs(minute * 60), base.max(0.05)));
         }
         RateProfile { steps }
@@ -91,10 +89,7 @@ impl RateProfile {
 
     /// The next step boundary strictly after `t`, if any.
     pub fn next_change_after(&self, t: SimTime) -> Option<SimTime> {
-        self.steps
-            .iter()
-            .map(|&(st, _)| st)
-            .find(|&st| st > t)
+        self.steps.iter().map(|&(st, _)| st).find(|&st| st > t)
     }
 
     /// The raw `(time, rate)` steps.
@@ -114,14 +109,14 @@ mod tests {
 
     #[test]
     fn lookup_between_steps() {
-        let p = RateProfile::from_steps(vec![
-            (SimTime::ZERO, 1.0),
-            (SimTime::from_secs(10), 2.0),
-        ]);
+        let p = RateProfile::from_steps(vec![(SimTime::ZERO, 1.0), (SimTime::from_secs(10), 2.0)]);
         assert_eq!(p.rate_at(SimTime::from_secs(5)), 1.0);
         assert_eq!(p.rate_at(SimTime::from_secs(10)), 2.0);
         assert_eq!(p.rate_at(SimTime::from_secs(99)), 2.0);
-        assert_eq!(p.next_change_after(SimTime::ZERO), Some(SimTime::from_secs(10)));
+        assert_eq!(
+            p.next_change_after(SimTime::ZERO),
+            Some(SimTime::from_secs(10))
+        );
         assert_eq!(p.next_change_after(SimTime::from_secs(10)), None);
     }
 

@@ -26,7 +26,10 @@ fn main() {
 
     let p = report.latency.percentiles();
     println!("completed: {} (unfinished {})", p.count, report.unfinished);
-    println!("avg latency: {:6.1}s   P90: {:6.1}s   P99: {:6.1}s", p.mean, p.p90, p.p99);
+    println!(
+        "avg latency: {:6.1}s   P90: {:6.1}s   P99: {:6.1}s",
+        p.mean, p.p90, p.p99
+    );
     println!("preemptions survived: {}", report.preemptions);
     println!("fleet cost: ${:.2}", report.cost_usd);
     if let Some(cpt) = report.cost_per_token() {

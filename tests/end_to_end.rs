@@ -25,8 +25,18 @@ fn spotserve_beats_baselines_on_volatile_trace() {
         assert_eq!(report.unfinished, 0);
         p99.push(report.latency.percentiles().p99);
     }
-    assert!(p99[0] < p99[1], "SpotServe {} vs Reparallelization {}", p99[0], p99[1]);
-    assert!(p99[0] < p99[2], "SpotServe {} vs Rerouting {}", p99[0], p99[2]);
+    assert!(
+        p99[0] < p99[1],
+        "SpotServe {} vs Reparallelization {}",
+        p99[0],
+        p99[1]
+    );
+    assert!(
+        p99[0] < p99[2],
+        "SpotServe {} vs Rerouting {}",
+        p99[0],
+        p99[2]
+    );
 }
 
 #[test]
@@ -103,7 +113,12 @@ fn every_request_is_accounted_for_exactly_once() {
         ids.sort_unstable();
         let before = ids.len();
         ids.dedup();
-        assert_eq!(before, ids.len(), "{:?}: duplicate completions", opts.policy);
+        assert_eq!(
+            before,
+            ids.len(),
+            "{:?}: duplicate completions",
+            opts.policy
+        );
         assert_eq!(
             ids.len() + report.unfinished,
             total,
@@ -130,13 +145,14 @@ fn full_ablation_is_still_correct_just_slower() {
         no_interruption_arranger: true,
         no_device_mapper: true,
     };
-    let scenario = short(ModelSpec::gpt_20b(), AvailabilityTrace::paper_bs(), 0.35, 13);
+    let scenario = short(
+        ModelSpec::gpt_20b(),
+        AvailabilityTrace::paper_bs(),
+        0.35,
+        13,
+    );
     let total = scenario.requests.len();
-    let plain = ServingSystem::new(
-        SystemOptions::spotserve().with_ablation(flags),
-        scenario,
-    )
-    .run();
+    let plain = ServingSystem::new(SystemOptions::spotserve().with_ablation(flags), scenario).run();
     assert_eq!(plain.latency.outcomes().len() + plain.unfinished, total);
 }
 
@@ -144,12 +160,27 @@ fn full_ablation_is_still_correct_just_slower() {
 fn costs_scale_with_fleet_price() {
     // An on-demand fleet of the same size costs ~2x the spot fleet.
     let spot = {
-        let sc = short(ModelSpec::opt_6_7b(), AvailabilityTrace::constant(4), 1.0, 21);
+        let sc = short(
+            ModelSpec::opt_6_7b(),
+            AvailabilityTrace::constant(4),
+            1.0,
+            21,
+        );
         ServingSystem::new(SystemOptions::spotserve(), sc).run()
     };
     let od = {
-        let sc = short(ModelSpec::opt_6_7b(), AvailabilityTrace::constant(4), 1.0, 21);
+        let sc = short(
+            ModelSpec::opt_6_7b(),
+            AvailabilityTrace::constant(4),
+            1.0,
+            21,
+        );
         ServingSystem::new(SystemOptions::on_demand_only(4), sc).run()
     };
-    assert!(od.cost_usd > spot.cost_usd * 1.2, "{} vs {}", od.cost_usd, spot.cost_usd);
+    assert!(
+        od.cost_usd > spot.cost_usd * 1.2,
+        "{} vs {}",
+        od.cost_usd,
+        spot.cost_usd
+    );
 }
