@@ -1,9 +1,10 @@
-//! Whole-run simulation throughput: one 20-minute serving trace end to end.
+//! Whole-run simulation throughput: one 20-minute serving trace end to end,
+//! plus the continuous-vs-fixed engine comparison at equal configuration.
 
 use cloudsim::AvailabilityTrace;
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llmsim::ModelSpec;
-use spotserve::{Scenario, ServingSystem, SystemOptions};
+use spotserve::{EngineMode, Scenario, ServingSystem, SystemOptions};
 
 fn bench_e2e(c: &mut Criterion) {
     let mut g = c.benchmark_group("serving_run");
@@ -33,5 +34,49 @@ fn bench_e2e(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_e2e);
+/// Continuous batching vs run-to-completion at the same configuration on
+/// the paper's stable workload (§6.1, Gamma CV 6). Besides the ns/iter
+/// numbers, the measured serving throughput of each engine is printed so
+/// regressions in the continuous engine's admission/retirement logic are
+/// visible in CI logs: continuous must serve at least as fast as fixed.
+fn bench_engine_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_comparison");
+    g.sample_size(10);
+    for engine in [EngineMode::ContinuousBatching, EngineMode::FixedBatch] {
+        g.bench_function(
+            BenchmarkId::new("spotserve_opt67b_stable", format!("{engine:?}")),
+            |b| {
+                b.iter(|| {
+                    let sc = Scenario::paper_stable(
+                        ModelSpec::opt_6_7b(),
+                        AvailabilityTrace::constant(6),
+                        1.5,
+                        1,
+                    );
+                    ServingSystem::new(SystemOptions::spotserve().with_engine(engine), sc).run()
+                })
+            },
+        );
+    }
+    g.finish();
+    // One verification run per engine: report the serving-side throughput.
+    for engine in [EngineMode::ContinuousBatching, EngineMode::FixedBatch] {
+        let sc = Scenario::paper_stable(
+            ModelSpec::opt_6_7b(),
+            AvailabilityTrace::constant(6),
+            1.5,
+            1,
+        );
+        let mut report =
+            ServingSystem::new(SystemOptions::spotserve().with_engine(engine), sc).run();
+        let p = report.latency.percentiles();
+        let thr = p.count as f64 / report.finished_at.as_micros() as f64 * 1e6;
+        println!(
+            "engine_comparison/served  {engine:?}: {:.4} req/s, mean latency {:.2}s, p99 {:.2}s",
+            thr, p.mean, p.p99
+        );
+    }
+}
+
+criterion_group!(benches, bench_e2e, bench_engine_comparison);
 criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Billing: metering instance-time and converting it to dollars.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simkit::{SimDuration, SimTime};
 
@@ -26,9 +26,12 @@ use crate::instance::{InstanceId, InstanceKind, InstanceType};
 #[derive(Debug, Clone)]
 pub struct BillingMeter {
     instance_type: InstanceType,
-    open: HashMap<InstanceId, (InstanceKind, SimTime)>,
+    // Ordered map: `total_usd` sums open leases in iteration order, and
+    // float addition is not associative — a hash map would make the total
+    // differ by an ulp between identically-seeded runs.
+    open: BTreeMap<InstanceId, (InstanceKind, SimTime)>,
     closed_usd: f64,
-    closed_time: HashMap<&'static str, SimDuration>,
+    closed_time: BTreeMap<&'static str, SimDuration>,
 }
 
 impl BillingMeter {
@@ -36,9 +39,9 @@ impl BillingMeter {
     pub fn new(instance_type: InstanceType) -> Self {
         BillingMeter {
             instance_type,
-            open: HashMap::new(),
+            open: BTreeMap::new(),
             closed_usd: 0.0,
-            closed_time: HashMap::new(),
+            closed_time: BTreeMap::new(),
         }
     }
 

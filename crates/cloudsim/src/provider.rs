@@ -7,7 +7,7 @@
 //! expires. All tie-breaking is driven by a named random stream, so replays
 //! are bit-reproducible.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use simkit::event::EventKey;
 use simkit::{EventQueue, SimDuration, SimRng, SimTime};
@@ -77,7 +77,9 @@ pub struct CloudSim {
     rng: SimRng,
     internal: EventQueue<Internal>,
     out: VecDeque<(SimTime, CloudEvent)>,
-    active: HashMap<InstanceId, InstanceInfo>,
+    // Ordered so fleet iteration (and everything downstream of it,
+    // e.g. billing accumulation order) is deterministic across runs.
+    active: BTreeMap<InstanceId, InstanceInfo>,
     /// Keys of scheduled-but-not-fired spot grants (cancellable).
     inflight_spot: VecDeque<EventKey>,
     /// Spot requests waiting for capacity.
@@ -104,7 +106,7 @@ impl CloudSim {
             rng: SimRng::new(seed).stream("cloudsim"),
             internal,
             out: VecDeque::new(),
-            active: HashMap::new(),
+            active: BTreeMap::new(),
             inflight_spot: VecDeque::new(),
             pending_spot: 0,
             next_id: 0,

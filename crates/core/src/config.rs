@@ -24,6 +24,21 @@ pub enum Policy {
     },
 }
 
+/// Which execution engine the inference pipelines run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Iteration-level continuous batching (the default): requests are
+    /// admitted and retired at decode-iteration boundaries, within the
+    /// batch capacity and the engine's KV budget, and each iteration is
+    /// priced from the current mixed batch.
+    #[default]
+    ContinuousBatching,
+    /// Run-to-completion batching: a batch forms, decodes to its last
+    /// token, and only then does the next batch form. The paper's §3/§6.1
+    /// engine model, kept as the comparison baseline.
+    FixedBatch,
+}
+
 /// Individually disable SpotServe components (Figure 9).
 ///
 /// Flags are *disable* switches so that `default()` is the full system.
@@ -48,6 +63,9 @@ pub struct AblationFlags {
 pub struct SystemOptions {
     /// The policy under test.
     pub policy: Policy,
+    /// The execution engine pipelines run (all policies share it, §6.1's
+    /// same-backbone fairness setup).
+    pub engine: EngineMode,
     /// Component ablations (only meaningful for [`Policy::SpotServe`]).
     pub ablation: AblationFlags,
     /// Allow mixing on-demand instances into the fleet (the `+O` traces).
@@ -74,6 +92,7 @@ impl SystemOptions {
     fn base(policy: Policy) -> Self {
         SystemOptions {
             policy,
+            engine: EngineMode::default(),
             ablation: AblationFlags::default(),
             on_demand_mixing: false,
             spare_instances: 2,
@@ -117,6 +136,13 @@ impl SystemOptions {
         self.ablation = ablation;
         self
     }
+
+    /// Selects the execution engine (e.g. [`EngineMode::FixedBatch`] for
+    /// the run-to-completion baseline).
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +168,20 @@ mod tests {
             SystemOptions::spotserve()
                 .with_on_demand_mixing()
                 .on_demand_mixing
+        );
+    }
+
+    #[test]
+    fn continuous_batching_is_the_default_engine() {
+        assert_eq!(
+            SystemOptions::spotserve().engine,
+            EngineMode::ContinuousBatching
+        );
+        assert_eq!(
+            SystemOptions::rerouting()
+                .with_engine(EngineMode::FixedBatch)
+                .engine,
+            EngineMode::FixedBatch
         );
     }
 }

@@ -39,7 +39,7 @@ pub mod optimizer;
 pub mod report;
 pub mod system;
 
-pub use config::{AblationFlags, Policy, SystemOptions};
+pub use config::{AblationFlags, EngineMode, Policy, SystemOptions};
 pub use devicemap::{map_devices, DeviceMapOutcome};
 pub use optimizer::{ConfigOptimizer, OptimizerDecision};
 pub use report::{ConfigChange, RunReport};

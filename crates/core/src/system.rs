@@ -21,7 +21,10 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use cloudsim::{
     AvailabilityTrace, CloudConfig, CloudEvent, CloudSim, ColdStorage, InstanceId, InstanceKind,
 };
-use enginesim::{preemption_stop_time, recovery_worthwhile, BatchRun, ContextDaemon};
+use enginesim::{
+    preemption_stop_time, recovery_worthwhile, BatchRun, ContextDaemon, IterationScheduler,
+    RequestRun,
+};
 use llmsim::ModelSpec;
 use migration::{
     evaluate_plan, plan_migration, DeviceAssignment, MigrationPlan, MigrationTask, PlannerOptions,
@@ -31,7 +34,7 @@ use simkit::event::EventKey;
 use simkit::{EventQueue, SimDuration, SimRng, SimTime};
 use workload::{LatencyReport, Request, WorkloadSpec};
 
-use crate::config::{Policy, SystemOptions};
+use crate::config::{EngineMode, Policy, SystemOptions};
 use crate::devicemap::{map_devices, OldState};
 use crate::optimizer::ConfigOptimizer;
 use crate::report::{ConfigChange, RunReport};
@@ -95,12 +98,39 @@ impl Scenario {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
     Arrival(usize),
-    BatchDone { pipeline: u64 },
-    InitDone { id: InstanceId },
-    TransitionCommit { epoch: u64 },
-    TransitionDone { epoch: u64 },
-    PipelineReady { pipeline: u64 },
+    /// Fixed-batch engine: a run-to-completion batch finished.
+    BatchDone {
+        pipeline: u64,
+    },
+    /// Continuous engine: a scheduler segment reached its last iteration
+    /// boundary (retire/admit point).
+    IterBoundary {
+        pipeline: u64,
+    },
+    InitDone {
+        id: InstanceId,
+    },
+    TransitionCommit {
+        epoch: u64,
+    },
+    TransitionDone {
+        epoch: u64,
+    },
+    PipelineReady {
+        pipeline: u64,
+    },
     RateTick,
+}
+
+/// In-flight work carried token-exact through a SpotServe transition into
+/// a new pipeline (stateful recovery, §4).
+#[derive(Clone)]
+enum Carried {
+    /// Fixed-batch engine: a uniform batch resumed at `committed` tokens.
+    Batch(Vec<Request>, u32),
+    /// Continuous engine: heterogeneous per-request records, each resumed
+    /// at its own committed token.
+    Records(Vec<RequestRun>),
 }
 
 /// One inference pipeline (a `P × M` GPU group serving batches).
@@ -109,6 +139,8 @@ struct PipelineSlot {
     /// Stable identifier (survives vector reshuffles).
     id: u64,
     daemon: ContextDaemon,
+    /// Key of the pending engine event: the whole-batch completion
+    /// (fixed engine) or the next iteration-boundary event (continuous).
     batch_key: Option<EventKey>,
     /// Instances this pipeline runs on (used by Rerouting teardown).
     instances: Vec<InstanceId>,
@@ -464,6 +496,12 @@ impl ServingSystem {
                     self.dispatch_all();
                 }
             }
+            Ev::IterBoundary { pipeline } => {
+                if let Some(idx) = self.pipelines.iter().position(|s| s.id == pipeline) {
+                    self.on_iter_boundary(idx);
+                    self.dispatch_all();
+                }
+            }
             Ev::InitDone { id } => {
                 if self.initializing.remove(&id).is_some() {
                     self.ready.insert(id);
@@ -498,9 +536,27 @@ impl ServingSystem {
         }
     }
 
-    // ---- Batch lifecycle -------------------------------------------
+    // ---- Engine lifecycle ------------------------------------------
+
+    /// KV-cache bytes one pipeline's engine provisions under `cfg` (the
+    /// scheduler's admission budget, from [`llmsim::MemoryModel`]).
+    fn pipeline_kv_budget(&self, cfg: &ParallelConfig) -> u64 {
+        self.optimizer
+            .memory()
+            .kv_bytes_per_gpu(&self.scenario.model, cfg.pipeline, cfg.tensor)
+            * cfg.gpus_per_pipeline() as u64
+    }
 
     fn dispatch_all(&mut self) {
+        match self.opts.engine {
+            EngineMode::ContinuousBatching => self.dispatch_continuous(),
+            EngineMode::FixedBatch => self.dispatch_fixed(),
+        }
+    }
+
+    /// Fixed-batch engine: form a full batch on every idle ready pipeline
+    /// and run it to completion.
+    fn dispatch_fixed(&mut self) {
         let Some(cfg) = self.current else { return };
         for pi in 0..self.pipelines.len() {
             if self.pending.is_empty() {
@@ -522,6 +578,101 @@ impl ServingSystem {
         }
     }
 
+    /// Continuous engine: admit waiting requests into each ready
+    /// pipeline's iteration scheduler — immediately when the pipeline is
+    /// at a boundary (or idle), otherwise by truncating the running
+    /// segment to the next iteration boundary.
+    fn dispatch_continuous(&mut self) {
+        let Some(cfg) = self.current else { return };
+        let kv_budget = self.pipeline_kv_budget(&cfg);
+        let kv_bpt = self.scenario.model.kv_bytes_per_token();
+        let now = self.now;
+        // First pass: pipelines at a boundary (or idle) admit directly.
+        for pi in 0..self.pipelines.len() {
+            if self.pending.is_empty() {
+                return;
+            }
+            if self.pipelines[pi].ready_at > self.now {
+                continue;
+            }
+            let id = self.pipelines[pi].id;
+            if self.pipelines[pi].daemon.scheduler().is_none() {
+                self.pipelines[pi]
+                    .daemon
+                    .attach_scheduler(IterationScheduler::new(cfg, kv_bpt, kv_budget));
+            }
+            let sched = self.pipelines[pi]
+                .daemon
+                .scheduler_mut()
+                .expect("just attached");
+            if sched.next_event().is_none() {
+                sched.admit(&mut self.pending, now, self.optimizer.perf());
+                let next = sched.next_event();
+                if let Some(t) = next {
+                    let key = self.events.schedule(t, Ev::IterBoundary { pipeline: id });
+                    self.pipelines[pi].batch_key = Some(key);
+                }
+            }
+        }
+        // Second pass: the head request can only ever join one pipeline —
+        // the one whose next iteration boundary comes first among those
+        // with room. Truncate only that segment; the others keep decoding
+        // undisturbed.
+        let Some(head) = self.pending.front().copied() else {
+            return;
+        };
+        let target = self
+            .pipelines
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.ready_at <= now)
+            .filter_map(|(pi, slot)| {
+                let sched = slot.daemon.scheduler()?;
+                if !sched.can_admit(&head) {
+                    return None;
+                }
+                sched.next_boundary_after(now).map(|t| (t, pi))
+            })
+            .min();
+        if let Some((_, pi)) = target {
+            let id = self.pipelines[pi].id;
+            let sched = self.pipelines[pi].daemon.scheduler_mut().expect("matched");
+            if let Some(new_end) = sched.interrupt_for_admission(now, &head) {
+                if let Some(key) = self.pipelines[pi].batch_key.take() {
+                    self.events.cancel(key);
+                }
+                let key = self
+                    .events
+                    .schedule(new_end, Ev::IterBoundary { pipeline: id });
+                self.pipelines[pi].batch_key = Some(key);
+            }
+        }
+    }
+
+    /// Continuous engine: process one pipeline's iteration boundary —
+    /// retire finished requests, admit waiting ones, reschedule.
+    fn on_iter_boundary(&mut self, pipeline: usize) {
+        self.pipelines[pipeline].batch_key = None;
+        let now = self.now;
+        let Some(sched) = self.pipelines[pipeline].daemon.scheduler_mut() else {
+            return;
+        };
+        let retired = sched.advance(now, &mut self.pending, self.optimizer.perf());
+        let next = sched.next_event();
+        for request in retired {
+            self.latency.record(workload::RequestOutcome {
+                request,
+                finished: now,
+            });
+            self.outstanding -= 1;
+        }
+        if let Some(t) = next {
+            let id = self.pipelines[pipeline].id;
+            let key = self.events.schedule(t, Ev::IterBoundary { pipeline: id });
+            self.pipelines[pipeline].batch_key = Some(key);
+        }
+    }
+
     fn finish_batch(&mut self, pipeline: usize) {
         let slot = &mut self.pipelines[pipeline];
         slot.batch_key = None;
@@ -536,8 +687,8 @@ impl ServingSystem {
         }
     }
 
-    /// Tears down a pipeline's in-flight batch, requeueing its requests at
-    /// the front of the queue (recomputation path).
+    /// Tears down a pipeline's in-flight work, requeueing its requests at
+    /// the front of the queue (recomputation path: progress is lost).
     fn requeue_pipeline(&mut self, pipeline: usize) {
         let slot = &mut self.pipelines[pipeline];
         if let Some(key) = slot.batch_key.take() {
@@ -546,6 +697,11 @@ impl ServingSystem {
         if let Some(run) = slot.daemon.detach() {
             for req in run.requests().iter().rev() {
                 self.pending.push_front(*req);
+            }
+        }
+        if let Some(sched) = slot.daemon.detach_scheduler() {
+            for req in sched.into_requests().into_iter().rev() {
+                self.pending.push_front(req);
             }
         }
     }
@@ -981,6 +1137,12 @@ impl ServingSystem {
             if cur.mesh_key() == cfg.mesh_key() && cur != cfg {
                 self.current = Some(cfg);
                 self.context_shape = Some(cfg);
+                // Running schedulers adopt the new batch capacity in place.
+                for slot in &mut self.pipelines {
+                    if let Some(s) = slot.daemon.scheduler_mut() {
+                        s.set_config(cfg);
+                    }
+                }
                 self.config_changes.push(ConfigChange {
                     at: self.now,
                     config: Some(cfg),
@@ -1048,7 +1210,7 @@ impl ServingSystem {
                     .iter()
                     .map(|inh| inh.is_some())
                     .collect();
-                let mut carried: Vec<Option<(Vec<Request>, u32)>> = vec![None; cfg.data as usize];
+                let mut carried: Vec<Option<Carried>> = vec![None; cfg.data as usize];
                 for pi in 0..self.pipelines.len() {
                     let inherit_to = outcome
                         .inheritance
@@ -1058,39 +1220,114 @@ impl ServingSystem {
                     if let Some(key) = slot.batch_key.take() {
                         self.events.cancel(key);
                     }
-                    let Some(run) = slot.daemon.detach() else {
-                        continue;
-                    };
-                    let committed = run.committed_iters_at(self.now);
-                    let finished = run.finished_at(self.now);
-                    if finished {
-                        for req in run.requests() {
-                            self.latency.record(workload::RequestOutcome {
-                                request: *req,
-                                finished: self.now,
-                            });
-                            self.outstanding -= 1;
+                    // Fixed-batch engine: a monolithic batch at uniform
+                    // progress.
+                    if let Some(run) = slot.daemon.detach() {
+                        let committed = run.committed_iters_at(self.now);
+                        let finished = run.finished_at(self.now);
+                        if finished {
+                            for req in run.requests() {
+                                self.latency.record(workload::RequestOutcome {
+                                    request: *req,
+                                    finished: self.now,
+                                });
+                                self.outstanding -= 1;
+                            }
+                            continue;
+                        }
+                        let worthwhile = recovery_worthwhile(
+                            tl.total,
+                            run.finish_time().saturating_since(run.started()),
+                            run.iter_time(),
+                            committed,
+                        );
+                        match inherit_to {
+                            Some(d_new)
+                                if keep[d_new]
+                                    && committed > 0
+                                    && worthwhile
+                                    && !self.opts.ablation.no_interruption_arranger =>
+                            {
+                                carried[d_new] =
+                                    Some(Carried::Batch(run.requests().to_vec(), committed));
+                            }
+                            _ => {
+                                for req in run.requests().iter().rev() {
+                                    self.pending.push_front(*req);
+                                }
+                            }
                         }
                         continue;
                     }
-                    let worthwhile = recovery_worthwhile(
-                        tl.total,
-                        run.finish_time().saturating_since(run.started()),
-                        run.iter_time(),
-                        committed,
-                    );
+                    // Continuous engine: a heterogeneous in-flight set,
+                    // checkpointed token-exact per request.
+                    let Some(mut sched) = self.pipelines[pi].daemon.detach_scheduler() else {
+                        continue;
+                    };
+                    let records = sched.freeze(self.now);
+                    let mut live: Vec<RequestRun> = Vec::new();
+                    for r in records {
+                        if r.is_done() {
+                            // Last token committed exactly at the freeze.
+                            self.latency.record(workload::RequestOutcome {
+                                request: *r.request(),
+                                finished: self.now,
+                            });
+                            self.outstanding -= 1;
+                        } else {
+                            live.push(r);
+                        }
+                    }
+                    let progressed: Vec<RequestRun> =
+                        live.iter().copied().filter(|r| r.committed() > 0).collect();
+                    // The paper's recovery guard, applied to the deepest
+                    // request: migrating the cache must beat recomputing
+                    // the committed tokens under the new configuration.
+                    let max_committed = progressed
+                        .iter()
+                        .map(RequestRun::committed)
+                        .max()
+                        .unwrap_or(0);
+                    let worthwhile = max_committed > 0 && {
+                        let n = progressed.len() as u32;
+                        let s_in = progressed
+                            .iter()
+                            .map(|r| r.request().s_in)
+                            .max()
+                            .expect("non-empty");
+                        let cost = self.optimizer.perf().cost_model();
+                        let prefill = cost.prefill_time(
+                            &self.scenario.model,
+                            cfg.pipeline,
+                            cfg.tensor,
+                            n,
+                            s_in,
+                        );
+                        let iter = cost.decode_time(
+                            &self.scenario.model,
+                            cfg.pipeline,
+                            cfg.tensor,
+                            n,
+                            s_in + max_committed / 2,
+                        );
+                        recovery_worthwhile(tl.total, prefill, iter, max_committed)
+                    };
                     match inherit_to {
                         Some(d_new)
                             if keep[d_new]
-                                && committed > 0
                                 && worthwhile
                                 && !self.opts.ablation.no_interruption_arranger =>
                         {
-                            carried[d_new] = Some((run.requests().to_vec(), committed));
+                            // Carry the cached requests; fresh ones (no KV
+                            // yet) recompute via the queue.
+                            for r in live.iter().rev().filter(|r| r.committed() == 0) {
+                                self.pending.push_front(*r.request());
+                            }
+                            carried[d_new] = Some(Carried::Records(progressed));
                         }
                         _ => {
-                            for req in run.requests().iter().rev() {
-                                self.pending.push_front(*req);
+                            for r in live.iter().rev() {
+                                self.pending.push_front(*r.request());
                             }
                         }
                     }
@@ -1172,7 +1409,7 @@ impl ServingSystem {
         pause: SimDuration,
         migrated: u64,
         reloaded: u64,
-        carried: Vec<Option<(Vec<Request>, u32)>>,
+        carried: Vec<Option<Carried>>,
     ) {
         self.epoch += 1;
         let resume_at = self.now + pause;
@@ -1192,29 +1429,59 @@ impl ServingSystem {
                 }
             })
             .collect();
-        // Resume carried batches (stateful recovery).
+        // Resume carried work (stateful recovery).
         for (d, carry) in carried.into_iter().enumerate() {
-            let Some((mut reqs, committed)) = carry else {
-                continue;
-            };
-            // Shrinking capacity (§3.3 footnote 2): the new configuration
-            // holds fewer concurrent requests; discard the excess cache and
-            // requeue those requests for recomputation.
-            if reqs.len() > cfg.batch as usize {
-                for req in reqs.split_off(cfg.batch as usize).into_iter().rev() {
-                    self.pending.push_front(req);
+            match carry {
+                None => continue,
+                Some(Carried::Batch(mut reqs, committed)) => {
+                    // Shrinking capacity (§3.3 footnote 2): the new
+                    // configuration holds fewer concurrent requests;
+                    // discard the excess cache and requeue those requests
+                    // for recomputation.
+                    if reqs.len() > cfg.batch as usize {
+                        for req in reqs.split_off(cfg.batch as usize).into_iter().rev() {
+                            self.pending.push_front(req);
+                        }
+                    }
+                    let run = if committed == 0 {
+                        BatchRun::start(reqs, &cfg, resume_at, self.optimizer.perf())
+                    } else {
+                        BatchRun::resume(reqs, &cfg, resume_at, self.optimizer.perf(), committed)
+                    };
+                    let finish = run.finish_time();
+                    let id = self.pipelines[d].id;
+                    let key = self.events.schedule(finish, Ev::BatchDone { pipeline: id });
+                    self.pipelines[d].daemon.attach(run);
+                    self.pipelines[d].batch_key = Some(key);
+                }
+                Some(Carried::Records(records)) => {
+                    // Shrink handling for a heterogeneous set (§3.3
+                    // footnote 2): the scheduler applies its own admission
+                    // rule, keeping the deepest-progress records within
+                    // the new capacity and KV budget; the rest requeue for
+                    // recomputation.
+                    let (sched, dropped) = IterationScheduler::resume_within_budget(
+                        records,
+                        cfg,
+                        self.scenario.model.kv_bytes_per_token(),
+                        self.pipeline_kv_budget(&cfg),
+                        resume_at,
+                        self.optimizer.perf(),
+                    );
+                    for req in dropped.into_iter().rev() {
+                        self.pending.push_front(req);
+                    }
+                    let Some(finish) = sched.next_event() else {
+                        continue;
+                    };
+                    let id = self.pipelines[d].id;
+                    let key = self
+                        .events
+                        .schedule(finish, Ev::IterBoundary { pipeline: id });
+                    self.pipelines[d].daemon.attach_scheduler(sched);
+                    self.pipelines[d].batch_key = Some(key);
                 }
             }
-            let run = if committed == 0 {
-                BatchRun::start(reqs, &cfg, resume_at, self.optimizer.perf())
-            } else {
-                BatchRun::resume(reqs, &cfg, resume_at, self.optimizer.perf(), committed)
-            };
-            let finish = run.finish_time();
-            let id = self.pipelines[d].id;
-            let key = self.events.schedule(finish, Ev::BatchDone { pipeline: id });
-            self.pipelines[d].daemon.attach(run);
-            self.pipelines[d].batch_key = Some(key);
         }
         self.config_changes.push(ConfigChange {
             at: resume_at,

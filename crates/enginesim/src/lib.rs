@@ -1,15 +1,33 @@
-//! Discrete-event inference engine: batch execution, token-level progress,
-//! context-daemon cache accounting, and the just-in-time interruption
-//! arranger.
+//! Discrete-event inference engine: iteration-level continuous batching,
+//! token-level progress, context-daemon cache accounting, and the
+//! just-in-time interruption arranger.
 //!
 //! The paper's engine is FasterTransformer extended with a *context daemon*
 //! (owns model + cache tensors, survives engine restarts) and an
 //! *interruption arranger* (decides how many decoding iterations to run
 //! inside a grace period, §4.1). Here the engine is simulated at token
-//! granularity: a [`BatchRun`] knows exactly how many tokens are committed
-//! at any instant, which is what makes stateful recovery — resuming an
-//! interrupted request from its cached tokens instead of recomputing — an
-//! executable mechanic rather than bookkeeping fiction.
+//! granularity, in two flavors:
+//!
+//! * the **iteration-level scheduler** ([`IterationScheduler`]) — the
+//!   serving system's default engine. It manages per-request execution
+//!   records ([`RequestRun`]), retiring requests the moment their last
+//!   token commits and admitting waiting requests at the next iteration
+//!   boundary, within the batch capacity *and* the engine's KV budget.
+//!   Each iteration is priced from the current mixed batch (prefill and
+//!   decode tokens in one pass), so throughput no longer depends on
+//!   batch-formation luck;
+//! * the **fixed-batch record** ([`BatchRun`]) — the paper's original
+//!   run-to-completion semantics, kept as the comparison baseline and as
+//!   the unit the interruption arranger reasons about.
+//!
+//! Both know exactly how many tokens are committed at any instant, which
+//! is what makes stateful recovery — resuming interrupted requests from
+//! their cached tokens instead of recomputing — an executable mechanic
+//! rather than bookkeeping fiction. Under continuous batching the
+//! checkpoint is *heterogeneous*: each in-flight request carries its own
+//! committed count through a migration, and the JIT arranger's
+//! grace-period decoding simply runs more scheduler iterations before the
+//! freeze.
 //!
 //! # Example
 //!
@@ -30,7 +48,9 @@
 pub mod arranger;
 pub mod batch;
 pub mod daemon;
+pub mod scheduler;
 
 pub use arranger::{acquisition_defer_until, preemption_stop_time, recovery_worthwhile};
 pub use batch::BatchRun;
 pub use daemon::ContextDaemon;
+pub use scheduler::{IterationScheduler, RequestRun};

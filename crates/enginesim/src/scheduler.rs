@@ -1,0 +1,787 @@
+//! Iteration-level continuous batching: the scheduler that admits and
+//! retires requests at decode-iteration boundaries.
+//!
+//! The fixed-batch engine ([`crate::BatchRun`]) decodes one batch to
+//! completion before the next forms, which leaves pipeline slots idle from
+//! the moment a request finishes until the whole batch drains. Modern
+//! serving stacks (Orca-style continuous batching) instead admit and retire
+//! at *iteration* granularity: after every forward pass, finished requests
+//! leave, waiting requests join — up to the configuration's batch capacity
+//! **and** the engine's KV-cache budget — and the next iteration is priced
+//! from the *current* mixed batch (prefill and decode tokens in one pass,
+//! via [`parallelism::PerfModel::mixed_iteration_time`]).
+//!
+//! # Segments
+//!
+//! Simulating every iteration as its own event would be wasteful: between
+//! membership changes the running set decodes uniformly. The scheduler
+//! therefore advances in *segments* — maximal spans over which membership
+//! is fixed. A segment runs until the earliest in-flight request emits its
+//! last token (`K = min` remaining), with two prices: the first iteration
+//! (which carries any newly admitted requests' prefills) and the steady
+//! decode iteration, evaluated at each request's mid-segment context. An
+//! arrival mid-segment truncates the segment at the next iteration
+//! boundary so admission never happens mid-iteration.
+//!
+//! Progress commits only at iteration boundaries, which is what keeps
+//! migration token-exact (§4.1): freezing the scheduler at any instant
+//! yields, per request, exactly the tokens whose KV entries exist.
+
+use std::collections::VecDeque;
+
+use parallelism::{ParallelConfig, PerfModel};
+use simkit::{SimDuration, SimTime};
+use workload::{Request, RequestId};
+
+use llmsim::SeqWork;
+
+/// Per-request execution record: one request's progress through the engine.
+///
+/// This is what the fixed-batch engine's monolithic batch record becomes
+/// under continuous batching — the unit the scheduler admits, advances,
+/// retires, and (on migration) checkpoints and resumes token-exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRun {
+    request: Request,
+    /// Output tokens committed (KV entries exist for `s_in + committed`).
+    committed: u32,
+}
+
+impl RequestRun {
+    /// A fresh record with no progress (prefill still required).
+    pub fn fresh(request: Request) -> Self {
+        RequestRun {
+            request,
+            committed: 0,
+        }
+    }
+
+    /// A record resumed from migrated KV cache holding `committed` output
+    /// tokens (stateful recovery, §4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `committed` is not less than the request's output length.
+    pub fn resumed(request: Request, committed: u32) -> Self {
+        assert!(
+            committed < request.s_out,
+            "{}: resume at {committed}/{} is already finished",
+            request.id,
+            request.s_out
+        );
+        RequestRun { request, committed }
+    }
+
+    /// The request being executed.
+    pub fn request(&self) -> &Request {
+        &self.request
+    }
+
+    /// Output tokens committed so far.
+    pub fn committed(&self) -> u32 {
+        self.committed
+    }
+
+    /// Output tokens still to generate.
+    pub fn remaining(&self) -> u32 {
+        self.request.s_out - self.committed
+    }
+
+    /// Whether the last output token is committed.
+    pub fn is_done(&self) -> bool {
+        self.committed >= self.request.s_out
+    }
+
+    /// Whether the next iteration must run this request's prefill
+    /// (no committed tokens means no KV cache to decode from).
+    pub fn needs_prefill(&self) -> bool {
+        self.committed == 0
+    }
+
+    /// KV tokens this request will occupy at its peak (`S_in + S_out`);
+    /// the admission test provisions for the peak so a request admitted
+    /// under the budget can always run to completion.
+    fn peak_kv_tokens(&self) -> u64 {
+        self.request.s_in as u64 + self.request.s_out as u64
+    }
+}
+
+/// One span of iterations over a fixed running set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Segment {
+    start: SimTime,
+    /// End of the first iteration (carries any admitted prefills).
+    first_boundary: SimTime,
+    /// Duration of each further decode iteration.
+    iter_time: SimDuration,
+    /// Iteration boundaries in this segment (`>= 1`).
+    iters: u32,
+}
+
+impl Segment {
+    /// Boundaries at or before `t` (clamped to the segment length).
+    fn elapsed_iters(&self, t: SimTime) -> u32 {
+        if t < self.first_boundary {
+            return 0;
+        }
+        if self.iter_time == SimDuration::ZERO {
+            return self.iters;
+        }
+        let extra =
+            t.saturating_since(self.first_boundary).as_micros() / self.iter_time.as_micros();
+        (1 + extra).min(self.iters as u64) as u32
+    }
+
+    /// The instant of boundary `k` (1-based).
+    fn boundary(&self, k: u32) -> SimTime {
+        debug_assert!(k >= 1 && k <= self.iters);
+        self.first_boundary + self.iter_time * (k - 1) as u64
+    }
+
+    fn end(&self) -> SimTime {
+        self.boundary(self.iters)
+    }
+}
+
+/// The iteration-level scheduler for one inference pipeline.
+///
+/// Owns the pipeline's running set of [`RequestRun`]s; at each iteration
+/// boundary it retires finished requests, admits waiting ones within the
+/// batch capacity and KV budget, and re-prices the iteration from the
+/// current mixed batch.
+///
+/// # Example
+///
+/// ```
+/// use std::collections::VecDeque;
+/// use enginesim::IterationScheduler;
+/// use parallelism::{ParallelConfig, PerfModel};
+/// use simkit::SimTime;
+/// use workload::{Request, RequestId};
+///
+/// let model = llmsim::ModelSpec::opt_6_7b();
+/// let perf = PerfModel::paper_defaults(model.clone());
+/// let cfg = ParallelConfig::new(1, 1, 4, 8);
+/// let mut sched = IterationScheduler::new(cfg, model.kv_bytes_per_token(), u64::MAX);
+/// let mut pending: VecDeque<Request> = (0..2)
+///     .map(|i| Request { id: RequestId(i), arrival: SimTime::ZERO, s_in: 512, s_out: 128 })
+///     .collect();
+/// sched.admit(&mut pending, SimTime::ZERO, &perf);
+/// assert_eq!(sched.in_flight(), 2);
+/// let end = sched.next_event().expect("segment scheduled");
+/// let retired = sched.advance(end, &mut pending, &perf);
+/// assert_eq!(retired.len(), 2, "equal-length requests retire together");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationScheduler {
+    cfg: ParallelConfig,
+    kv_bytes_per_token: u64,
+    kv_budget_bytes: u64,
+    running: Vec<RequestRun>,
+    segment: Option<Segment>,
+}
+
+impl IterationScheduler {
+    /// Creates an idle scheduler for a pipeline of configuration `cfg`
+    /// whose engine holds `kv_budget_bytes` of KV cache
+    /// (see [`llmsim::MemoryModel::kv_bytes_per_gpu`] times the pipeline's
+    /// GPU count).
+    pub fn new(cfg: ParallelConfig, kv_bytes_per_token: u64, kv_budget_bytes: u64) -> Self {
+        IterationScheduler {
+            cfg,
+            kv_bytes_per_token,
+            kv_budget_bytes,
+            running: Vec::new(),
+            segment: None,
+        }
+    }
+
+    /// Rebuilds a scheduler from checkpointed records (stateful recovery
+    /// after migration): records with progress resume decoding from their
+    /// committed token, fresh ones re-run prefill. Starts the first
+    /// segment at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` exceeds `cfg`'s batch capacity or contains a
+    /// finished record.
+    pub fn resume(
+        records: Vec<RequestRun>,
+        cfg: ParallelConfig,
+        kv_bytes_per_token: u64,
+        kv_budget_bytes: u64,
+        now: SimTime,
+        perf: &PerfModel,
+    ) -> Self {
+        assert!(
+            records.len() <= cfg.batch as usize,
+            "resume of {} records exceeds B={}",
+            records.len(),
+            cfg.batch
+        );
+        for r in &records {
+            assert!(!r.is_done(), "{} is already finished", r.request.id);
+        }
+        let mut sched = IterationScheduler::new(cfg, kv_bytes_per_token, kv_budget_bytes);
+        sched.running = records;
+        if !sched.running.is_empty() {
+            sched.start_segment(now, perf);
+        }
+        sched
+    }
+
+    /// Like [`IterationScheduler::resume`], but applies this scheduler's
+    /// own admission rule to an arbitrarily large checkpoint (§3.3
+    /// footnote 2 — the new configuration may hold fewer concurrent
+    /// requests): deepest-progress records are kept up to the batch
+    /// capacity and KV budget, the rest come back as bare requests for
+    /// recomputation via the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` contains a finished record.
+    pub fn resume_within_budget(
+        mut records: Vec<RequestRun>,
+        cfg: ParallelConfig,
+        kv_bytes_per_token: u64,
+        kv_budget_bytes: u64,
+        now: SimTime,
+        perf: &PerfModel,
+    ) -> (Self, Vec<Request>) {
+        records.sort_by_key(|r| (std::cmp::Reverse(r.committed()), r.request.id));
+        let mut sched = IterationScheduler::new(cfg, kv_bytes_per_token, kv_budget_bytes);
+        let mut dropped = Vec::new();
+        for r in records {
+            assert!(!r.is_done(), "{} is already finished", r.request.id);
+            if sched.can_admit(&r.request) {
+                sched.running.push(r);
+            } else {
+                dropped.push(r.request);
+            }
+        }
+        if !sched.running.is_empty() {
+            sched.start_segment(now, perf);
+        }
+        (sched, dropped)
+    }
+
+    /// The configuration this scheduler runs under.
+    pub fn config(&self) -> &ParallelConfig {
+        &self.cfg
+    }
+
+    /// Adopts a batch-size-only configuration change (same mesh, so no
+    /// migration): the running segment is untouched, future admissions use
+    /// the new capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` changes the mesh shape (that requires a full
+    /// freeze/resume through migration).
+    pub fn set_config(&mut self, cfg: ParallelConfig) {
+        assert_eq!(
+            self.cfg.mesh_key(),
+            cfg.mesh_key(),
+            "mesh changes must go through freeze/resume"
+        );
+        self.cfg = cfg;
+    }
+
+    /// Requests currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Whether nothing is running.
+    pub fn is_idle(&self) -> bool {
+        self.running.is_empty()
+    }
+
+    /// The running set (progress as of the current segment's start).
+    pub fn running(&self) -> &[RequestRun] {
+        &self.running
+    }
+
+    /// Whether a slot is free under the batch capacity.
+    pub fn has_capacity(&self) -> bool {
+        self.running.len() < self.cfg.batch as usize
+    }
+
+    /// Whether `r`'s peak KV footprint fits the remaining budget. An idle
+    /// pipeline always admits one request (a feasible configuration's
+    /// engine can serve a single sequence by construction), so serving can
+    /// never deadlock on a conservative budget.
+    pub fn kv_fits(&self, r: &Request) -> bool {
+        if self.running.is_empty() {
+            return true;
+        }
+        let projected: u64 = self
+            .running
+            .iter()
+            .map(RequestRun::peak_kv_tokens)
+            .sum::<u64>()
+            + r.s_in as u64
+            + r.s_out as u64;
+        projected.saturating_mul(self.kv_bytes_per_token) <= self.kv_budget_bytes
+    }
+
+    /// Whether `r` can join the running set at the next boundary.
+    pub fn can_admit(&self, r: &Request) -> bool {
+        self.has_capacity() && self.kv_fits(r)
+    }
+
+    /// Admits from the front of `pending` while capacity and KV budget
+    /// allow, then (re)starts the segment at `now` if anything runs and no
+    /// segment is active. Only call at an iteration boundary or while
+    /// idle. Returns how many requests were admitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-segment, or if an admitted request has
+    /// `s_out == 0`.
+    pub fn admit(
+        &mut self,
+        pending: &mut VecDeque<Request>,
+        now: SimTime,
+        perf: &PerfModel,
+    ) -> usize {
+        assert!(
+            self.segment.is_none(),
+            "admission is only legal at an iteration boundary"
+        );
+        let mut admitted = 0;
+        while let Some(front) = pending.front() {
+            if !self.can_admit(front) {
+                break;
+            }
+            let req = pending.pop_front().expect("peeked");
+            assert!(req.s_out > 0, "generation must produce tokens");
+            self.running.push(RequestRun::fresh(req));
+            admitted += 1;
+        }
+        if !self.running.is_empty() {
+            self.start_segment(now, perf);
+        }
+        admitted
+    }
+
+    /// The instant of the current segment's last boundary — when
+    /// [`IterationScheduler::advance`] must be called.
+    pub fn next_event(&self) -> Option<SimTime> {
+        self.segment.as_ref().map(Segment::end)
+    }
+
+    /// The first iteration boundary strictly being worked toward at `t`
+    /// (the earliest instant a waiting request could join this pipeline),
+    /// or `None` when no segment runs.
+    pub fn next_boundary_after(&self, t: SimTime) -> Option<SimTime> {
+        let seg = self.segment.as_ref()?;
+        let k = (seg.elapsed_iters(t) + 1).min(seg.iters);
+        Some(seg.boundary(k))
+    }
+
+    /// Processes the boundary at `now` (the segment's end): commits the
+    /// segment's iterations, retires finished requests, admits waiting
+    /// ones, and starts the next segment. Returns the retired requests in
+    /// admission order.
+    pub fn advance(
+        &mut self,
+        now: SimTime,
+        pending: &mut VecDeque<Request>,
+        perf: &PerfModel,
+    ) -> Vec<Request> {
+        let Some(seg) = self.segment.take() else {
+            // Idle pipeline: nothing to commit, just try admission.
+            self.admit(pending, now, perf);
+            return Vec::new();
+        };
+        debug_assert!(now >= seg.end(), "boundary event fired early");
+        let done = seg.iters;
+        for r in &mut self.running {
+            r.committed = (r.committed + done).min(r.request.s_out);
+        }
+        let mut retired = Vec::new();
+        self.running.retain(|r| {
+            if r.is_done() {
+                retired.push(r.request);
+                false
+            } else {
+                true
+            }
+        });
+        self.admit(pending, now, perf);
+        if !self.running.is_empty() && self.segment.is_none() {
+            self.start_segment(now, perf);
+        }
+        retired
+    }
+
+    /// An arrival landed at `now` while a segment is running: if `head`
+    /// could join at the next boundary, truncate the segment there so the
+    /// boundary event fires early. Returns the new (earlier) segment end
+    /// when the caller must reschedule, `None` when nothing changed.
+    pub fn interrupt_for_admission(&mut self, now: SimTime, head: &Request) -> Option<SimTime> {
+        if !self.can_admit(head) {
+            return None;
+        }
+        let seg = self.segment.as_mut()?;
+        let next = seg.elapsed_iters(now) + 1;
+        if next >= seg.iters {
+            return None; // already ending at the next boundary or sooner
+        }
+        seg.iters = next;
+        Some(seg.end())
+    }
+
+    /// Freezes the pipeline at `now` (engine interruption): commits every
+    /// boundary at or before `now` — progress is token-exact, only whole
+    /// iterations count — cancels the segment, and drains the running set
+    /// as checkpointable records. Requests that finished exactly at `now`
+    /// come back as done records.
+    pub fn freeze(&mut self, now: SimTime) -> Vec<RequestRun> {
+        if let Some(seg) = self.segment.take() {
+            let done = seg.elapsed_iters(now);
+            for r in &mut self.running {
+                r.committed = (r.committed + done).min(r.request.s_out);
+            }
+        }
+        std::mem::take(&mut self.running)
+    }
+
+    /// Abandons all in-flight work, returning the bare requests in
+    /// admission order (the recomputation path: progress is discarded).
+    pub fn into_requests(mut self) -> Vec<Request> {
+        self.segment = None;
+        self.running.drain(..).map(|r| r.request).collect()
+    }
+
+    /// Per-request committed output tokens at `t`, including progress
+    /// inside the live segment.
+    pub fn committed_per_request_at(&self, t: SimTime) -> Vec<(RequestId, u32)> {
+        let done = self.segment.map(|s| s.elapsed_iters(t)).unwrap_or(0);
+        self.running
+            .iter()
+            .map(|r| (r.request.id, (r.committed + done).min(r.request.s_out)))
+            .collect()
+    }
+
+    /// The deepest per-request progress at `t` (the device mapper ranks
+    /// pipelines by decoding progress when shrinking, §3.3).
+    pub fn max_committed_at(&self, t: SimTime) -> u32 {
+        self.committed_per_request_at(t)
+            .into_iter()
+            .map(|(_, c)| c)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Resident KV-cache bytes at `t`: every in-flight request holds
+    /// `S_in +` committed tokens.
+    pub fn cache_bytes_at(&self, t: SimTime, kv_bytes_per_token: u64) -> u64 {
+        let done = self.segment.map(|s| s.elapsed_iters(t)).unwrap_or(0);
+        self.running
+            .iter()
+            .map(|r| {
+                let tokens =
+                    r.request.s_in as u64 + ((r.committed + done).min(r.request.s_out)) as u64;
+                tokens * kv_bytes_per_token
+            })
+            .sum()
+    }
+
+    /// Prices and installs the next segment: `K = min` remaining
+    /// iterations over a fixed membership, decode iterations evaluated at
+    /// each request's mid-segment context, the first iteration carrying
+    /// any pending prefills through the mixed batch.
+    fn start_segment(&mut self, now: SimTime, perf: &PerfModel) {
+        debug_assert!(!self.running.is_empty());
+        let k = self
+            .running
+            .iter()
+            .map(RequestRun::remaining)
+            .min()
+            .expect("non-empty");
+        debug_assert!(k >= 1, "finished requests must be retired first");
+        let mid_ctx = |r: &RequestRun| {
+            (r.request.s_in + r.committed + k / 2).min(r.request.s_in + r.request.s_out)
+        };
+        let decode_seqs: Vec<SeqWork> = self
+            .running
+            .iter()
+            .map(|r| SeqWork::decode(mid_ctx(r)))
+            .collect();
+        let iter_time = perf.mixed_iteration_time(&self.cfg, &decode_seqs);
+        let first_iter = if self.running.iter().any(RequestRun::needs_prefill) {
+            let first_seqs: Vec<SeqWork> = self
+                .running
+                .iter()
+                .map(|r| {
+                    if r.needs_prefill() {
+                        SeqWork::prefill(r.request.s_in)
+                    } else {
+                        SeqWork::decode(mid_ctx(r))
+                    }
+                })
+                .collect();
+            perf.mixed_iteration_time(&self.cfg, &first_seqs)
+        } else {
+            iter_time
+        };
+        self.segment = Some(Segment {
+            start: now,
+            first_boundary: now + first_iter,
+            iter_time,
+            iters: k,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchRun;
+    use llmsim::ModelSpec;
+
+    fn perf() -> PerfModel {
+        PerfModel::paper_defaults(ModelSpec::opt_6_7b())
+    }
+
+    fn cfg() -> ParallelConfig {
+        ParallelConfig::new(1, 1, 4, 8)
+    }
+
+    fn req(id: u64, s_in: u32, s_out: u32) -> Request {
+        Request {
+            id: RequestId(id),
+            arrival: SimTime::ZERO,
+            s_in,
+            s_out,
+        }
+    }
+
+    fn kvbpt() -> u64 {
+        ModelSpec::opt_6_7b().kv_bytes_per_token()
+    }
+
+    fn sched() -> IterationScheduler {
+        IterationScheduler::new(cfg(), kvbpt(), u64::MAX)
+    }
+
+    #[test]
+    fn uniform_batch_matches_fixed_engine_timing() {
+        // A batch admitted at once decodes exactly like the fixed-batch
+        // engine's BatchRun: same prefill, same mid-context iteration.
+        let p = perf();
+        let reqs: Vec<Request> = (0..4).map(|i| req(i, 512, 128)).collect();
+        let run = BatchRun::start(reqs.clone(), &cfg(), SimTime::ZERO, &p);
+        let mut s = sched();
+        let mut pending: VecDeque<Request> = reqs.into_iter().collect();
+        s.admit(&mut pending, SimTime::ZERO, &p);
+        assert_eq!(s.next_event(), Some(run.finish_time()));
+        let retired = s.advance(run.finish_time(), &mut pending, &p);
+        assert_eq!(retired.len(), 4);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn short_request_retires_and_backfills() {
+        let p = perf();
+        let mut s = sched();
+        let mut pending: VecDeque<Request> = vec![req(0, 512, 16), req(1, 512, 128)]
+            .into_iter()
+            .collect();
+        s.admit(&mut pending, SimTime::ZERO, &p);
+        let b1 = s.next_event().unwrap();
+        // Segment ends when the 16-token request finishes.
+        let retired = s.advance(b1, &mut pending, &p);
+        assert_eq!(retired, vec![req(0, 512, 16)]);
+        assert_eq!(s.in_flight(), 1);
+        // The survivor carries its 16 committed tokens into the next
+        // segment.
+        assert_eq!(s.running()[0].committed(), 16);
+        let b2 = s.next_event().unwrap();
+        let retired = s.advance(b2, &mut pending, &p);
+        assert_eq!(retired, vec![req(1, 512, 128)]);
+        assert!(s.next_event().is_none());
+    }
+
+    #[test]
+    fn kv_budget_binds_before_batch_capacity() {
+        // Budget for exactly two peak-size requests; B = 8.
+        let budget = 2 * (512 + 128) * kvbpt();
+        let p = perf();
+        let mut s = IterationScheduler::new(cfg(), kvbpt(), budget);
+        let mut pending: VecDeque<Request> = (0..4).map(|i| req(i, 512, 128)).collect();
+        let admitted = s.admit(&mut pending, SimTime::ZERO, &p);
+        assert_eq!(admitted, 2, "KV budget must bind before B=8");
+        assert!(s.has_capacity(), "slots remain, memory does not");
+        assert!(!s.can_admit(pending.front().unwrap()));
+        // Retirement frees budget: both retire together, then two more fit.
+        let end = s.next_event().unwrap();
+        let retired = s.advance(end, &mut pending, &p);
+        assert_eq!(retired.len(), 2);
+        assert_eq!(s.in_flight(), 2);
+        assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn idle_pipeline_always_admits_one_request() {
+        // A budget too small even for one request must not deadlock: the
+        // first admission bypasses the check.
+        let p = perf();
+        let mut s = IterationScheduler::new(cfg(), kvbpt(), 1);
+        let mut pending: VecDeque<Request> = vec![req(0, 512, 128), req(1, 512, 128)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.admit(&mut pending, SimTime::ZERO, &p), 1);
+        assert_eq!(s.in_flight(), 1);
+    }
+
+    #[test]
+    fn retirement_of_last_in_flight_request_goes_idle() {
+        let p = perf();
+        let mut s = sched();
+        let mut pending: VecDeque<Request> = vec![req(0, 512, 8)].into_iter().collect();
+        s.admit(&mut pending, SimTime::ZERO, &p);
+        let end = s.next_event().unwrap();
+        let retired = s.advance(end, &mut pending, &p);
+        assert_eq!(retired.len(), 1);
+        assert!(s.is_idle());
+        assert_eq!(s.next_event(), None);
+        assert_eq!(s.cache_bytes_at(end, kvbpt()), 0, "cache released");
+        // The idle scheduler admits again on the next dispatch.
+        let mut more: VecDeque<Request> = vec![req(1, 512, 8)].into_iter().collect();
+        assert_eq!(s.admit(&mut more, end, &p), 1);
+    }
+
+    #[test]
+    fn freeze_exactly_on_boundary_is_token_exact() {
+        // Preemption landing exactly on an iteration boundary commits that
+        // boundary's token — no more, no less.
+        let p = perf();
+        let mut s = sched();
+        let mut pending: VecDeque<Request> = vec![req(0, 512, 128)].into_iter().collect();
+        s.admit(&mut pending, SimTime::ZERO, &p);
+        let seg = s.segment.unwrap();
+        let b3 = seg.boundary(3);
+        assert_eq!(s.committed_per_request_at(b3), vec![(RequestId(0), 3)]);
+        let records = s.freeze(b3);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].committed(), 3);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn freeze_mid_iteration_commits_only_whole_iterations() {
+        let p = perf();
+        let mut s = sched();
+        let mut pending: VecDeque<Request> = vec![req(0, 512, 128)].into_iter().collect();
+        s.admit(&mut pending, SimTime::ZERO, &p);
+        let seg = s.segment.unwrap();
+        let mid = seg.boundary(5) + SimDuration::from_micros(1);
+        let records = s.freeze(mid);
+        assert_eq!(records[0].committed(), 5, "partial iteration 6 discarded");
+    }
+
+    #[test]
+    fn heterogeneous_progress_survives_freeze_and_resume() {
+        let p = perf();
+        let mut s = sched();
+        let mut pending: VecDeque<Request> = vec![req(0, 512, 32), req(1, 512, 128)]
+            .into_iter()
+            .collect();
+        s.admit(&mut pending, SimTime::ZERO, &p);
+        // Run out the first segment: request 0 done, request 1 at 32.
+        let b = s.next_event().unwrap();
+        s.advance(b, &mut pending, &p);
+        // Mid-second-segment freeze: request 1 alone, heterogeneous vs a
+        // fresh admission that joins on resume.
+        let seg = s.segment.unwrap();
+        let records = s.freeze(seg.boundary(10));
+        assert_eq!(records, vec![RequestRun::resumed(req(1, 512, 128), 42)]);
+        // Resume under a different configuration: no prefill re-run.
+        let new_cfg = ParallelConfig::new(1, 2, 2, 8);
+        let mut r =
+            IterationScheduler::resume(records, new_cfg, kvbpt(), u64::MAX, seg.boundary(10), &p);
+        assert!(!r.running()[0].needs_prefill());
+        let end = r.next_event().unwrap();
+        let retired = r.advance(end, &mut VecDeque::new(), &p);
+        assert_eq!(retired.len(), 1, "86 remaining tokens decode to the end");
+    }
+
+    #[test]
+    fn mid_segment_arrival_truncates_to_next_boundary() {
+        let p = perf();
+        let mut s = sched();
+        let mut pending: VecDeque<Request> = vec![req(0, 512, 128)].into_iter().collect();
+        s.admit(&mut pending, SimTime::ZERO, &p);
+        let old_end = s.next_event().unwrap();
+        let seg = s.segment.unwrap();
+        let arrival_t = seg.boundary(2) + SimDuration::from_micros(1);
+        let newcomer = req(1, 512, 128);
+        let new_end = s.interrupt_for_admission(arrival_t, &newcomer).unwrap();
+        assert_eq!(new_end, seg.boundary(3), "next boundary after arrival");
+        assert!(new_end < old_end);
+        // At the new boundary the newcomer joins and the survivor keeps
+        // its 3 committed tokens.
+        let mut q: VecDeque<Request> = vec![newcomer].into_iter().collect();
+        s.advance(new_end, &mut q, &p);
+        assert_eq!(s.in_flight(), 2);
+        assert_eq!(
+            s.committed_per_request_at(new_end),
+            vec![(RequestId(0), 3), (RequestId(1), 0)]
+        );
+    }
+
+    #[test]
+    fn interrupt_without_room_is_ignored() {
+        let p = perf();
+        let small = ParallelConfig::new(1, 1, 4, 1);
+        let mut s = IterationScheduler::new(small, kvbpt(), u64::MAX);
+        let mut pending: VecDeque<Request> = vec![req(0, 512, 128)].into_iter().collect();
+        s.admit(&mut pending, SimTime::ZERO, &p);
+        let end = s.next_event().unwrap();
+        let t = s.segment.unwrap().boundary(1) + SimDuration::from_micros(1);
+        assert_eq!(s.interrupt_for_admission(t, &req(1, 512, 128)), None);
+        assert_eq!(s.next_event(), Some(end), "segment untouched");
+    }
+
+    #[test]
+    fn mixed_batch_iterations_cost_more_than_decode_only() {
+        // A segment whose first iteration carries a prefill must price it
+        // above the steady decode iteration.
+        let p = perf();
+        let mut s = sched();
+        let mut pending: VecDeque<Request> = vec![req(0, 512, 64)].into_iter().collect();
+        s.admit(&mut pending, SimTime::ZERO, &p);
+        let b = s.next_event().unwrap();
+        s.advance(b, &mut pending, &p); // retires request 0
+        let mut q: VecDeque<Request> = vec![req(1, 512, 128)].into_iter().collect();
+        s.admit(&mut q, b, &p);
+        let seg = s.segment.unwrap();
+        let first = seg.first_boundary.saturating_since(seg.start);
+        assert!(
+            first > seg.iter_time,
+            "prefill-carrying iteration {first} must exceed decode {}",
+            seg.iter_time
+        );
+    }
+
+    #[test]
+    fn cache_grows_with_commitment() {
+        let p = perf();
+        let mut s = sched();
+        let mut pending: VecDeque<Request> = vec![req(0, 512, 128)].into_iter().collect();
+        s.admit(&mut pending, SimTime::ZERO, &p);
+        let kv = kvbpt();
+        assert_eq!(s.cache_bytes_at(SimTime::ZERO, kv), 512 * kv);
+        let end = s.next_event().unwrap();
+        assert_eq!(s.cache_bytes_at(end, kv), (512 + 128) * kv);
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn resumed_record_must_have_tokens_left() {
+        RequestRun::resumed(req(0, 512, 128), 128);
+    }
+}

@@ -45,6 +45,38 @@ impl Default for Efficiency {
     }
 }
 
+/// One sequence's contribution to a (possibly mixed) forward pass: how many
+/// new tokens it pushes through the model this iteration and the attention
+/// context it reads.
+///
+/// A prefilling request contributes `S_in` new tokens over an `S_in`-token
+/// context; a decoding request contributes 1 new token over its current
+/// context. Continuous batching (iteration-level scheduling) mixes both in
+/// one pass, which uniform `(b, tokens_per_seq, ctx)` pricing cannot
+/// express.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqWork {
+    /// Tokens this sequence pushes through the model in this pass.
+    pub new_tokens: u32,
+    /// Attention context length (tokens already cached plus the new ones).
+    pub ctx: u32,
+}
+
+impl SeqWork {
+    /// The prefill pass of a fresh request with an `s_in`-token prompt.
+    pub fn prefill(s_in: u32) -> Self {
+        SeqWork {
+            new_tokens: s_in,
+            ctx: s_in,
+        }
+    }
+
+    /// One decode iteration at context length `ctx`.
+    pub fn decode(ctx: u32) -> Self {
+        SeqWork { new_tokens: 1, ctx }
+    }
+}
+
 /// Closed-form latency model for one inference pipeline.
 ///
 /// All methods take the *intra-pipeline* parallel degrees `(p, m)`
@@ -157,21 +189,88 @@ impl CostModel {
             p > 0 && m > 0 && b > 0 && tokens_per_seq > 0,
             "degenerate forward"
         );
-        let layers = model.num_layers as f64;
+        // Closed-form uniform path, kept allocation-free: this underlies
+        // prefill/decode pricing on the optimizer's hot loop. The
+        // `mixed_reduces_to_uniform_bit_exactly` test pins it equal to
+        // `mixed_forward_time` over `b` identical sequences.
         let tokens_total = (b * tokens_per_seq) as f64;
-
-        // Per-layer compute: dense projections + context attention.
         let flops_per_layer = tokens_total
             * (model.flops_per_token_per_layer() + model.attn_flops_per_token_per_layer(ctx));
+        let kv_ctx_total = (b as f64) * (ctx as f64);
+        self.assemble_forward_time(model, p, m, tokens_total, flops_per_layer, kv_ctx_total)
+    }
+
+    /// Latency of one full forward pass over a *mixed* batch: each sequence
+    /// contributes its own new-token count and attention context, so one
+    /// pass can combine prefilling and decoding requests at heterogeneous
+    /// context lengths (iteration-level continuous batching).
+    ///
+    /// For a uniform batch this reduces bit-exactly to
+    /// [`CostModel::forward_time`] (per-context terms are grouped before
+    /// any floating-point multiply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `m` is zero, `seqs` is empty, or any sequence
+    /// contributes zero new tokens.
+    pub fn mixed_forward_time(
+        &self,
+        model: &ModelSpec,
+        p: u32,
+        m: u32,
+        seqs: &[SeqWork],
+    ) -> SimDuration {
+        assert!(p > 0 && m > 0 && !seqs.is_empty(), "degenerate forward");
+
+        // Integer pre-aggregation keeps the uniform case bit-identical to
+        // the closed-form uniform formula: new tokens are grouped by
+        // context length and context lengths are summed exactly before any
+        // float multiply.
+        let mut total_tokens: u64 = 0;
+        let mut total_ctx: u64 = 0;
+        let mut by_ctx: Vec<(u32, u64)> = Vec::new();
+        for s in seqs {
+            assert!(s.new_tokens > 0, "degenerate forward");
+            total_tokens += s.new_tokens as u64;
+            total_ctx += s.ctx as u64;
+            match by_ctx.iter_mut().find(|(c, _)| *c == s.ctx) {
+                Some((_, t)) => *t += s.new_tokens as u64,
+                None => by_ctx.push((s.ctx, s.new_tokens as u64)),
+            }
+        }
+        let tokens_total = total_tokens as f64;
+
+        // Per-layer compute: dense projections + context attention.
+        let mut flops_per_layer = 0.0;
+        for (ctx, t) in &by_ctx {
+            flops_per_layer += *t as f64
+                * (model.flops_per_token_per_layer() + model.attn_flops_per_token_per_layer(*ctx));
+        }
+        self.assemble_forward_time(model, p, m, tokens_total, flops_per_layer, total_ctx as f64)
+    }
+
+    /// The shared tail of the forward-pass model, past per-sequence
+    /// aggregation: `tokens_total` new tokens, `flops_per_layer` compute,
+    /// and `kv_ctx_total` total attention-context tokens read.
+    fn assemble_forward_time(
+        &self,
+        model: &ModelSpec,
+        p: u32,
+        m: u32,
+        tokens_total: f64,
+        flops_per_layer: f64,
+        kv_ctx_total: f64,
+    ) -> SimDuration {
+        let layers = model.num_layers as f64;
         let eff_flops = self.gpu.peak_flops * self.compute_eff(tokens_total);
         let compute_t = flops_per_layer / (m as f64 * eff_flops);
 
         // Per-layer memory: stream the weight shard once per forward pass,
-        // plus KV-cache reads for attention.
+        // plus KV-cache reads for attention (each sequence reads its own
+        // context).
         let eff_bw = self.gpu.mem_bandwidth * self.eff.mem_fraction;
         let weight_bytes = model.layer_bytes() as f64 / m as f64;
-        let kv_bytes_layer = (b as f64)
-            * (ctx as f64)
+        let kv_bytes_layer = kv_ctx_total
             * 2.0
             * model.hidden_size as f64
             * model.bytes_per_kv as f64
@@ -345,6 +444,70 @@ mod tests {
     #[should_panic(expected = "degenerate forward")]
     fn zero_batch_panics() {
         cost().forward_time(&ModelSpec::opt_6_7b(), 1, 4, 0, 1, 1);
+    }
+
+    #[test]
+    fn mixed_reduces_to_uniform_bit_exactly() {
+        let c = cost();
+        let m = ModelSpec::gpt_20b();
+        for (b, tokens, ctx) in [(1u32, 1u32, 512u32), (8, 1, 640), (4, 512, 512)] {
+            let uniform = c.forward_time(&m, 3, 4, b, tokens, ctx);
+            let seqs = vec![
+                SeqWork {
+                    new_tokens: tokens,
+                    ctx
+                };
+                b as usize
+            ];
+            assert_eq!(uniform, c.mixed_forward_time(&m, 3, 4, &seqs));
+        }
+    }
+
+    #[test]
+    fn mixed_iteration_lies_between_pure_phases() {
+        // One prefill + 3 decodes costs more than a pure 4-decode iteration
+        // and less than prefill for 4 full prompts.
+        let c = cost();
+        let m = ModelSpec::opt_6_7b();
+        let mixed = c.mixed_forward_time(
+            &m,
+            1,
+            4,
+            &[
+                SeqWork::prefill(512),
+                SeqWork::decode(520),
+                SeqWork::decode(600),
+                SeqWork::decode(544),
+            ],
+        );
+        let pure_decode = c.decode_time(&m, 1, 4, 4, 600);
+        let pure_prefill = c.prefill_time(&m, 1, 4, 4, 512);
+        assert!(mixed > pure_decode, "{mixed} vs {pure_decode}");
+        assert!(mixed < pure_prefill, "{mixed} vs {pure_prefill}");
+    }
+
+    #[test]
+    fn mixed_cost_grows_with_membership() {
+        let c = cost();
+        let m = ModelSpec::gpt_20b();
+        let small = c.mixed_forward_time(&m, 3, 4, &[SeqWork::decode(512)]);
+        let big = c.mixed_forward_time(
+            &m,
+            3,
+            4,
+            &[
+                SeqWork::decode(512),
+                SeqWork::decode(513),
+                SeqWork::prefill(512),
+            ],
+        );
+        assert!(big > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate forward")]
+    fn empty_mixed_batch_panics() {
+        cost().mixed_forward_time(&ModelSpec::opt_6_7b(), 1, 4, &[]);
     }
 
     #[test]

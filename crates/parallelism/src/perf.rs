@@ -6,7 +6,7 @@
 //! calibrated cost model; the scheduling-delay component uses a standard
 //! multi-server queueing heuristic, mirroring the paper's offline profiler.
 
-use llmsim::{CostModel, ModelSpec};
+use llmsim::{CostModel, ModelSpec, SeqWork};
 use simkit::SimDuration;
 
 use crate::config::ParallelConfig;
@@ -86,6 +86,22 @@ impl PerfModel {
             self.s_in,
             self.s_out,
         )
+    }
+
+    /// Latency of one continuous-batching iteration under `c`: a single
+    /// forward pass over the *current* mixed batch, where each running
+    /// sequence contributes its own prefill-vs-decode token count and
+    /// attention context. This is the per-iteration price the
+    /// iteration-level scheduler recomputes whenever the running set
+    /// changes; for a uniform batch it reduces bit-exactly to the uniform
+    /// cost-model path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seqs` is empty (no iteration to price).
+    pub fn mixed_iteration_time(&self, c: &ParallelConfig, seqs: &[SeqWork]) -> SimDuration {
+        self.cost
+            .mixed_forward_time(&self.model, c.pipeline, c.tensor, seqs)
     }
 
     /// Peak serving throughput `φ(C)` in requests/second: `D·B` requests
@@ -182,6 +198,17 @@ mod tests {
         let hi = p.request_latency(&c, p.throughput(&c) * 0.9);
         assert!(hi > lo);
         assert!(lo >= p.exec_latency(&c));
+    }
+
+    #[test]
+    fn mixed_iteration_matches_uniform_decode() {
+        let p = perf(ModelSpec::gpt_20b());
+        let c = ParallelConfig::new(1, 3, 4, 8);
+        let seqs = vec![SeqWork::decode(576); 8];
+        assert_eq!(
+            p.mixed_iteration_time(&c, &seqs),
+            p.cost_model().decode_time(p.model(), 3, 4, 8, 576)
+        );
     }
 
     #[test]

@@ -55,6 +55,72 @@ impl ArrivalProcess {
     }
 }
 
+/// How per-request output lengths are drawn.
+///
+/// The paper fixes `S_out = 128`; the iteration-level engine opens the
+/// heterogeneous axis — under fixed batching every batch member is
+/// hostage to its longest peer, while continuous batching retires each
+/// request at its own last token.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutputDist {
+    /// Every request generates exactly this many tokens.
+    Fixed(u32),
+    /// Uniform in `[lo, hi]` (inclusive).
+    Uniform {
+        /// Shortest generation.
+        lo: u32,
+        /// Longest generation.
+        hi: u32,
+    },
+    /// Long-tail: most requests generate `common` tokens, a
+    /// `tail_fraction` of them generate `tail`.
+    LongTail {
+        /// The typical generation length.
+        common: u32,
+        /// The tail generation length.
+        tail: u32,
+        /// Probability of a tail request.
+        tail_fraction: f64,
+    },
+}
+
+impl OutputDist {
+    /// Draws one output length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution can produce zero tokens, if a uniform
+    /// range is inverted, or if `tail_fraction` is not a probability.
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        match *self {
+            OutputDist::Fixed(n) => {
+                assert!(n > 0, "generation must produce tokens");
+                n
+            }
+            OutputDist::Uniform { lo, hi } => {
+                assert!(0 < lo && lo <= hi, "bad uniform range [{lo}, {hi}]");
+                rng.range_inclusive(lo as u64, hi as u64) as u32
+            }
+            OutputDist::LongTail {
+                common,
+                tail,
+                tail_fraction,
+            } => {
+                assert!(common > 0 && tail > 0, "generation must produce tokens");
+                assert!(
+                    (0.0..=1.0).contains(&tail_fraction),
+                    "tail_fraction {tail_fraction} is not a probability"
+                );
+                if rng.chance(tail_fraction) {
+                    tail
+                } else {
+                    common
+                }
+            }
+        }
+    }
+}
+
 /// A complete workload description.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
@@ -85,6 +151,15 @@ impl WorkloadSpec {
 
     /// Generates the request stream.
     pub fn generate(&self, rng: &mut SimRng) -> Vec<Request> {
+        // `Fixed` consumes no RNG draws, so this is bit-identical to the
+        // historical fixed-s_out generator.
+        self.generate_mixed(&OutputDist::Fixed(self.s_out), rng)
+    }
+
+    /// Generates the request stream with per-request output lengths drawn
+    /// from `outputs` (overriding this spec's fixed `s_out`) — the mixed
+    /// `S_out` scenario axis for the iteration-level engine.
+    pub fn generate_mixed(&self, outputs: &OutputDist, rng: &mut SimRng) -> Vec<Request> {
         let mut out = Vec::new();
         let mut t = SimTime::ZERO;
         loop {
@@ -96,7 +171,7 @@ impl WorkloadSpec {
                 id: RequestId(out.len() as u64),
                 arrival: t,
                 s_in: self.s_in,
-                s_out: self.s_out,
+                s_out: outputs.sample(rng),
             });
         }
         out
@@ -147,6 +222,45 @@ mod tests {
 
     fn rng() -> SimRng {
         SimRng::new(42).stream("arrivals")
+    }
+
+    #[test]
+    fn mixed_outputs_follow_the_distribution() {
+        let spec = WorkloadSpec {
+            process: ArrivalProcess::Poisson { rate: 1.0 },
+            duration: SimDuration::from_secs(20_000),
+            s_in: 512,
+            s_out: 128,
+        };
+        let dist = OutputDist::LongTail {
+            common: 64,
+            tail: 1024,
+            tail_fraction: 0.05,
+        };
+        let reqs = spec.generate_mixed(&dist, &mut rng());
+        assert!(reqs.iter().all(|r| r.s_out == 64 || r.s_out == 1024));
+        let tails = reqs.iter().filter(|r| r.s_out == 1024).count();
+        let frac = tails as f64 / reqs.len() as f64;
+        assert!((frac - 0.05).abs() < 0.02, "tail fraction {frac}");
+        // Deterministic per seed.
+        assert_eq!(reqs, spec.generate_mixed(&dist, &mut rng()));
+    }
+
+    #[test]
+    fn uniform_outputs_stay_in_range() {
+        let dist = OutputDist::Uniform { lo: 16, hi: 256 };
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = dist.sample(&mut r);
+            assert!((16..=256).contains(&s));
+        }
+        assert_eq!(OutputDist::Fixed(128).sample(&mut r), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad uniform range")]
+    fn inverted_uniform_panics() {
+        OutputDist::Uniform { lo: 9, hi: 3 }.sample(&mut rng());
     }
 
     #[test]

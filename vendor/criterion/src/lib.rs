@@ -10,8 +10,14 @@
 //! Instead of criterion's statistical sampling it runs each routine for a
 //! small fixed time budget and reports mean ns/iter — enough to compare
 //! orders of magnitude in CI logs, not a substitute for real measurements.
+//!
+//! The budget is tunable via the `CRITERION_MEASURE_MS` environment
+//! variable (the shim's equivalent of the real crate's
+//! `--measurement-time` flag): CI's bench-smoke job sets a small value so
+//! every bench *executes* quickly on each PR.
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`] under criterion's name.
@@ -19,9 +25,22 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
-/// Per-iteration time budget for one `Bencher::iter` measurement.
+/// Default per-iteration time budget for one `Bencher::iter` measurement.
 const MEASURE_BUDGET: Duration = Duration::from_millis(200);
 const MAX_ITERS: u64 = 100_000;
+
+/// The measurement budget: `CRITERION_MEASURE_MS` milliseconds when set
+/// (parsed once), otherwise [`MEASURE_BUDGET`].
+fn measure_budget() -> Duration {
+    static BUDGET: OnceLock<Duration> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|ms| ms.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(MEASURE_BUDGET)
+    })
+}
 
 #[derive(Default)]
 pub struct Criterion {}
@@ -131,12 +150,13 @@ impl Bencher {
     where
         R: FnMut() -> O,
     {
+        let budget = measure_budget();
         let start = Instant::now();
         let mut iters = 0u64;
         loop {
             black_box(routine());
             iters += 1;
-            if start.elapsed() >= MEASURE_BUDGET || iters >= MAX_ITERS {
+            if start.elapsed() >= budget || iters >= MAX_ITERS {
                 break;
             }
         }

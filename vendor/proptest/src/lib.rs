@@ -9,9 +9,13 @@
 //!
 //! Deliberate simplifications versus the real crate:
 //! - no shrinking: a failing case reports its seed instead of a minimal input;
-//! - generation is uniform (no bias toward boundary values);
 //! - rejection via `prop_assume!` retries with a fresh seed, bounded by a
 //!   global reject cap rather than a per-strategy local one.
+//!
+//! Like the real crate, range strategies are biased toward boundary
+//! values: a quarter of all draws yield the range's minimum, maximum, or
+//! zero (when zero lies inside the range), so properties actually probe
+//! the edges instead of relying on a uniform draw to land there.
 
 pub mod test_runner {
     /// Runner configuration; `proptest::prelude` re-exports this as
@@ -155,6 +159,23 @@ pub mod strategy {
         }
     }
 
+    /// Draws from `[lo, hi]` (inclusive, as `i128`) with boundary bias:
+    /// a quarter of draws pick `lo`, `hi`, or zero (when in range) in
+    /// rotation; the rest are uniform over the whole span (a fresh full
+    /// 64-bit draw, so u64-wide ranges keep all their entropy).
+    fn biased_int(lo: i128, hi: i128, rng: &mut TestRng) -> i128 {
+        debug_assert!(lo <= hi);
+        let roll = rng.next_u64();
+        if roll % 8 < 2 {
+            let edges = [lo, hi, 0];
+            let n = if lo <= 0 && 0 <= hi { 3 } else { 2 };
+            return edges[(roll as usize >> 3) % n];
+        }
+        let span = (hi - lo) as u128 + 1;
+        let off = (rng.next_u64() as u128) % span;
+        lo + off as i128
+    }
+
     macro_rules! int_range_strategies {
         ($($t:ty),* $(,)?) => {$(
             impl Strategy for ::core::ops::Range<$t> {
@@ -162,9 +183,7 @@ pub mod strategy {
 
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     assert!(self.start < self.end, "empty range strategy");
-                    let span = (self.end as i128 - self.start as i128) as u128;
-                    let off = (rng.next_u64() as u128) % span;
-                    (self.start as i128 + off as i128) as $t
+                    biased_int(self.start as i128, self.end as i128 - 1, rng) as $t
                 }
             }
 
@@ -174,9 +193,7 @@ pub mod strategy {
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     let (lo, hi) = (*self.start(), *self.end());
                     assert!(lo <= hi, "empty range strategy");
-                    let span = (hi as i128 - lo as i128) as u128 + 1;
-                    let off = (rng.next_u64() as u128) % span;
-                    (lo as i128 + off as i128) as $t
+                    biased_int(lo as i128, hi as i128, rng) as $t
                 }
             }
         )*};
@@ -191,6 +208,16 @@ pub mod strategy {
 
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     assert!(self.start < self.end, "empty range strategy");
+                    let roll = rng.next_u64();
+                    // Boundary bias: the range minimum, and zero when it
+                    // lies inside (the exclusive end cannot be produced).
+                    if roll % 8 < 2 {
+                        let zero_ok = self.start <= 0.0 && 0.0 < self.end;
+                        if zero_ok && (roll >> 3) % 2 == 0 {
+                            return 0.0;
+                        }
+                        return self.start;
+                    }
                     self.start + (rng.next_f64() as $t) * (self.end - self.start)
                 }
             }
