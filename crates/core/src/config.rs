@@ -66,6 +66,12 @@ pub struct SystemOptions {
     /// The execution engine pipelines run (all policies share it, §6.1's
     /// same-backbone fairness setup).
     pub engine: EngineMode,
+    /// Sarathi-style chunked prefill for the continuous engine: prompts are
+    /// split into chunks of at most this many tokens, one chunk per
+    /// iteration, so decode requests never stall behind a monolithic
+    /// prefill. `None` (the default) keeps monolithic prefill. Ignored by
+    /// [`EngineMode::FixedBatch`].
+    pub prefill_chunk: Option<u32>,
     /// Component ablations (only meaningful for [`Policy::SpotServe`]).
     pub ablation: AblationFlags,
     /// Allow mixing on-demand instances into the fleet (the `+O` traces).
@@ -93,6 +99,7 @@ impl SystemOptions {
         SystemOptions {
             policy,
             engine: EngineMode::default(),
+            prefill_chunk: None,
             ablation: AblationFlags::default(),
             on_demand_mixing: false,
             spare_instances: 2,
@@ -143,6 +150,17 @@ impl SystemOptions {
         self.engine = engine;
         self
     }
+
+    /// Enables chunked prefill with chunks of at most `chunk` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn with_prefill_chunk(mut self, chunk: u32) -> Self {
+        assert!(chunk > 0, "a prefill chunk must carry tokens");
+        self.prefill_chunk = Some(chunk);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +187,23 @@ mod tests {
                 .with_on_demand_mixing()
                 .on_demand_mixing
         );
+    }
+
+    #[test]
+    fn prefill_is_monolithic_by_default() {
+        assert_eq!(SystemOptions::spotserve().prefill_chunk, None);
+        assert_eq!(
+            SystemOptions::spotserve()
+                .with_prefill_chunk(64)
+                .prefill_chunk,
+            Some(64)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "carry tokens")]
+    fn zero_chunk_panics() {
+        SystemOptions::spotserve().with_prefill_chunk(0);
     }
 
     #[test]

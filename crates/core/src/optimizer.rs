@@ -15,6 +15,8 @@ use cloudsim::GpuSpec;
 use llmsim::{MemoryModel, ModelSpec};
 use parallelism::{enumerate_configs, ConfigSpace, ParallelConfig, PerfModel};
 
+use crate::config::EngineMode;
+
 /// The optimizer's verdict for one invocation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OptimizerDecision {
@@ -50,6 +52,12 @@ pub struct ConfigOptimizer {
     space: ConfigSpace,
     gpus_per_instance: u8,
     max_instances: u32,
+    /// Which engine's `φ(C)`/`l_req(C)` estimator prices candidates: the
+    /// paper's fixed-batch formulas, or the re-derived continuous-batching
+    /// ones ([`PerfModel::request_latency_continuous`]). Defaults to
+    /// [`EngineMode::FixedBatch`] so paper-exact figures stay bit-exact;
+    /// the serving system passes its own engine mode in.
+    engine: EngineMode,
 }
 
 impl ConfigOptimizer {
@@ -74,6 +82,37 @@ impl ConfigOptimizer {
             space,
             gpus_per_instance,
             max_instances,
+            engine: EngineMode::FixedBatch,
+        }
+    }
+
+    /// Prices candidates with `engine`'s estimator — Algorithm 1 should
+    /// model the engine that actually serves (the continuous engine has no
+    /// batch-fill delay and turns slots over faster, which shifts its
+    /// latency-minimizing choices toward larger batch capacities).
+    pub fn with_engine_mode(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine mode whose estimator prices candidates.
+    pub fn engine_mode(&self) -> EngineMode {
+        self.engine
+    }
+
+    /// `φ(C)` under the selected engine's estimator.
+    pub fn estimated_throughput(&self, c: &ParallelConfig) -> f64 {
+        match self.engine {
+            EngineMode::FixedBatch => self.perf.throughput(c),
+            EngineMode::ContinuousBatching => self.perf.throughput_continuous(c),
+        }
+    }
+
+    /// `l_req(C, α)` under the selected engine's estimator.
+    pub fn estimated_latency(&self, c: &ParallelConfig, alpha: f64) -> simkit::SimDuration {
+        match self.engine {
+            EngineMode::FixedBatch => self.perf.request_latency(c, alpha),
+            EngineMode::ContinuousBatching => self.perf.request_latency_continuous(c, alpha),
         }
     }
 
@@ -125,7 +164,7 @@ impl ConfigOptimizer {
         configs
             .into_iter()
             .map(|c| {
-                let l = self.perf.request_latency(&c, alpha);
+                let l = self.estimated_latency(&c, alpha);
                 (l, c.instances_needed(self.gpus_per_instance), c)
             })
             .min_by(|a, b| a.cmp(b))
@@ -158,9 +197,9 @@ impl ConfigOptimizer {
             return d;
         }
         let keepable = |best: ParallelConfig| {
-            let inc_l = self.perf.request_latency(&inc, alpha);
-            let best_l = self.perf.request_latency(&best, alpha);
-            self.perf.throughput(&inc) >= alpha
+            let inc_l = self.estimated_latency(&inc, alpha);
+            let best_l = self.estimated_latency(&best, alpha);
+            self.estimated_throughput(&inc) >= alpha
                 && inc_l != simkit::SimDuration::MAX
                 && inc_l.as_secs_f64() <= best_l.as_secs_f64() * 1.15
         };
@@ -193,7 +232,7 @@ impl ConfigOptimizer {
         let meeting: Vec<ParallelConfig> = self
             .feasible(ceiling)
             .into_iter()
-            .filter(|c| self.perf.request_latency(c, alpha) <= slo)
+            .filter(|c| self.estimated_latency(c, alpha) <= slo)
             .collect();
         if meeting.is_empty() {
             return self.decide(n_instances, alpha);
@@ -205,7 +244,7 @@ impl ConfigOptimizer {
                 // Cheapest first, then lowest latency, then canonical.
                 (
                     c.instances_needed(self.gpus_per_instance),
-                    self.perf.request_latency(&c, alpha),
+                    self.estimated_latency(&c, alpha),
                     c,
                 )
             })
@@ -220,7 +259,7 @@ impl ConfigOptimizer {
                     .map(|c| {
                         (
                             c.instances_needed(self.gpus_per_instance),
-                            self.perf.request_latency(&c, alpha),
+                            self.estimated_latency(&c, alpha),
                             c,
                         )
                     })
@@ -245,7 +284,7 @@ impl ConfigOptimizer {
         let sustaining: Vec<ParallelConfig> = all
             .iter()
             .copied()
-            .filter(|c| self.perf.throughput(c) >= alpha)
+            .filter(|c| self.estimated_throughput(c) >= alpha)
             .collect();
 
         let target = if !sustaining.is_empty() {
@@ -255,7 +294,7 @@ impl ConfigOptimizer {
             // Line 5: maximize throughput within the current fleet.
             self.feasible(n_instances)
                 .into_iter()
-                .map(|c| (self.perf.throughput(&c), std::cmp::Reverse(c)))
+                .map(|c| (self.estimated_throughput(&c), std::cmp::Reverse(c)))
                 .max_by(|a, b| a.partial_cmp(b).expect("throughput is finite"))
                 .map(|(_, std::cmp::Reverse(c))| c)
         };
@@ -269,13 +308,13 @@ impl ConfigOptimizer {
                 let sustaining_now: Vec<ParallelConfig> = now_candidates
                     .iter()
                     .copied()
-                    .filter(|c| self.perf.throughput(c) >= alpha)
+                    .filter(|c| self.estimated_throughput(c) >= alpha)
                     .collect();
                 if sustaining_now.is_empty() {
                     // Max throughput with what we have.
                     now_candidates
                         .into_iter()
-                        .map(|c| (self.perf.throughput(&c), std::cmp::Reverse(c)))
+                        .map(|c| (self.estimated_throughput(&c), std::cmp::Reverse(c)))
                         .max_by(|a, b| a.partial_cmp(b).expect("finite"))
                         .map(|(_, std::cmp::Reverse(c))| c)
                 } else {

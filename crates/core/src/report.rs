@@ -41,6 +41,11 @@ pub struct RunReport {
     /// Instance-count samples over time: `(t, spot, on_demand)`
     /// (the Figure 5 / Figure 8c-d panels).
     pub fleet_timeline: Vec<(SimTime, u32, u32)>,
+    /// Requests dropped by SLO-aware admission: their deadline was
+    /// unmeetable even running alone, so the engine refused to burn
+    /// iterations on a guaranteed violation. Empty for best-effort
+    /// workloads (no deadlines).
+    pub slo_rejections: Vec<workload::Request>,
 }
 
 impl RunReport {
@@ -55,6 +60,12 @@ impl RunReport {
     pub fn config_sequence(&self) -> Vec<Option<ParallelConfig>> {
         self.config_changes.iter().map(|c| c.config).collect()
     }
+
+    /// Completions + SLO rejections: every request with a terminal
+    /// outcome (conservation checks add `unfinished` to reach the total).
+    pub fn settled(&self) -> usize {
+        self.latency.completed() + self.slo_rejections.len()
+    }
 }
 
 #[cfg(test)]
@@ -67,12 +78,7 @@ mod tests {
     fn cost_per_token() {
         let mut latency = LatencyReport::new("x");
         latency.record(RequestOutcome {
-            request: Request {
-                id: RequestId(0),
-                arrival: SimTime::ZERO,
-                s_in: 512,
-                s_out: 128,
-            },
+            request: Request::new(RequestId(0), SimTime::ZERO, 512, 128),
             finished: SimTime::from_secs(30),
         });
         let rep = RunReport {
@@ -84,6 +90,7 @@ mod tests {
             preemptions: 0,
             grants: 0,
             fleet_timeline: vec![],
+            slo_rejections: vec![],
         };
         assert!((rep.cost_per_token().unwrap() - 0.01).abs() < 1e-12);
     }
@@ -99,6 +106,7 @@ mod tests {
             preemptions: 0,
             grants: 0,
             fleet_timeline: vec![],
+            slo_rejections: vec![],
         };
         assert_eq!(rep.cost_per_token(), None);
     }

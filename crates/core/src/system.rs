@@ -192,6 +192,7 @@ pub struct ServingSystem {
     // Accounting.
     outstanding: usize,
     arrivals_seen: Vec<SimTime>,
+    slo_rejections: Vec<Request>,
     latency: LatencyReport,
     config_changes: Vec<ConfigChange>,
     fleet_timeline: Vec<(SimTime, u32, u32)>,
@@ -221,7 +222,11 @@ impl ServingSystem {
             parallelism::ConfigSpace::default(),
             gpus_per_instance,
             opts.max_instances,
-        );
+        )
+        // Algorithm 1 prices candidates with the estimator of the engine
+        // that actually serves (fixed batch-fill delay vs iteration-level
+        // slot turnover).
+        .with_engine_mode(opts.engine);
         let cloud = CloudSim::new(
             scenario.cloud.clone(),
             scenario.trace.clone(),
@@ -261,6 +266,7 @@ impl ServingSystem {
             initial_fleet_target: 0,
             outstanding: scenario.requests.len(),
             arrivals_seen: Vec::new(),
+            slo_rejections: Vec::new(),
             latency: LatencyReport::new(name),
             config_changes: Vec::new(),
             fleet_timeline: Vec::new(),
@@ -385,6 +391,7 @@ impl ServingSystem {
             preemptions: self.preemptions,
             grants: self.grants,
             fleet_timeline: self.fleet_timeline,
+            slo_rejections: self.slo_rejections,
         }
     }
 
@@ -578,6 +585,18 @@ impl ServingSystem {
         }
     }
 
+    /// Accounts requests dropped by SLO-aware admission on pipeline `pi`:
+    /// a hopeless deadline is a terminal outcome, not a retry.
+    fn drain_rejections(&mut self, pi: usize) {
+        let Some(sched) = self.pipelines[pi].daemon.scheduler_mut() else {
+            return;
+        };
+        for req in sched.take_rejected() {
+            self.outstanding -= 1;
+            self.slo_rejections.push(req);
+        }
+    }
+
     /// Continuous engine: admit waiting requests into each ready
     /// pipeline's iteration scheduler — immediately when the pipeline is
     /// at a boundary (or idle), otherwise by truncating the running
@@ -597,9 +616,10 @@ impl ServingSystem {
             }
             let id = self.pipelines[pi].id;
             if self.pipelines[pi].daemon.scheduler().is_none() {
-                self.pipelines[pi]
-                    .daemon
-                    .attach_scheduler(IterationScheduler::new(cfg, kv_bpt, kv_budget));
+                self.pipelines[pi].daemon.attach_scheduler(
+                    IterationScheduler::new(cfg, kv_bpt, kv_budget)
+                        .with_prefill_chunk(self.opts.prefill_chunk),
+                );
             }
             let sched = self.pipelines[pi]
                 .daemon
@@ -608,36 +628,58 @@ impl ServingSystem {
             if sched.next_event().is_none() {
                 sched.admit(&mut self.pending, now, self.optimizer.perf());
                 let next = sched.next_event();
+                self.drain_rejections(pi);
                 if let Some(t) = next {
                     let key = self.events.schedule(t, Ev::IterBoundary { pipeline: id });
                     self.pipelines[pi].batch_key = Some(key);
                 }
             }
         }
-        // Second pass: the head request can only ever join one pipeline —
-        // the one whose next iteration boundary comes first among those
-        // with room. Truncate only that segment; the others keep decoding
-        // undisturbed.
-        let Some(head) = self.pending.front().copied() else {
-            return;
-        };
-        let target = self
-            .pipelines
-            .iter()
-            .enumerate()
-            .filter(|(_, slot)| slot.ready_at <= now)
-            .filter_map(|(pi, slot)| {
-                let sched = slot.daemon.scheduler()?;
-                if !sched.can_admit(&head) {
-                    return None;
+        // Second pass: find the first queued request some pipeline can
+        // admit right now — skipping SLO-deferred requests in place, just
+        // as the scheduler's own admission scan does, so a deferred head
+        // cannot stall an admittable successor for a whole segment — and
+        // truncate only the target pipeline's segment (the earliest
+        // upcoming boundary among those with room); the others keep
+        // decoding undisturbed. A request that fits *nowhere* ends the
+        // scan: that is capacity head-blocking, unchanged from before.
+        let perf = self.optimizer.perf();
+        let mut target: Option<(usize, Request)> = None;
+        for r in &self.pending {
+            let mut fits_somewhere = false;
+            let mut best: Option<(SimTime, usize)> = None;
+            for (pi, slot) in self.pipelines.iter().enumerate() {
+                if slot.ready_at > now {
+                    continue;
                 }
-                sched.next_boundary_after(now).map(|t| (t, pi))
-            })
-            .min();
-        if let Some((_, pi)) = target {
+                let Some(sched) = slot.daemon.scheduler() else {
+                    continue;
+                };
+                if !sched.fits(r) {
+                    continue;
+                }
+                fits_somewhere = true;
+                if !sched.can_admit(r, now, perf) {
+                    continue; // SLO-deferred on this pipeline
+                }
+                if let Some(t) = sched.next_boundary_after(now) {
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, pi));
+                    }
+                }
+            }
+            if let Some((_, pi)) = best {
+                target = Some((pi, *r));
+                break;
+            }
+            if !fits_somewhere {
+                break;
+            }
+        }
+        if let Some((pi, r)) = target {
             let id = self.pipelines[pi].id;
             let sched = self.pipelines[pi].daemon.scheduler_mut().expect("matched");
-            if let Some(new_end) = sched.interrupt_for_admission(now, &head) {
+            if let Some(new_end) = sched.interrupt_for_admission(now, &r, perf) {
                 if let Some(key) = self.pipelines[pi].batch_key.take() {
                     self.events.cancel(key);
                 }
@@ -659,6 +701,7 @@ impl ServingSystem {
         };
         let retired = sched.advance(now, &mut self.pending, self.optimizer.perf());
         let next = sched.next_event();
+        self.drain_rejections(pipeline);
         for request in retired {
             self.latency.record(workload::RequestOutcome {
                 request,
@@ -807,6 +850,11 @@ impl ServingSystem {
             }
             Policy::OnDemandOnly { .. } => {}
         }
+        // Re-evaluate admission with the advanced clock: a request that
+        // deferred on an idle pipeline (SLO projection inconclusive) must
+        // eventually admit or turn certainly-hopeless rather than sit in
+        // the queue until the drain cap.
+        self.dispatch_all();
     }
 
     /// The hysteresis-guarded reconfiguration check shared by rate ticks
@@ -827,17 +875,18 @@ impl ServingSystem {
                     if cur.mesh_key() == new.mesh_key() {
                         true
                     } else {
-                        let perf = self.optimizer.perf();
                         let backlog = self.pending.len();
                         let cap = cur.concurrent_requests() as usize;
                         // Overload: estimated rate exceeds capacity AND a
                         // real queue has formed (§3.2: reconfigure when
                         // serving capability is incompatible with the
-                        // workload, not on estimator noise).
-                        let overloaded = perf.throughput(&cur) < alpha && backlog > cap;
+                        // workload, not on estimator noise). Priced with
+                        // the serving engine's own estimator.
+                        let overloaded =
+                            self.optimizer.estimated_throughput(&cur) < alpha && backlog > cap;
                         // Or a large predicted latency win while calm.
-                        let cur_l = perf.request_latency(&cur, alpha);
-                        let new_l = perf.request_latency(&new, alpha);
+                        let cur_l = self.optimizer.estimated_latency(&cur, alpha);
+                        let new_l = self.optimizer.estimated_latency(&new, alpha);
                         let big_win =
                             backlog <= cap && new_l.as_secs_f64() < cur_l.as_secs_f64() * 0.7;
                         overloaded || big_win
@@ -1278,8 +1327,15 @@ impl ServingSystem {
                             live.push(r);
                         }
                     }
-                    let progressed: Vec<RequestRun> =
-                        live.iter().copied().filter(|r| r.committed() > 0).collect();
+                    // Anything with cached tokens — committed output *or*
+                    // prefill chunks of a half-prefilled prompt — is a
+                    // checkpoint worth considering; truly fresh requests
+                    // (no KV yet) recompute via the queue.
+                    let progressed: Vec<RequestRun> = live
+                        .iter()
+                        .copied()
+                        .filter(RequestRun::has_progress)
+                        .collect();
                     // The paper's recovery guard, applied to the deepest
                     // request: migrating the cache must beat recomputing
                     // the committed tokens under the new configuration.
@@ -1288,7 +1344,12 @@ impl ServingSystem {
                         .map(RequestRun::committed)
                         .max()
                         .unwrap_or(0);
-                    let worthwhile = max_committed > 0 && {
+                    let max_prefilled = progressed
+                        .iter()
+                        .map(RequestRun::prefilled)
+                        .max()
+                        .unwrap_or(0);
+                    let worthwhile = !progressed.is_empty() && {
                         let n = progressed.len() as u32;
                         let s_in = progressed
                             .iter()
@@ -1310,7 +1371,15 @@ impl ServingSystem {
                             n,
                             s_in + max_committed / 2,
                         );
-                        recovery_worthwhile(tl.total, prefill, iter, max_committed)
+                        if max_committed > 0 {
+                            recovery_worthwhile(tl.total, prefill, iter, max_committed)
+                        } else {
+                            // Only prefill chunks are cached: migrating the
+                            // partial cache must beat redoing the deepest
+                            // prefill's cached share.
+                            let redo = prefill * max_prefilled as u64 / s_in.max(1) as u64;
+                            tl.total < redo
+                        }
                     };
                     match inherit_to {
                         Some(d_new)
@@ -1320,7 +1389,7 @@ impl ServingSystem {
                         {
                             // Carry the cached requests; fresh ones (no KV
                             // yet) recompute via the queue.
-                            for r in live.iter().rev().filter(|r| r.committed() == 0) {
+                            for r in live.iter().rev().filter(|r| !r.has_progress()) {
                                 self.pending.push_front(*r.request());
                             }
                             carried[d_new] = Some(Carried::Records(progressed));
@@ -1460,11 +1529,14 @@ impl ServingSystem {
                     // rule, keeping the deepest-progress records within
                     // the new capacity and KV budget; the rest requeue for
                     // recomputation.
-                    let (sched, dropped) = IterationScheduler::resume_within_budget(
-                        records,
+                    let (sched, dropped) = IterationScheduler::new(
                         cfg,
                         self.scenario.model.kv_bytes_per_token(),
                         self.pipeline_kv_budget(&cfg),
+                    )
+                    .with_prefill_chunk(self.opts.prefill_chunk)
+                    .restore_within_budget(
+                        records,
                         resume_at,
                         self.optimizer.perf(),
                     );

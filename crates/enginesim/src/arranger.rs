@@ -91,12 +91,7 @@ mod tests {
         let perf = PerfModel::paper_defaults(ModelSpec::opt_6_7b());
         let cfg = ParallelConfig::new(1, 1, 4, 8);
         let reqs: Vec<Request> = (0..2)
-            .map(|i| Request {
-                id: RequestId(i),
-                arrival: SimTime::ZERO,
-                s_in: 512,
-                s_out: 128,
-            })
+            .map(|i| Request::new(RequestId(i), SimTime::ZERO, 512, 128))
             .collect();
         BatchRun::start(reqs, &cfg, SimTime::ZERO, &perf)
     }

@@ -179,12 +179,7 @@ mod tests {
 
     fn reqs(n: u64) -> Vec<Request> {
         (0..n)
-            .map(|i| Request {
-                id: RequestId(i),
-                arrival: SimTime::ZERO,
-                s_in: 512,
-                s_out: 128,
-            })
+            .map(|i| Request::new(RequestId(i), SimTime::ZERO, 512, 128))
             .collect()
     }
 

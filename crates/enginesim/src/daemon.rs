@@ -33,7 +33,7 @@ use crate::scheduler::IterationScheduler;
 /// let cfg = ParallelConfig::new(1, 1, 4, 8);
 /// let mut daemon = ContextDaemon::new(model.kv_bytes_per_token());
 /// let run = BatchRun::start(
-///     vec![Request { id: RequestId(0), arrival: SimTime::ZERO, s_in: 512, s_out: 128 }],
+///     vec![Request::new(RequestId(0), SimTime::ZERO, 512, 128)],
 ///     &cfg, SimTime::ZERO, &perf,
 /// );
 /// daemon.attach(run);
@@ -189,12 +189,7 @@ mod tests {
         let perf = PerfModel::paper_defaults(model.clone());
         let cfg = ParallelConfig::new(1, 1, 4, 8);
         let reqs: Vec<Request> = (0..4)
-            .map(|i| Request {
-                id: RequestId(i),
-                arrival: SimTime::ZERO,
-                s_in: 512,
-                s_out: 128,
-            })
+            .map(|i| Request::new(RequestId(i), SimTime::ZERO, 512, 128))
             .collect();
         let run = BatchRun::start(reqs, &cfg, SimTime::ZERO, &perf);
         (
@@ -274,18 +269,8 @@ mod tests {
         let mut daemon = ContextDaemon::new(model.kv_bytes_per_token());
         let mut sched = IterationScheduler::new(cfg, model.kv_bytes_per_token(), u64::MAX);
         let mut pending: VecDeque<Request> = vec![
-            Request {
-                id: RequestId(0),
-                arrival: SimTime::ZERO,
-                s_in: 512,
-                s_out: 16,
-            },
-            Request {
-                id: RequestId(1),
-                arrival: SimTime::ZERO,
-                s_in: 512,
-                s_out: 128,
-            },
+            Request::new(RequestId(0), SimTime::ZERO, 512, 16),
+            Request::new(RequestId(1), SimTime::ZERO, 512, 128),
         ]
         .into_iter()
         .collect();

@@ -39,7 +39,7 @@
 //!
 //! let perf = PerfModel::paper_defaults(llmsim::ModelSpec::opt_6_7b());
 //! let cfg = ParallelConfig::new(1, 1, 4, 8);
-//! let reqs = vec![Request { id: RequestId(0), arrival: SimTime::ZERO, s_in: 512, s_out: 128 }];
+//! let reqs = vec![Request::new(RequestId(0), SimTime::ZERO, 512, 128)];
 //! let run = BatchRun::start(reqs, &cfg, SimTime::ZERO, &perf);
 //! assert_eq!(run.committed_iters_at(SimTime::ZERO), 0);
 //! assert_eq!(run.committed_iters_at(run.finish_time()), 128);
@@ -53,4 +53,4 @@ pub mod scheduler;
 pub use arranger::{acquisition_defer_until, preemption_stop_time, recovery_worthwhile};
 pub use batch::BatchRun;
 pub use daemon::ContextDaemon;
-pub use scheduler::{IterationScheduler, RequestRun};
+pub use scheduler::{AdmissionVerdict, IterationScheduler, RequestRun};

@@ -75,6 +75,23 @@ impl SeqWork {
     pub fn decode(ctx: u32) -> Self {
         SeqWork { new_tokens: 1, ctx }
     }
+
+    /// One chunk of a split (Sarathi-style) prefill: `new` prompt tokens
+    /// pushed through the model on top of `prefilled` tokens already cached.
+    /// Attention for the chunk reads the whole context so far.
+    ///
+    /// `prefill_chunk(0, s_in)` is exactly [`SeqWork::prefill`]`(s_in)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new == 0`.
+    pub fn prefill_chunk(prefilled: u32, new: u32) -> Self {
+        assert!(new > 0, "a prefill chunk must carry tokens");
+        SeqWork {
+            new_tokens: new,
+            ctx: prefilled + new,
+        }
+    }
 }
 
 /// Closed-form latency model for one inference pipeline.
@@ -508,6 +525,22 @@ mod tests {
     #[should_panic(expected = "degenerate forward")]
     fn empty_mixed_batch_panics() {
         cost().mixed_forward_time(&ModelSpec::opt_6_7b(), 1, 4, &[]);
+    }
+
+    #[test]
+    fn prefill_chunks_sum_to_no_less_than_monolithic_prefill() {
+        // Splitting a prefill can only add per-pass overhead (the weight
+        // stream and host overhead are paid once per pass), never remove
+        // work: the chunked passes must sum to >= the monolithic pass.
+        let c = cost();
+        let m = ModelSpec::opt_6_7b();
+        let whole = c.mixed_forward_time(&m, 1, 4, &[SeqWork::prefill(512)]);
+        let chunked = (0..4)
+            .map(|i| c.mixed_forward_time(&m, 1, 4, &[SeqWork::prefill_chunk(i * 128, 128)]))
+            .fold(simkit::SimDuration::ZERO, |a, d| a + d);
+        assert!(chunked >= whole, "{chunked} vs {whole}");
+        // And the degenerate single chunk is the monolithic prefill.
+        assert_eq!(SeqWork::prefill_chunk(0, 512), SeqWork::prefill(512));
     }
 
     #[test]

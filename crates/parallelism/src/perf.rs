@@ -111,13 +111,19 @@ impl PerfModel {
     }
 
     /// Expected end-to-end request latency `l_req(C) = l_sch + l_exe` at
-    /// arrival rate `alpha` (req/s).
+    /// arrival rate `alpha` (req/s), under the paper's **fixed-batch**
+    /// engine (§3.2 / Eq. 1).
     ///
     /// The scheduling component models (a) the wait to fill a batch of `B`
     /// at rate `alpha` and (b) multi-server queueing delay that grows as
     /// utilization `ρ = α / φ(C)` approaches 1 (Allen–Cunneen style
     /// approximation). Returns [`SimDuration::MAX`] when the system is
     /// saturated (`ρ ≥ 1`), matching the optimizer's "overloaded" treatment.
+    ///
+    /// This is the estimator Algorithm 1 uses under
+    /// `EngineMode::FixedBatch`, kept formula-exact so figure comparisons
+    /// against the paper stay bit-identical; the continuous engine prices
+    /// candidates with [`PerfModel::request_latency_continuous`] instead.
     ///
     /// # Panics
     ///
@@ -145,6 +151,100 @@ impl PerfModel {
         let queue = l_exe.as_secs_f64() * rho.powf((2.0 * (servers + 1.0)).sqrt())
             / (2.0 * servers * (1.0 - rho));
         l_exe + SimDuration::from_secs_f64(fill + queue)
+    }
+
+    // ---- Continuous-batching (iteration-level) estimator --------------
+    //
+    // Under the iteration-level engine a request never waits for a batch
+    // to fill: it joins at the next iteration boundary, runs its prefill
+    // as one mixed pass among the residents' decodes, and then holds a
+    // *slot* for `S_out` iterations. The natural service unit is the slot,
+    // not the batch, which re-derives both φ(C) and l_req(C).
+
+    /// One steady decode iteration at occupancy `b` (each resident at its
+    /// mid-lifetime attention context).
+    fn steady_iteration(&self, c: &ParallelConfig, b: u32) -> SimDuration {
+        self.cost.decode_time(
+            &self.model,
+            c.pipeline,
+            c.tensor,
+            b,
+            self.s_in + self.s_out / 2,
+        )
+    }
+
+    /// The admission pass at occupancy `b`: one request's prefill carried
+    /// through a mixed iteration alongside `b - 1` residents' decodes.
+    fn admission_pass(&self, c: &ParallelConfig, b: u32) -> SimDuration {
+        let mut seqs = vec![SeqWork::decode(self.s_in + self.s_out / 2); b as usize - 1];
+        seqs.push(SeqWork::prefill(self.s_in));
+        self.cost
+            .mixed_forward_time(&self.model, c.pipeline, c.tensor, &seqs)
+    }
+
+    /// How long one request occupies a slot at steady occupancy `b`: its
+    /// admission (prefill) pass plus `S_out − 1` decode iterations.
+    fn slot_time(&self, c: &ParallelConfig, b: u32) -> SimDuration {
+        self.admission_pass(c, b) + self.steady_iteration(c, b) * (self.s_out - 1) as u64
+    }
+
+    /// Peak serving throughput of the iteration-level engine: `D·B` slots,
+    /// each turning over a request every [`slot_time`](Self::slot_time) at
+    /// full occupancy. Strictly exceeds the fixed-batch `φ(C)` because the
+    /// prefill of one admission rides a single mixed pass instead of a
+    /// whole-batch prefill, and no slot idles while the batch drains.
+    pub fn throughput_continuous(&self, c: &ParallelConfig) -> f64 {
+        (c.data * c.batch) as f64 / self.slot_time(c, c.batch).as_secs_f64()
+    }
+
+    /// Expected end-to-end request latency under the iteration-level
+    /// engine at arrival rate `alpha` — the re-derived `l_req(C)`.
+    ///
+    /// Components:
+    /// * **no batch-fill delay** — the fixed-batch `(B−1)/2α` term is
+    ///   replaced by half a steady iteration of boundary wait;
+    /// * **execution at steady occupancy** — the resident batch size `b̄`
+    ///   solves Little's law `b̄ = (α/D)·T_slot(b̄)` (iterated to a fixed
+    ///   point, clamped to `[1, B]`), and the request's own passes are
+    ///   priced at that occupancy;
+    /// * **slot queueing** — an Allen–Cunneen style term over `D·B`
+    ///   servers of service time `T_slot(B)` as `ρ = α/φ_cont → 1`.
+    ///
+    /// Returns [`SimDuration::MAX`] when saturated (`ρ ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative or not finite.
+    pub fn request_latency_continuous(&self, c: &ParallelConfig, alpha: f64) -> SimDuration {
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "bad arrival rate {alpha}"
+        );
+        if alpha == 0.0 {
+            // Empty engine: run alone at occupancy 1.
+            return self.slot_time(c, 1);
+        }
+        let phi = self.throughput_continuous(c);
+        let rho = alpha / phi;
+        if rho >= 1.0 {
+            return SimDuration::MAX;
+        }
+        // Steady occupancy by Little's law, iterated to a fixed point.
+        let per_pipeline = alpha / c.data as f64;
+        let clamp = |b: f64| b.clamp(1.0, c.batch as f64);
+        let mut b = 1.0f64;
+        for _ in 0..16 {
+            let bi = clamp(b).ceil() as u32;
+            b = clamp(per_pipeline * self.slot_time(c, bi).as_secs_f64());
+        }
+        let bi = clamp(b).ceil() as u32;
+        let l_exe = self.slot_time(c, bi);
+        let boundary = self.steady_iteration(c, bi) / 2;
+        let servers = (c.data * c.batch) as f64;
+        let queue = self.slot_time(c, c.batch).as_secs_f64()
+            * rho.powf((2.0 * (servers + 1.0)).sqrt())
+            / (servers * (1.0 - rho));
+        l_exe + boundary + SimDuration::from_secs_f64(queue)
     }
 }
 
@@ -216,6 +316,65 @@ mod tests {
         let p = perf(ModelSpec::opt_6_7b());
         let c = ParallelConfig::new(1, 1, 4, 4);
         assert_eq!(p.request_latency(&c, 0.0), p.exec_latency(&c));
+    }
+
+    #[test]
+    fn continuous_throughput_exceeds_fixed() {
+        // Iteration-level slots turn over faster than run-to-completion
+        // batches at every configuration shape.
+        let p = perf(ModelSpec::gpt_20b());
+        for c in [
+            ParallelConfig::new(1, 3, 4, 1),
+            ParallelConfig::new(1, 3, 4, 8),
+            ParallelConfig::new(2, 2, 8, 8),
+        ] {
+            assert!(
+                p.throughput_continuous(&c) > p.throughput(&c),
+                "{c}: {} !> {}",
+                p.throughput_continuous(&c),
+                p.throughput(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn continuous_latency_drops_the_batch_fill_delay() {
+        // At a low rate the fixed-batch estimator is dominated by waiting
+        // for B−1 peers to arrive; the continuous estimator never pays it.
+        let p = perf(ModelSpec::gpt_20b());
+        let c = ParallelConfig::new(2, 2, 8, 8);
+        let alpha = 0.1;
+        let fixed = p.request_latency(&c, alpha);
+        let cont = p.request_latency_continuous(&c, alpha);
+        assert!(cont < fixed, "{cont} !< {fixed}");
+        // The fill delay alone is (8−1)/(2·0.1) = 35 s.
+        assert!(fixed.as_secs_f64() - cont.as_secs_f64() > 20.0);
+    }
+
+    #[test]
+    fn continuous_latency_saturates_like_fixed() {
+        let p = perf(ModelSpec::gpt_20b());
+        let c = ParallelConfig::new(1, 2, 8, 8);
+        let phi = p.throughput_continuous(&c);
+        assert_eq!(
+            p.request_latency_continuous(&c, phi * 1.01),
+            SimDuration::MAX
+        );
+        let near = p.request_latency_continuous(&c, phi * 0.95);
+        let calm = p.request_latency_continuous(&c, phi * 0.2);
+        assert!(near > calm, "queueing must grow with load");
+        assert!(near != SimDuration::MAX);
+    }
+
+    #[test]
+    fn continuous_zero_load_runs_alone() {
+        let p = perf(ModelSpec::opt_6_7b());
+        let c = ParallelConfig::new(1, 1, 4, 8);
+        // Occupancy 1: an admission pass plus S_out − 1 solo decodes —
+        // strictly below the full-batch exec latency.
+        let solo = p.request_latency_continuous(&c, 0.0);
+        assert!(solo < p.exec_latency(&c));
+        assert!(solo > SimDuration::ZERO);
     }
 
     #[test]

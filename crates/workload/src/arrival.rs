@@ -84,6 +84,11 @@ pub enum OutputDist {
     },
 }
 
+/// A token-length distribution. [`OutputDist`] predates the mixed-prompt
+/// axis; the same shapes describe prompt lengths, so the alias names that
+/// use without duplicating the type.
+pub type LengthDist = OutputDist;
+
 impl OutputDist {
     /// Draws one output length.
     ///
@@ -160,6 +165,23 @@ impl WorkloadSpec {
     /// from `outputs` (overriding this spec's fixed `s_out`) — the mixed
     /// `S_out` scenario axis for the iteration-level engine.
     pub fn generate_mixed(&self, outputs: &OutputDist, rng: &mut SimRng) -> Vec<Request> {
+        self.generate_with_lengths(&LengthDist::Fixed(self.s_in), outputs, rng)
+    }
+
+    /// Generates the request stream with *both* prompt and output lengths
+    /// drawn per request — the long-prompt/short-prompt mixed axis that
+    /// chunked prefill targets (a monolithic long prefill stalls every
+    /// decoding neighbour; chunking bounds the stall to one chunk).
+    ///
+    /// `Fixed` distributions consume no RNG draws, so
+    /// `generate_with_lengths(Fixed(s_in), Fixed(s_out), ..)` is
+    /// bit-identical to [`WorkloadSpec::generate`].
+    pub fn generate_with_lengths(
+        &self,
+        inputs: &LengthDist,
+        outputs: &LengthDist,
+        rng: &mut SimRng,
+    ) -> Vec<Request> {
         let mut out = Vec::new();
         let mut t = SimTime::ZERO;
         loop {
@@ -167,12 +189,12 @@ impl WorkloadSpec {
             if t.saturating_since(SimTime::ZERO) >= self.duration {
                 break;
             }
-            out.push(Request {
-                id: RequestId(out.len() as u64),
-                arrival: t,
-                s_in: self.s_in,
-                s_out: outputs.sample(rng),
-            });
+            out.push(Request::new(
+                RequestId(out.len() as u64),
+                t,
+                inputs.sample(rng),
+                outputs.sample(rng),
+            ));
         }
         out
     }
@@ -205,12 +227,12 @@ impl WorkloadSpec {
             if profile.rate_at(t) <= 0.0 {
                 continue;
             }
-            out.push(Request {
-                id: RequestId(out.len() as u64),
-                arrival: t,
-                s_in: self.s_in,
-                s_out: self.s_out,
-            });
+            out.push(Request::new(
+                RequestId(out.len() as u64),
+                t,
+                self.s_in,
+                self.s_out,
+            ));
         }
         out
     }
@@ -244,6 +266,33 @@ mod tests {
         assert!((frac - 0.05).abs() < 0.02, "tail fraction {frac}");
         // Deterministic per seed.
         assert_eq!(reqs, spec.generate_mixed(&dist, &mut rng()));
+    }
+
+    #[test]
+    fn mixed_prompt_lengths_follow_the_distribution() {
+        let spec = WorkloadSpec {
+            process: ArrivalProcess::Poisson { rate: 1.0 },
+            duration: SimDuration::from_secs(5_000),
+            s_in: 512,
+            s_out: 128,
+        };
+        let inputs = LengthDist::LongTail {
+            common: 256,
+            tail: 4096,
+            tail_fraction: 0.1,
+        };
+        let reqs = spec.generate_with_lengths(&inputs, &LengthDist::Fixed(64), &mut rng());
+        assert!(reqs.iter().all(|r| r.s_in == 256 || r.s_in == 4096));
+        assert!(reqs.iter().all(|r| r.s_out == 64 && r.deadline.is_none()));
+        assert!(reqs.iter().any(|r| r.s_in == 4096), "tail must appear");
+        // Fixed/Fixed is bit-identical to the plain generator.
+        let a = spec.generate(&mut rng());
+        let b = spec.generate_with_lengths(
+            &LengthDist::Fixed(512),
+            &LengthDist::Fixed(128),
+            &mut rng(),
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod rate;
 pub mod request;
 pub mod stats;
 
-pub use arrival::{ArrivalProcess, OutputDist, WorkloadSpec};
+pub use arrival::{ArrivalProcess, LengthDist, OutputDist, WorkloadSpec};
 pub use rate::RateProfile;
-pub use request::{Request, RequestId, RequestOutcome};
+pub use request::{apply_slo, Request, RequestId, RequestOutcome};
 pub use stats::LatencyReport;

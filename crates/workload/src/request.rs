@@ -19,15 +19,12 @@ impl fmt::Display for RequestId {
 /// # Example
 ///
 /// ```
-/// use simkit::SimTime;
+/// use simkit::{SimDuration, SimTime};
 /// use workload::{Request, RequestId};
-/// let r = Request {
-///     id: RequestId(0),
-///     arrival: SimTime::from_secs(3),
-///     s_in: 512,
-///     s_out: 128,
-/// };
+/// let r = Request::new(RequestId(0), SimTime::from_secs(3), 512, 128);
 /// assert_eq!(r.total_tokens(), 640);
+/// let tight = r.with_slo(SimDuration::from_secs(30));
+/// assert_eq!(tight.deadline, Some(SimTime::from_secs(33)));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
@@ -39,12 +36,41 @@ pub struct Request {
     pub s_in: u32,
     /// Output length in tokens (the paper fixes the generation length).
     pub s_out: u32,
+    /// Optional completion deadline (`arrival + SLO`). `None` means the
+    /// request is best-effort; SLO-aware admission only prices requests
+    /// that carry a deadline.
+    pub deadline: Option<SimTime>,
 }
 
 impl Request {
+    /// A best-effort request (no deadline).
+    pub fn new(id: RequestId, arrival: SimTime, s_in: u32, s_out: u32) -> Self {
+        Request {
+            id,
+            arrival,
+            s_in,
+            s_out,
+            deadline: None,
+        }
+    }
+
+    /// This request with a completion deadline of `arrival + slo`.
+    pub fn with_slo(mut self, slo: SimDuration) -> Self {
+        self.deadline = Some(self.arrival + slo);
+        self
+    }
+
     /// Input plus output tokens.
     pub fn total_tokens(&self) -> u32 {
         self.s_in + self.s_out
+    }
+}
+
+/// Stamps every request with a deadline of `arrival + slo` (the uniform-SLO
+/// workload axis for SLO-aware admission).
+pub fn apply_slo(requests: &mut [Request], slo: SimDuration) {
+    for r in requests {
+        r.deadline = Some(r.arrival + slo);
     }
 }
 
@@ -71,15 +97,21 @@ mod tests {
     #[test]
     fn latency_is_finish_minus_arrival() {
         let o = RequestOutcome {
-            request: Request {
-                id: RequestId(1),
-                arrival: SimTime::from_secs(10),
-                s_in: 512,
-                s_out: 128,
-            },
+            request: Request::new(RequestId(1), SimTime::from_secs(10), 512, 128),
             finished: SimTime::from_secs(40),
         };
         assert_eq!(o.latency(), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn apply_slo_stamps_deadlines() {
+        let mut reqs = vec![
+            Request::new(RequestId(0), SimTime::from_secs(1), 512, 128),
+            Request::new(RequestId(1), SimTime::from_secs(5), 512, 128),
+        ];
+        apply_slo(&mut reqs, SimDuration::from_secs(20));
+        assert_eq!(reqs[0].deadline, Some(SimTime::from_secs(21)));
+        assert_eq!(reqs[1].deadline, Some(SimTime::from_secs(25)));
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::request::RequestOutcome;
 ///
 /// let mut rep = LatencyReport::new("SpotServe");
 /// rep.record(RequestOutcome {
-///     request: Request { id: RequestId(0), arrival: SimTime::ZERO, s_in: 512, s_out: 128 },
+///     request: Request::new(RequestId(0), SimTime::ZERO, 512, 128),
 ///     finished: SimTime::from_secs(20),
 /// });
 /// let p = rep.percentiles();
@@ -80,6 +80,21 @@ impl LatencyReport {
     pub fn outcomes(&self) -> &[RequestOutcome] {
         &self.outcomes
     }
+
+    /// Fraction of *deadline-carrying* completions that met their deadline
+    /// (SLO attainment), or `None` when no completion carried one.
+    pub fn slo_attainment(&self) -> Option<f64> {
+        let (mut total, mut met) = (0u64, 0u64);
+        for o in &self.outcomes {
+            if let Some(deadline) = o.request.deadline {
+                total += 1;
+                if o.finished <= deadline {
+                    met += 1;
+                }
+            }
+        }
+        (total > 0).then(|| met as f64 / total as f64)
+    }
 }
 
 #[cfg(test)]
@@ -91,12 +106,7 @@ mod tests {
     fn outcome(id: u64, arrive_s: u64, latency_s: u64) -> RequestOutcome {
         let arrival = SimTime::from_secs(arrive_s);
         RequestOutcome {
-            request: Request {
-                id: RequestId(id),
-                arrival,
-                s_in: 512,
-                s_out: 128,
-            },
+            request: Request::new(RequestId(id), arrival, 512, 128),
             finished: arrival + SimDuration::from_secs(latency_s),
         }
     }
@@ -113,6 +123,20 @@ mod tests {
         assert_eq!(p.count, 10);
         assert!((p.mean - 14.5).abs() < 1e-9);
         assert_eq!(p.p99, 19.0);
+    }
+
+    #[test]
+    fn slo_attainment_counts_only_deadline_carriers() {
+        let mut rep = LatencyReport::new("slo");
+        rep.record(outcome(0, 0, 10)); // best-effort: excluded
+        let mut met = outcome(1, 0, 10);
+        met.request = met.request.with_slo(SimDuration::from_secs(20));
+        rep.record(met);
+        let mut bust = outcome(2, 0, 30);
+        bust.request = bust.request.with_slo(SimDuration::from_secs(20));
+        rep.record(bust);
+        assert_eq!(rep.slo_attainment(), Some(0.5));
+        assert_eq!(LatencyReport::new("x").slo_attainment(), None);
     }
 
     #[test]

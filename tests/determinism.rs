@@ -68,6 +68,69 @@ fn replay(opts: SystemOptions, seed: u64) -> String {
     canonical(&report)
 }
 
+/// Replay of the new scheduler paths: chunked prefill over a
+/// long-prompt/short-prompt mix with tight-but-mixed SLOs, so the run
+/// exercises chunk segmentation, SLO admission (admit/defer/reject), and
+/// half-prefilled checkpoints through preemptions. Rejections are part of
+/// the canonical form: a nondeterministic admission order would change
+/// which deadlines get dropped.
+fn replay_chunked_slo(seed: u64) -> String {
+    use simkit::SimDuration;
+    use workload::{LengthDist, WorkloadSpec};
+
+    let spec = WorkloadSpec::paper_stable(1.2);
+    let inputs = LengthDist::LongTail {
+        common: 384,
+        tail: 2048,
+        tail_fraction: 0.2,
+    };
+    let outputs = LengthDist::Uniform { lo: 8, hi: 128 };
+    let mut requests = spec.generate_with_lengths(
+        &inputs,
+        &outputs,
+        &mut simkit::SimRng::new(seed).stream("arrivals"),
+    );
+    requests.retain(|r| r.arrival < SimTime::from_secs(420));
+    // Alternate hopeless-tight and loose SLOs so admission exercises all
+    // three verdicts: a 500 ms deadline is below even a solo prefill for
+    // the long prompts (reject), while 900 s admits with deferrals.
+    for (i, r) in requests.iter_mut().enumerate() {
+        let slo = if i % 3 == 0 {
+            SimDuration::from_micros(500_000)
+        } else {
+            SimDuration::from_secs(900)
+        };
+        *r = r.with_slo(slo);
+    }
+    let scenario = Scenario::with_requests(
+        ModelSpec::opt_6_7b(),
+        AvailabilityTrace::from_steps(vec![
+            (SimTime::ZERO, 6),
+            (SimTime::from_secs(90), 4),
+            (SimTime::from_secs(240), 6),
+        ]),
+        requests,
+        1.2,
+        seed,
+    );
+    let report =
+        ServingSystem::new(SystemOptions::spotserve().with_prefill_chunk(96), scenario).run();
+    let mut out = canonical(&report);
+    for r in &report.slo_rejections {
+        writeln!(
+            out,
+            "slo_reject id={} arrival_us={} s_in={} s_out={} deadline_us={}",
+            r.id,
+            r.arrival.as_micros(),
+            r.s_in,
+            r.s_out,
+            r.deadline.map(|d| d.as_micros()).unwrap_or(0),
+        )
+        .unwrap();
+    }
+    out
+}
+
 #[test]
 fn same_seed_replays_byte_identical_for_every_policy() {
     for opts in [
@@ -91,6 +154,21 @@ fn both_engines_replay_byte_identical() {
         let b = replay(opts, 7);
         assert_eq!(a, b, "{engine:?}: byte-identical replays");
     }
+}
+
+#[test]
+fn chunked_prefill_with_slo_admission_replays_byte_identical() {
+    let a = replay_chunked_slo(17);
+    let b = replay_chunked_slo(17);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "chunked + SLO paths must replay byte-identical");
+    // The scenario actually exercises the new paths: at least one tight
+    // deadline is dropped by admission.
+    assert!(
+        a.contains("slo_reject"),
+        "scenario must exercise SLO rejection:\n{}",
+        a.lines().take(5).collect::<Vec<_>>().join("\n")
+    );
 }
 
 #[test]

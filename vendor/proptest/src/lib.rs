@@ -8,7 +8,11 @@
 //! syntax, so swapping the real crate back in is a one-line manifest change.
 //!
 //! Deliberate simplifications versus the real crate:
-//! - no shrinking: a failing case reports its seed instead of a minimal input;
+//! - shrinking is *strategy-level*, not value-level: on failure the runner
+//!   repeatedly halves every range strategy toward its boundary-biased seed
+//!   (range minimum / zero), re-draws from the shrunken strategies, and
+//!   reports the smallest re-drawn input that still fails — small
+//!   counterexamples without per-value shrink trees;
 //! - rejection via `prop_assume!` retries with a fresh seed, bounded by a
 //!   global reject cap rather than a per-strategy local one.
 //!
@@ -94,6 +98,18 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+        /// Halves this strategy's value space toward its boundary-biased
+        /// seed (range minimum / zero), consuming `self`. Returns the
+        /// shrunken strategy and whether anything actually shrank; the
+        /// default is "cannot shrink". The `proptest!` runner calls this
+        /// after a failure to hunt for a smaller counterexample.
+        fn shrink(self) -> (Self, bool)
+        where
+            Self: Sized,
+        {
+            (self, false)
+        }
+
         fn prop_map<U, F>(self, f: F) -> Map<Self, F>
         where
             Self: Sized,
@@ -139,6 +155,11 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> U {
             (self.f)(self.inner.generate(rng))
         }
+
+        fn shrink(self) -> (Self, bool) {
+            let (inner, shrunk) = self.inner.shrink();
+            (Map { inner, f: self.f }, shrunk)
+        }
     }
 
     pub struct FlatMap<S, F> {
@@ -156,6 +177,12 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut TestRng) -> S2::Value {
             (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+
+        fn shrink(self) -> (Self, bool) {
+            // Only the driving strategy shrinks; the derived one follows it.
+            let (inner, shrunk) = self.inner.shrink();
+            (FlatMap { inner, f: self.f }, shrunk)
         }
     }
 
@@ -185,6 +212,17 @@ pub mod strategy {
                     assert!(self.start < self.end, "empty range strategy");
                     biased_int(self.start as i128, self.end as i128 - 1, rng) as $t
                 }
+
+                fn shrink(self) -> (Self, bool) {
+                    // Halve toward the range minimum (the boundary-biased
+                    // seed), keeping the range non-empty.
+                    let span = (self.end as i128) - (self.start as i128);
+                    if span <= 1 {
+                        return (self, false);
+                    }
+                    let end = (self.start as i128 + (span + 1) / 2) as $t;
+                    (self.start..end, true)
+                }
             }
 
             impl Strategy for ::core::ops::RangeInclusive<$t> {
@@ -194,6 +232,16 @@ pub mod strategy {
                     let (lo, hi) = (*self.start(), *self.end());
                     assert!(lo <= hi, "empty range strategy");
                     biased_int(lo as i128, hi as i128, rng) as $t
+                }
+
+                fn shrink(self) -> (Self, bool) {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    let span = (hi as i128) - (lo as i128);
+                    if span == 0 {
+                        return (self, false);
+                    }
+                    let hi = (lo as i128 + span / 2) as $t;
+                    (lo..=hi, true)
                 }
             }
         )*};
@@ -220,6 +268,15 @@ pub mod strategy {
                     }
                     self.start + (rng.next_f64() as $t) * (self.end - self.start)
                 }
+
+                fn shrink(self) -> (Self, bool) {
+                    let width = self.end - self.start;
+                    let half = self.start + width / 2.0;
+                    if half <= self.start {
+                        return (self, false); // width exhausted
+                    }
+                    (self.start..half, true)
+                }
             }
         )*};
     }
@@ -233,6 +290,18 @@ pub mod strategy {
 
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.generate(rng),)+)
+                }
+
+                fn shrink(self) -> (Self, bool) {
+                    let mut any = false;
+                    let shrunk = ($(
+                        {
+                            let (s, did) = self.$idx.shrink();
+                            any |= did;
+                            s
+                        },
+                    )+);
+                    (shrunk, any)
                 }
             }
         )*};
@@ -268,6 +337,19 @@ pub mod collection {
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             (0..self.size).map(|_| self.element.generate(rng)).collect()
         }
+
+        fn shrink(self) -> (Self, bool) {
+            // Shrink the element space; the length is part of the
+            // property's contract and stays fixed.
+            let (element, did) = self.element.shrink();
+            (
+                VecStrategy {
+                    element,
+                    size: self.size,
+                },
+                did,
+            )
+        }
     }
 }
 
@@ -290,6 +372,14 @@ pub mod sample {
 
         fn generate(&self, rng: &mut TestRng) -> T {
             self.options[rng.next_u64() as usize % self.options.len()].clone()
+        }
+
+        fn shrink(mut self) -> (Self, bool) {
+            if self.options.len() <= 1 {
+                return (self, false);
+            }
+            self.options.truncate(self.options.len().div_ceil(2));
+            (self, true)
         }
     }
 }
@@ -382,7 +472,10 @@ macro_rules! prop_assert_ne {
 
 /// The `proptest!` block: each contained `#[test] fn name(pat in strategy, …)`
 /// expands to a plain `#[test]` that generates inputs and runs the body for
-/// `Config::cases` accepted cases.
+/// `Config::cases` accepted cases. On failure the runner shrinks: it halves
+/// every range strategy toward its boundary-biased seed, re-draws, and
+/// keeps going while the shrunken spaces still produce failures — the
+/// smallest failing input found is reported alongside the original.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -391,6 +484,94 @@ macro_rules! proptest {
     ($($rest:tt)*) => {
         $crate::__proptest_tests! { @cfg ($crate::test_runner::Config::default()) $($rest)* }
     };
+}
+
+#[doc(hidden)]
+pub mod __runner {
+    //! Generic driving loop behind the `proptest!` macro. Routing the test
+    //! body through `Fn(S::Value)` bounds is what lets closure parameter
+    //! types be inferred from the strategy (a bare closure called on
+    //! `generate`'s output trips E0282 for `impl Strategy` factories).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::{TestCaseError, TestRng};
+
+    const GOLDEN: u64 = 0x9E3779B97F4A7C15;
+
+    /// Identity helper that ties a closure's parameter type to the
+    /// strategy's `Value` at the definition site, so the `proptest!` macro
+    /// can bind the body to a variable without tripping E0282.
+    pub fn as_case<S, F>(_strat: &S, body: F) -> F
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        body
+    }
+
+    /// Draws one case from `strat` at `seed` and runs the body. Rendering
+    /// is deliberately *not* done here: the draw is deterministic in
+    /// `seed`, so the failure path re-draws via [`render_input`] and the
+    /// happy path pays no `Debug` formatting or allocation.
+    pub fn run_one<S, F>(strat: &S, seed: u64, body: &F) -> Result<(), TestCaseError>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::new(seed);
+        body(strat.generate(&mut rng))
+    }
+
+    /// Re-draws the (deterministic) case `seed` produces from `strat` and
+    /// renders it for a failure report.
+    pub fn render_input<S>(strat: &S, seed: u64) -> String
+    where
+        S: Strategy,
+        S::Value: ::core::fmt::Debug,
+    {
+        let mut rng = TestRng::new(seed);
+        format!("{:?}", strat.generate(&mut rng))
+    }
+
+    /// Strategy-level shrinking: repeatedly halve the strategies toward
+    /// their boundary-biased seeds, re-draw, and keep the smallest drawn
+    /// input that still fails. Returns `(rendered_input, message)` of the
+    /// minimal failure found (the original if nothing smaller fails).
+    pub fn shrink_failure<S, F>(
+        strat: S,
+        seed: u64,
+        original: (String, String),
+        body: &F,
+    ) -> (String, String)
+    where
+        S: Strategy,
+        S::Value: ::core::fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut minimal = original;
+        let mut current = strat;
+        let mut shrink_seed = seed;
+        for _level in 0..64u32 {
+            let (next, shrunk) = current.shrink();
+            current = next;
+            if !shrunk {
+                break;
+            }
+            let mut found = false;
+            for _probe in 0..24u32 {
+                shrink_seed = shrink_seed.wrapping_add(GOLDEN);
+                if let Err(TestCaseError::Fail(msg)) = run_one(&current, shrink_seed, body) {
+                    minimal = (render_input(&current, shrink_seed), msg);
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                break; // the shrunken space no longer fails
+            }
+        }
+        minimal
+    }
 }
 
 #[doc(hidden)]
@@ -405,6 +586,12 @@ macro_rules! __proptest_tests {
         $(#[$meta])*
         fn $name() {
             let cfg: $crate::test_runner::Config = $cfg;
+            let strat = ($($strat,)+);
+            let run_case = $crate::__runner::as_case(&strat, |value| {
+                let ($($arg,)+) = value;
+                $body
+                ::core::result::Result::Ok(())
+            });
             let mut accepted: u32 = 0;
             let mut rejected: u32 = 0;
             let mut seed: u64 = $crate::test_runner::seed_for(
@@ -412,14 +599,7 @@ macro_rules! __proptest_tests {
             );
             while accepted < cfg.cases {
                 seed = seed.wrapping_add(0x9E3779B97F4A7C15);
-                let mut rng = $crate::test_runner::TestRng::new(seed);
-                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (|| {
-                        $body
-                        ::core::result::Result::Ok(())
-                    })();
-                match outcome {
+                match $crate::__runner::run_one(&strat, seed, &run_case) {
                     ::core::result::Result::Ok(()) => accepted += 1,
                     ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
                         rejected += 1;
@@ -430,11 +610,25 @@ macro_rules! __proptest_tests {
                         );
                     }
                     ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        // Shrink: halve the strategies toward their
+                        // boundary-biased seeds while the smaller spaces
+                        // still fail, and report the last failing draw. The
+                        // printed seed reproduces the *original* input; the
+                        // minimal one is re-drawn from shrunken strategies.
+                        let original = $crate::__runner::render_input(&strat, seed);
+                        let minimal = $crate::__runner::shrink_failure(
+                            strat,
+                            seed,
+                            (original.clone(), msg),
+                            &run_case,
+                        );
                         ::core::panic!(
-                            "proptest case failed (case {}, seed {:#018x}):\n{}",
+                            "proptest case failed (case {}, seed {:#018x} reproduces the original input):\n{}\noriginal failing input: {}\nminimal failing input: {}",
                             accepted,
                             seed,
-                            msg,
+                            minimal.1,
+                            original,
+                            minimal.0,
                         );
                     }
                 }
@@ -442,4 +636,71 @@ macro_rules! __proptest_tests {
         }
         $crate::__proptest_tests! { @cfg ($cfg) $($rest)* }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn int_ranges_halve_toward_their_minimum() {
+        let (r, did) = (0u32..100).shrink();
+        assert!(did);
+        assert_eq!(r, 0..50);
+        let (r, did) = r.shrink();
+        assert!(did);
+        assert_eq!(r, 0..25);
+        // A point range cannot shrink.
+        let (r, did) = (7u32..8).shrink();
+        assert!(!did);
+        assert_eq!(r, 7..8);
+    }
+
+    #[test]
+    fn inclusive_ranges_shrink_to_a_point_then_stop() {
+        let (r, did) = (10u64..=11).shrink();
+        assert!(did);
+        assert_eq!(r, 10..=10);
+        let (_, did) = r.shrink();
+        assert!(!did);
+    }
+
+    #[test]
+    fn tuples_shrink_while_any_component_can() {
+        let t = (0u32..100, 5u32..6);
+        let (t, did) = t.shrink();
+        assert!(did, "first component still shrinks");
+        assert_eq!(t.0, 0..50);
+        assert_eq!(t.1, 5..6, "point component untouched");
+    }
+
+    #[test]
+    fn float_ranges_halve_toward_their_start() {
+        let (r, did) = (0.0f64..8.0).shrink();
+        assert!(did);
+        assert_eq!(r, 0.0..4.0);
+    }
+
+    #[test]
+    fn failing_property_reports_a_minimal_input() {
+        // A property that fails for every n >= 2: shrinking must walk the
+        // range down and report an input from a halved space.
+        let result = std::panic::catch_unwind(|| {
+            crate::proptest! {
+                #![proptest_config(crate::test_runner::Config::with_cases(8))]
+                fn always_fails_above_one(n in 2u32..1000) {
+                    crate::prop_assert!(n < 2, "n = {n}");
+                }
+            }
+            always_fails_above_one();
+        });
+        let err = result.expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("minimal failing input"),
+            "panic must carry the shrunken input: {msg}"
+        );
+        // The fully shrunken space is 2..3, so the minimal input is (2,).
+        assert!(msg.contains("(2,)"), "expected the boundary value: {msg}");
+    }
 }
