@@ -10,15 +10,17 @@
 //! | `fig7`   | Figure 7: monetary cost (USD/token) vs latency on GPT-20B |
 //! | `fig8`   | Figure 8: fluctuating (MAF) workload study |
 //! | `fig9`   | Figure 9: component ablation on GPT-20B |
+//! | `fig_fleet` | Fleet policies: availability + cost split under a zone outage (beyond-paper) |
 //!
 //! The criterion benches (`benches/`) cover the paper's systems claims:
 //! the online optimizer runs in well under a second (§3.2), KM mapping is
 //! fast at fleet scale (§3.3), and migration planning is cheap (§3.4).
 
-use cloudsim::AvailabilityTrace;
+use cloudsim::{AvailabilityTrace, PoolSpec};
 use llmsim::ModelSpec;
 use simkit::metrics::Percentiles;
-use spotserve::{AblationFlags, RunReport, Scenario, ServingSystem, SystemOptions};
+use simkit::{SimDuration, SimTime};
+use spotserve::{AblationFlags, FleetPolicy, RunReport, Scenario, ServingSystem, SystemOptions};
 
 /// The three serving systems of §6.1, in the paper's comparison order.
 pub fn paper_systems() -> Vec<(&'static str, SystemOptions)> {
@@ -66,6 +68,44 @@ pub fn run_cell(
     }
     let scenario = Scenario::paper_stable(model.clone(), trace.clone(), rate, seed);
     ServingSystem::new(opts, scenario).run()
+}
+
+/// The fleet acquisition policies compared by the `fig_fleet` figure, in
+/// escalation order: the paper baseline, the on-demand bridge, and the
+/// SkyServe-style multi-pool hedge.
+pub fn fleet_policy_ladder() -> Vec<(&'static str, FleetPolicy)> {
+    vec![
+        ("ReactiveSpot", FleetPolicy::ReactiveSpot),
+        ("OnDemandFallback", FleetPolicy::OnDemandFallback),
+        ("SpotHedge", FleetPolicy::spot_hedge()),
+    ]
+}
+
+/// The scripted zone-outage scenario behind `fig_fleet` and the pinned
+/// acceptance test: three pools, `z0` collapsing entirely at t = 300 s
+/// while `z1`/`z2` stay healthy (`z2` priced below list). OPT-6.7B at
+/// 1 req/s for 480 s of arrivals, every request carrying a 900 s SLO.
+pub fn zone_outage_scenario(seed: u64) -> Scenario {
+    let pools = vec![
+        PoolSpec::new(
+            "z0",
+            AvailabilityTrace::from_steps(vec![(SimTime::ZERO, 6), (SimTime::from_secs(300), 0)]),
+        ),
+        PoolSpec::new("z1", AvailabilityTrace::constant(4)),
+        PoolSpec::new("z2", AvailabilityTrace::constant(4)).with_spot_price(1.4),
+    ];
+    let mut scenario = Scenario::paper_stable(
+        ModelSpec::opt_6_7b(),
+        AvailabilityTrace::constant(0), // unused once pools are set
+        1.0,
+        seed,
+    )
+    .with_pools(pools);
+    scenario
+        .requests
+        .retain(|r| r.arrival < SimTime::from_secs(480));
+    workload::apply_slo(&mut scenario.requests, SimDuration::from_secs(900));
+    scenario
 }
 
 /// The Figure 9 ablation ladder: components disabled cumulatively, in the
@@ -118,6 +158,17 @@ mod tests {
         assert_eq!(ladder.len(), 5);
         assert!(!ladder[0].1.no_controller);
         assert!(ladder[4].1.no_controller && ladder[4].1.no_device_mapper);
+    }
+
+    #[test]
+    fn fleet_ladder_and_outage_scenario_are_well_formed() {
+        let ladder = fleet_policy_ladder();
+        assert_eq!(ladder.len(), 3);
+        assert!(ladder[0].1.is_reactive());
+        let s = zone_outage_scenario(1);
+        assert_eq!(s.pools.len(), 3);
+        assert_eq!(s.pools[0].trace.min_capacity(), 0, "z0 collapses");
+        assert!(s.requests.iter().all(|r| r.deadline.is_some()));
     }
 
     #[test]

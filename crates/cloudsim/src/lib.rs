@@ -10,7 +10,10 @@
 //! [`AvailabilityTrace`] — the number of spot instances the cloud is willing
 //! to lease us over time, like the paper's Figure 5 traces `A_S`/`B_S` — and
 //! turns fleet requests from the serving system into a deterministic stream
-//! of [`CloudEvent`]s.
+//! of [`CloudEvent`]s. A [`CloudMarket`] arbitrates *several* such pools
+//! ([`PoolSpec`] per zone, each with its own trace, grant delay, and spot
+//! price) behind one merged event stream; a single-pool market is bit-exact
+//! with a bare `CloudSim`.
 //!
 //! # Example
 //!
@@ -30,7 +33,9 @@
 pub mod events;
 pub mod gpu;
 pub mod instance;
+pub mod market;
 pub mod network;
+pub mod pool;
 pub mod pricing;
 pub mod provider;
 pub mod storage;
@@ -39,7 +44,9 @@ pub mod trace;
 pub use events::CloudEvent;
 pub use gpu::GpuSpec;
 pub use instance::{GpuRef, InstanceId, InstanceKind, InstanceType};
+pub use market::{CloudMarket, CostBreakdown, PoolCost};
 pub use network::NetFabric;
+pub use pool::{PoolId, PoolSpec, POOL_ID_STRIDE};
 pub use pricing::BillingMeter;
 pub use provider::{CloudConfig, CloudSim, InstanceInfo};
 pub use storage::ColdStorage;

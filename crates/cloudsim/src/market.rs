@@ -1,0 +1,428 @@
+//! The multi-pool arbiter: several spot pools behind one event stream.
+//!
+//! A [`CloudMarket`] owns one [`CloudSim`] per [`PoolSpec`] and merges
+//! their event streams deterministically (earliest timestamp first, ties
+//! broken by pool index). Each pool replays its own
+//! [`AvailabilityTrace`], applies its own grant delay and spot price, and
+//! meters its own bill; the market exposes both the merged legacy surface
+//! (so a single-pool market is a drop-in, bit-exact replacement for a bare
+//! [`CloudSim`]) and pool-addressed commands for policy-driven acquisition
+//! (see the `fleetctl` crate).
+//!
+//! Instance ids encode their pool ([`POOL_ID_STRIDE`]): pool 0 allocates
+//! the exact id sequence a bare `CloudSim` would, which is what keeps
+//! pre-multi-pool replays byte-identical.
+//!
+//! # Example
+//!
+//! ```
+//! use cloudsim::{AvailabilityTrace, CloudConfig, CloudMarket, PoolId, PoolSpec};
+//! use simkit::SimTime;
+//!
+//! let pools = vec![
+//!     PoolSpec::new("us-east-1a", AvailabilityTrace::constant(4)),
+//!     PoolSpec::new("us-east-1b", AvailabilityTrace::constant(2)).with_spot_price(1.4),
+//! ];
+//! let mut market = CloudMarket::new(&CloudConfig::default(), &pools, 7);
+//! market.request_spot_in(SimTime::ZERO, PoolId(1), 1);
+//! let (_, ev) = market.pop_next().expect("grant");
+//! assert_eq!(PoolId::of_instance(ev.instance()), PoolId(1));
+//! ```
+
+use simkit::SimTime;
+
+use crate::events::CloudEvent;
+use crate::instance::{InstanceId, InstanceKind};
+use crate::pool::{PoolId, PoolSpec};
+use crate::provider::{CloudConfig, CloudSim, InstanceInfo};
+use crate::trace::AvailabilityTrace;
+
+/// Spend attributed to one pool, split by billing kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolCost {
+    /// The pool.
+    pub pool: PoolId,
+    /// The pool's human-readable name.
+    pub name: String,
+    /// USD spent on spot leases in this pool.
+    pub spot_usd: f64,
+    /// USD spent on on-demand leases in this pool.
+    pub ondemand_usd: f64,
+}
+
+/// Per-kind / per-pool cost attribution for one run.
+///
+/// The per-kind split is accumulated independently of the authoritative
+/// total (see [`crate::BillingMeter::usd_of_kind`]), so the sums here may
+/// differ from [`CloudMarket::total_usd`] by a float ulp.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// One entry per pool, in pool order.
+    pub pools: Vec<PoolCost>,
+}
+
+impl CostBreakdown {
+    /// Total spot spend across pools.
+    pub fn spot_usd(&self) -> f64 {
+        self.pools.iter().map(|p| p.spot_usd).sum()
+    }
+
+    /// Total on-demand spend across pools.
+    pub fn ondemand_usd(&self) -> f64 {
+        self.pools.iter().map(|p| p.ondemand_usd).sum()
+    }
+
+    /// Spot plus on-demand spend (may differ from the authoritative meter
+    /// total by a float ulp; see the type-level docs).
+    pub fn total_usd(&self) -> f64 {
+        self.spot_usd() + self.ondemand_usd()
+    }
+}
+
+/// Several spot pools behind one deterministic event stream.
+///
+/// See the [module docs](self) for the merge rules. All legacy
+/// (pool-less) commands address pool 0, which makes a single-pool market
+/// behave exactly like the bare [`CloudSim`] it wraps.
+#[derive(Debug, Clone)]
+pub struct CloudMarket {
+    pools: Vec<CloudSim>,
+    names: Vec<String>,
+}
+
+impl CloudMarket {
+    /// A single-pool market: bit-exact with `CloudSim::new(cfg, trace,
+    /// seed)` (same random stream, same id sequence, same event order).
+    pub fn single(cfg: CloudConfig, trace: AvailabilityTrace, seed: u64) -> Self {
+        CloudMarket {
+            pools: vec![CloudSim::new(cfg, trace, seed)],
+            names: vec!["default".to_string()],
+        }
+    }
+
+    /// A market of `specs.len()` pools. Pool `i` inherits `base` with its
+    /// spec's grant-delay / spot-price overrides applied, replays its own
+    /// trace, and draws from its own random stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn new(base: &CloudConfig, specs: &[PoolSpec], seed: u64) -> Self {
+        assert!(!specs.is_empty(), "a market needs at least one pool");
+        let pools = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut cfg = base.clone();
+                if let Some(d) = spec.spot_grant_delay {
+                    cfg.spot_grant_delay = d;
+                }
+                if let Some(p) = spec.spot_price_per_hour {
+                    cfg.instance_type.spot_price_per_hour = p;
+                }
+                CloudSim::for_pool(cfg, spec.trace.clone(), seed, PoolId(i as u32))
+            })
+            .collect();
+        CloudMarket {
+            pools,
+            names: specs.iter().map(|s| s.name.clone()).collect(),
+        }
+    }
+
+    /// Number of pools in this market.
+    pub fn pool_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// The human-readable name of `pool`.
+    pub fn pool_name(&self, pool: PoolId) -> &str {
+        &self.names[pool.0 as usize]
+    }
+
+    /// Read-only view of one pool's provider.
+    pub fn pool(&self, pool: PoolId) -> &CloudSim {
+        &self.pools[pool.0 as usize]
+    }
+
+    fn pool_mut(&mut self, pool: PoolId) -> &mut CloudSim {
+        &mut self.pools[pool.0 as usize]
+    }
+
+    // ---- Pool-addressed commands -----------------------------------
+
+    /// Requests `n` spot instances from `pool` at `now`.
+    pub fn request_spot_in(&mut self, now: SimTime, pool: PoolId, n: u32) {
+        self.pool_mut(pool).request_spot(now, n);
+    }
+
+    /// Cancels up to `n` queued spot requests in `pool`, returning how
+    /// many were cancelled.
+    pub fn cancel_pending_spot_in(&mut self, pool: PoolId, n: u32) -> u32 {
+        self.pool_mut(pool).cancel_pending_spot(n)
+    }
+
+    /// Immediately grants up to `n` spot instances in `pool` at `t = 0`
+    /// (see [`CloudSim::prewarm_spot`]).
+    pub fn prewarm_spot_in(&mut self, pool: PoolId, n: u32) -> Vec<InstanceId> {
+        self.pool_mut(pool).prewarm_spot(n)
+    }
+
+    /// Current trace capacity of `pool`.
+    pub fn capacity_in(&self, pool: PoolId) -> u32 {
+        self.pool(pool).current_capacity()
+    }
+
+    /// Queued (not yet provisioning) spot requests in `pool`.
+    pub fn pending_spot_in(&self, pool: PoolId) -> u32 {
+        self.pool(pool).pending_spot()
+    }
+
+    /// Spot instances provisioning in `pool` (grant scheduled, not fired).
+    pub fn provisioning_spot_in(&self, pool: PoolId) -> u32 {
+        self.pool(pool).provisioning_spot()
+    }
+
+    // ---- Legacy (pool-0) surface -----------------------------------
+
+    /// Requests `n` spot instances from pool 0 (the legacy single-market
+    /// surface; pool-aware callers use [`CloudMarket::request_spot_in`]).
+    pub fn request_spot(&mut self, now: SimTime, n: u32) {
+        self.request_spot_in(now, PoolId(0), n);
+    }
+
+    /// Cancels up to `n` queued spot requests in pool 0.
+    pub fn cancel_pending_spot(&mut self, n: u32) -> u32 {
+        self.cancel_pending_spot_in(PoolId(0), n)
+    }
+
+    /// Prewarms `n` spot instances in pool 0.
+    pub fn prewarm_spot(&mut self, n: u32) -> Vec<InstanceId> {
+        self.prewarm_spot_in(PoolId(0), n)
+    }
+
+    /// Prewarms `n` on-demand instances (granted by pool 0; on-demand
+    /// capacity is pool-agnostic).
+    pub fn prewarm_on_demand(&mut self, n: u32) -> Vec<InstanceId> {
+        self.pools[0].prewarm_on_demand(n)
+    }
+
+    /// Requests `n` on-demand instances (granted by pool 0; on-demand
+    /// capacity is unlimited and pool-agnostic).
+    pub fn request_on_demand(&mut self, now: SimTime, n: u32) {
+        self.pools[0].request_on_demand(now, n);
+    }
+
+    /// Pool 0's current trace capacity (the legacy single-market view).
+    pub fn current_capacity(&self) -> u32 {
+        self.pools[0].current_capacity()
+    }
+
+    /// Sum of every pool's current trace capacity.
+    pub fn total_capacity(&self) -> u32 {
+        self.pools.iter().map(CloudSim::current_capacity).sum()
+    }
+
+    /// On-demand requests whose grant has not fired yet.
+    pub fn pending_on_demand(&self) -> u32 {
+        self.pools.iter().map(CloudSim::pending_on_demand).sum()
+    }
+
+    // ---- Merged views ----------------------------------------------
+
+    /// Queued spot requests across all pools.
+    pub fn pending_spot(&self) -> u32 {
+        self.pools.iter().map(CloudSim::pending_spot).sum()
+    }
+
+    /// Live leases across all pools, in pool order.
+    pub fn fleet(&self) -> impl Iterator<Item = &InstanceInfo> {
+        self.pools.iter().flat_map(CloudSim::fleet)
+    }
+
+    /// Number of live leases of `kind` across all pools.
+    pub fn live_count(&self, kind: InstanceKind) -> usize {
+        self.pools.iter().map(|p| p.live_count(kind)).sum()
+    }
+
+    /// Releases a lease voluntarily; the id routes to its owning pool.
+    pub fn release(&mut self, now: SimTime, id: InstanceId) {
+        let pool = PoolId::of_instance(id);
+        if (pool.0 as usize) < self.pools.len() {
+            self.pool_mut(pool).release(now, id);
+        }
+    }
+
+    /// Timestamp of the next deliverable event across all pools.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.pools.iter_mut().filter_map(CloudSim::peek_time).min()
+    }
+
+    /// Pops the next deliverable event: earliest timestamp wins, ties
+    /// break toward the lowest pool index (deterministic merge).
+    pub fn pop_next(&mut self) -> Option<(SimTime, CloudEvent)> {
+        let mut best: Option<(SimTime, usize)> = None;
+        for i in 0..self.pools.len() {
+            if let Some(t) = self.pools[i].peek_time() {
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, i));
+                }
+            }
+        }
+        let (_, i) = best?;
+        self.pools[i].pop_next()
+    }
+
+    // ---- Billing ---------------------------------------------------
+
+    /// Total spend in USD as of `now`, summed over pools in pool order
+    /// (one pool: exactly the bare meter's total).
+    pub fn total_usd(&self, now: SimTime) -> f64 {
+        self.pools.iter().map(|p| p.meter().total_usd(now)).sum()
+    }
+
+    /// Per-kind / per-pool cost attribution as of `now`.
+    pub fn cost_breakdown(&self, now: SimTime) -> CostBreakdown {
+        CostBreakdown {
+            pools: self
+                .pools
+                .iter()
+                .enumerate()
+                .map(|(i, p)| PoolCost {
+                    pool: PoolId(i as u32),
+                    name: self.names[i].clone(),
+                    spot_usd: p.meter().usd_of_kind(InstanceKind::Spot, now),
+                    ondemand_usd: p.meter().usd_of_kind(InstanceKind::OnDemand, now),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimDuration;
+
+    fn drain_sim(c: &mut CloudSim) -> Vec<(SimTime, String)> {
+        std::iter::from_fn(|| c.pop_next())
+            .map(|(t, e)| (t, format!("{e:?}")))
+            .collect()
+    }
+
+    fn drain_market(m: &mut CloudMarket) -> Vec<(SimTime, String)> {
+        std::iter::from_fn(|| m.pop_next())
+            .map(|(t, e)| (t, format!("{e:?}")))
+            .collect()
+    }
+
+    #[test]
+    fn single_pool_market_is_bit_exact_with_bare_cloudsim() {
+        // Same trace, same seed, same commands: the merged stream, the ids,
+        // and the bill must be *identical* — this is what keeps every
+        // pre-multi-pool replay byte-identical.
+        let trace = AvailabilityTrace::paper_bs();
+        let mut sim = CloudSim::new(CloudConfig::default(), trace.clone(), 99);
+        let mut market = CloudMarket::single(CloudConfig::default(), trace, 99);
+        sim.request_spot(SimTime::ZERO, 10);
+        market.request_spot(SimTime::ZERO, 10);
+        sim.request_on_demand(SimTime::from_secs(5), 2);
+        market.request_on_demand(SimTime::from_secs(5), 2);
+        assert_eq!(drain_sim(&mut sim), drain_market(&mut market));
+        let end = SimTime::from_secs(1200);
+        assert_eq!(
+            sim.meter().total_usd(end).to_bits(),
+            market.total_usd(end).to_bits(),
+            "billing must be bit-exact"
+        );
+    }
+
+    #[test]
+    fn pools_allocate_disjoint_id_namespaces() {
+        let pools = vec![
+            PoolSpec::new("a", AvailabilityTrace::constant(2)),
+            PoolSpec::new("b", AvailabilityTrace::constant(2)),
+        ];
+        let mut m = CloudMarket::new(&CloudConfig::default(), &pools, 7);
+        m.request_spot_in(SimTime::ZERO, PoolId(0), 2);
+        m.request_spot_in(SimTime::ZERO, PoolId(1), 2);
+        let evs = drain_market(&mut m);
+        assert_eq!(evs.len(), 4);
+        let by_pool: Vec<PoolId> = m.fleet().map(|i| PoolId::of_instance(i.id)).collect();
+        assert_eq!(by_pool.iter().filter(|p| p.0 == 0).count(), 2);
+        assert_eq!(by_pool.iter().filter(|p| p.0 == 1).count(), 2);
+    }
+
+    #[test]
+    fn merge_breaks_ties_by_pool_index() {
+        let pools = vec![
+            PoolSpec::new("a", AvailabilityTrace::constant(1)),
+            PoolSpec::new("b", AvailabilityTrace::constant(1)),
+        ];
+        let mut m = CloudMarket::new(&CloudConfig::default(), &pools, 7);
+        // Both grants land at t = 40: pool 0's must pop first.
+        m.request_spot_in(SimTime::ZERO, PoolId(1), 1);
+        m.request_spot_in(SimTime::ZERO, PoolId(0), 1);
+        let (t0, e0) = m.pop_next().unwrap();
+        let (t1, e1) = m.pop_next().unwrap();
+        assert_eq!(t0, t1);
+        assert_eq!(PoolId::of_instance(e0.instance()), PoolId(0));
+        assert_eq!(PoolId::of_instance(e1.instance()), PoolId(1));
+    }
+
+    #[test]
+    fn per_pool_price_and_grant_delay_overrides_apply() {
+        let pools = vec![
+            PoolSpec::new("list-price", AvailabilityTrace::constant(1)),
+            PoolSpec::new("cheap-slow", AvailabilityTrace::constant(1))
+                .with_spot_price(0.95)
+                .with_grant_delay(SimDuration::from_secs(80)),
+        ];
+        let mut m = CloudMarket::new(&CloudConfig::default(), &pools, 7);
+        m.request_spot_in(SimTime::ZERO, PoolId(0), 1);
+        m.request_spot_in(SimTime::ZERO, PoolId(1), 1);
+        let evs = drain_market(&mut m);
+        assert_eq!(evs[0].0, SimTime::from_secs(40), "pool 0 keeps the default");
+        assert_eq!(evs[1].0, SimTime::from_secs(80), "pool 1 is slower");
+        // Run both leases one hour, then compare pool bills.
+        let hour = |t: SimTime| t + SimDuration::from_secs(3600);
+        let ids: Vec<InstanceId> = m.fleet().map(|i| i.id).collect();
+        for id in ids {
+            let granted = m.fleet().find(|i| i.id == id).unwrap().granted_at;
+            m.release(hour(granted), id);
+        }
+        let end = SimTime::from_secs(10_000);
+        let bd = m.cost_breakdown(end);
+        assert!((bd.pools[0].spot_usd - 1.9).abs() < 1e-9);
+        assert!((bd.pools[1].spot_usd - 0.95).abs() < 1e-9);
+        assert_eq!(bd.ondemand_usd(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_splits_spot_from_on_demand() {
+        let mut m = CloudMarket::single(CloudConfig::default(), AvailabilityTrace::constant(1), 7);
+        let spot = m.prewarm_spot(1);
+        let od = m.prewarm_on_demand(1);
+        let end = SimTime::from_secs(3600);
+        m.release(end, spot[0]);
+        m.release(end, od[0]);
+        let bd = m.cost_breakdown(end);
+        assert!((bd.spot_usd() - 1.9).abs() < 1e-9);
+        assert!((bd.ondemand_usd() - 3.9).abs() < 1e-9);
+        assert!((bd.total_usd() - m.total_usd(end)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_multi_pool_replay() {
+        let run = || {
+            let pools = vec![
+                PoolSpec::new("a", AvailabilityTrace::paper_as()),
+                PoolSpec::new("b", AvailabilityTrace::paper_bs()),
+            ];
+            let mut m = CloudMarket::new(&CloudConfig::default(), &pools, 11);
+            m.request_spot_in(SimTime::ZERO, PoolId(0), 6);
+            m.request_spot_in(SimTime::ZERO, PoolId(1), 6);
+            drain_market(&mut m)
+        };
+        assert_eq!(run(), run());
+    }
+}

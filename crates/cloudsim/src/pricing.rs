@@ -31,6 +31,13 @@ pub struct BillingMeter {
     // differ by an ulp between identically-seeded runs.
     open: BTreeMap<InstanceId, (InstanceKind, SimTime)>,
     closed_usd: f64,
+    // Per-kind attribution is accumulated *separately* from `closed_usd`
+    // rather than derived by summing the two kinds: float addition is not
+    // associative, and `total_usd` must keep its original accumulation
+    // order bit-for-bit. The split may therefore differ from the total by
+    // an ulp; the total is authoritative.
+    closed_usd_spot: f64,
+    closed_usd_on_demand: f64,
     closed_time: BTreeMap<&'static str, SimDuration>,
 }
 
@@ -41,6 +48,8 @@ impl BillingMeter {
             instance_type,
             open: BTreeMap::new(),
             closed_usd: 0.0,
+            closed_usd_spot: 0.0,
+            closed_usd_on_demand: 0.0,
             closed_time: BTreeMap::new(),
         }
     }
@@ -60,7 +69,12 @@ impl BillingMeter {
     pub fn lease_ended(&mut self, id: InstanceId, at: SimTime) {
         if let Some((kind, start)) = self.open.remove(&id) {
             let dur = at.saturating_since(start);
-            self.closed_usd += self.cost_of(kind, dur);
+            let usd = self.cost_of(kind, dur);
+            self.closed_usd += usd;
+            match kind {
+                InstanceKind::Spot => self.closed_usd_spot += usd,
+                InstanceKind::OnDemand => self.closed_usd_on_demand += usd,
+            }
             let key = match kind {
                 InstanceKind::Spot => "spot",
                 InstanceKind::OnDemand => "on-demand",
@@ -81,6 +95,24 @@ impl BillingMeter {
             .map(|&(kind, start)| self.cost_of(kind, now.saturating_since(start)))
             .sum();
         self.closed_usd + open
+    }
+
+    /// Spend attributed to one billing kind as of `now`, counting
+    /// still-open leases of that kind up to `now`. The per-kind split is
+    /// accumulated independently of [`BillingMeter::total_usd`], so
+    /// `spot + on-demand` may differ from the total by a float ulp.
+    pub fn usd_of_kind(&self, kind: InstanceKind, now: SimTime) -> f64 {
+        let closed = match kind {
+            InstanceKind::Spot => self.closed_usd_spot,
+            InstanceKind::OnDemand => self.closed_usd_on_demand,
+        };
+        let open: f64 = self
+            .open
+            .values()
+            .filter(|&&(k, _)| k == kind)
+            .map(|&(k, start)| self.cost_of(k, now.saturating_since(start)))
+            .sum();
+        closed + open
     }
 
     /// Total closed lease time per billing kind (`"spot"` / `"on-demand"`).

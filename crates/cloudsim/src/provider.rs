@@ -20,8 +20,12 @@ use crate::trace::AvailabilityTrace;
 /// Tunables of the simulated cloud.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CloudConfig {
-    /// The instance SKU leased (one type; the paper targets homogeneous
-    /// `g4dn.12xlarge` fleets, §8 leaves heterogeneity to future work).
+    /// The instance SKU leased. Fleets are homogeneous in *type* (the paper
+    /// targets `g4dn.12xlarge`, §6.1), but capacity may come from several
+    /// spot pools with independent traces, grant delays, and prices — see
+    /// [`PoolSpec`](crate::PoolSpec) and [`CloudMarket`](crate::CloudMarket).
+    /// Heterogeneous instance *types* within one fleet remain future work
+    /// (§8).
     pub instance_type: InstanceType,
     /// Warning the cloud gives before reclaiming a spot instance
     /// (30 s on AWS/Azure, §2).
@@ -36,7 +40,9 @@ pub struct CloudConfig {
 impl Default for CloudConfig {
     fn default() -> Self {
         CloudConfig {
-            instance_type: InstanceType::g4dn_12xlarge(),
+            // The paper's SKU comes from `InstanceType::default()` — one
+            // authoritative place, shared with every pool a market builds.
+            instance_type: InstanceType::default(),
             grace_period: SimDuration::from_secs(30),
             spot_grant_delay: SimDuration::from_secs(40),
             ondemand_grant_delay: SimDuration::from_secs(40),
@@ -84,6 +90,8 @@ pub struct CloudSim {
     inflight_spot: VecDeque<EventKey>,
     /// Spot requests waiting for capacity.
     pending_spot: u32,
+    /// On-demand requests whose grant has not fired yet.
+    pending_on_demand: u32,
     next_id: u64,
     capacity: u32,
     meter: BillingMeter,
@@ -94,22 +102,42 @@ impl CloudSim {
     /// Creates a provider replaying `trace`, with randomness derived from
     /// `seed` (victim selection on capacity drops).
     pub fn new(cfg: CloudConfig, trace: AvailabilityTrace, seed: u64) -> Self {
+        CloudSim::for_pool(cfg, trace, seed, crate::PoolId(0))
+    }
+
+    /// Creates the provider for one pool of a multi-pool market: pool 0 is
+    /// bit-exact with [`CloudSim::new`] (same random stream, same id
+    /// sequence); pool `i > 0` draws from its own random stream and
+    /// allocates ids in its own namespace
+    /// ([`POOL_ID_STRIDE`](crate::POOL_ID_STRIDE)).
+    pub fn for_pool(
+        cfg: CloudConfig,
+        trace: AvailabilityTrace,
+        seed: u64,
+        pool: crate::PoolId,
+    ) -> Self {
         let meter = BillingMeter::new(cfg.instance_type.clone());
         let mut internal = EventQueue::new();
         for (i, &(t, _)) in trace.steps().iter().enumerate() {
             internal.schedule(t, Internal::TraceStep(i));
         }
         let capacity = trace.capacity_at(SimTime::ZERO);
+        let rng = if pool.0 == 0 {
+            SimRng::new(seed).stream("cloudsim")
+        } else {
+            SimRng::new(seed).stream(&format!("cloudsim/pool{}", pool.0))
+        };
         CloudSim {
             cfg,
             trace,
-            rng: SimRng::new(seed).stream("cloudsim"),
+            rng,
             internal,
             out: VecDeque::new(),
             active: BTreeMap::new(),
             inflight_spot: VecDeque::new(),
             pending_spot: 0,
-            next_id: 0,
+            pending_on_demand: 0,
+            next_id: pool.0 as u64 * crate::POOL_ID_STRIDE,
             capacity,
             meter,
             started: false,
@@ -144,6 +172,16 @@ impl CloudSim {
     /// Spot requests that are waiting for capacity (not yet provisioning).
     pub fn pending_spot(&self) -> u32 {
         self.pending_spot
+    }
+
+    /// Spot instances currently provisioning (grant scheduled, not fired).
+    pub fn provisioning_spot(&self) -> u32 {
+        self.inflight_spot.len() as u32
+    }
+
+    /// On-demand requests whose grant has not fired yet.
+    pub fn pending_on_demand(&self) -> u32 {
+        self.pending_on_demand
     }
 
     /// Spot leases counted against capacity: live without a pending kill,
@@ -214,6 +252,7 @@ impl CloudSim {
     /// Requests `n` on-demand instances at time `now`; on-demand capacity is
     /// assumed unlimited, so all requests provision immediately.
     pub fn request_on_demand(&mut self, now: SimTime, n: u32) {
+        self.pending_on_demand += n;
         for _ in 0..n {
             self.internal
                 .schedule(now + self.cfg.ondemand_grant_delay, Internal::GrantOnDemand);
@@ -309,7 +348,10 @@ impl CloudSim {
                 self.inflight_spot.pop_front();
                 self.grant(t, InstanceKind::Spot);
             }
-            Internal::GrantOnDemand => self.grant(t, InstanceKind::OnDemand),
+            Internal::GrantOnDemand => {
+                self.pending_on_demand = self.pending_on_demand.saturating_sub(1);
+                self.grant(t, InstanceKind::OnDemand);
+            }
             Internal::Kill(id) => {
                 if self.active.remove(&id).is_some() {
                     self.meter.lease_ended(id, t);

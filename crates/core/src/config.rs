@@ -1,6 +1,7 @@
 //! System-level options: which serving policy runs and which SpotServe
 //! components are enabled (the Figure 9 ablation axes).
 
+use fleetctl::FleetPolicy;
 use simkit::SimDuration;
 
 /// Which serving system handles preemptions (§6.1 baselines).
@@ -74,6 +75,13 @@ pub struct SystemOptions {
     pub prefill_chunk: Option<u32>,
     /// Component ablations (only meaningful for [`Policy::SpotServe`]).
     pub ablation: AblationFlags,
+    /// How the fleet acquires capacity from the spot market(s):
+    /// [`FleetPolicy::ReactiveSpot`] (the default) keeps the paper's
+    /// single-market reactive path bit-exact;
+    /// [`FleetPolicy::OnDemandFallback`] and [`FleetPolicy::SpotHedge`]
+    /// route acquisition through the `fleetctl` controller (multi-pool
+    /// spread, on-demand top-ups, preemption-rate-sized hedging).
+    pub fleet_policy: FleetPolicy,
     /// Allow mixing on-demand instances into the fleet (the `+O` traces).
     pub on_demand_mixing: bool,
     /// Extra spot instances kept as a warm candidate pool (§3.2 keeps two).
@@ -101,6 +109,7 @@ impl SystemOptions {
             engine: EngineMode::default(),
             prefill_chunk: None,
             ablation: AblationFlags::default(),
+            fleet_policy: FleetPolicy::default(),
             on_demand_mixing: false,
             spare_instances: 2,
             max_instances: 16,
@@ -135,6 +144,13 @@ impl SystemOptions {
     /// Enables on-demand mixing (the `+O` trace variants).
     pub fn with_on_demand_mixing(mut self) -> Self {
         self.on_demand_mixing = true;
+        self
+    }
+
+    /// Selects the fleet acquisition policy (see
+    /// [`SystemOptions::fleet_policy`]).
+    pub fn with_fleet_policy(mut self, fleet_policy: FleetPolicy) -> Self {
+        self.fleet_policy = fleet_policy;
         self
     }
 
@@ -204,6 +220,20 @@ mod tests {
     #[should_panic(expected = "carry tokens")]
     fn zero_chunk_panics() {
         SystemOptions::spotserve().with_prefill_chunk(0);
+    }
+
+    #[test]
+    fn reactive_spot_is_the_default_fleet_policy() {
+        assert_eq!(
+            SystemOptions::spotserve().fleet_policy,
+            FleetPolicy::ReactiveSpot
+        );
+        assert_eq!(
+            SystemOptions::spotserve()
+                .with_fleet_policy(FleetPolicy::spot_hedge())
+                .fleet_policy,
+            FleetPolicy::spot_hedge()
+        );
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod system;
 
 pub use config::{AblationFlags, EngineMode, Policy, SystemOptions};
 pub use devicemap::{map_devices, DeviceMapOutcome};
+pub use fleetctl::{FleetController, FleetPolicy, PreemptionEstimator};
 pub use optimizer::{ConfigOptimizer, OptimizerDecision};
 pub use report::{ConfigChange, RunReport};
 pub use system::{Scenario, ServingSystem};

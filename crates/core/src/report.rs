@@ -1,5 +1,6 @@
 //! Run results: latency report, monetary cost, configuration history.
 
+use cloudsim::CostBreakdown;
 use parallelism::ParallelConfig;
 use simkit::{SimDuration, SimTime};
 use workload::LatencyReport;
@@ -28,6 +29,11 @@ pub struct RunReport {
     pub latency: LatencyReport,
     /// Total fleet spend in USD over the run.
     pub cost_usd: f64,
+    /// Spend attributed per billing kind and per pool (spot vs on-demand,
+    /// zone by zone). The authoritative total is [`RunReport::cost_usd`];
+    /// the split may differ from it by a float ulp (see
+    /// [`cloudsim::BillingMeter::usd_of_kind`]).
+    pub cost_breakdown: CostBreakdown,
     /// Requests still unfinished when the drain cap hit.
     pub unfinished: usize,
     /// Configuration history.
@@ -54,6 +60,16 @@ impl RunReport {
     pub fn cost_per_token(&self) -> Option<f64> {
         let tokens = self.latency.tokens_generated();
         (tokens > 0).then(|| self.cost_usd / tokens as f64)
+    }
+
+    /// USD spent on spot leases (all pools).
+    pub fn spot_usd(&self) -> f64 {
+        self.cost_breakdown.spot_usd()
+    }
+
+    /// USD spent on on-demand leases (all pools).
+    pub fn ondemand_usd(&self) -> f64 {
+        self.cost_breakdown.ondemand_usd()
     }
 
     /// The configurations adopted, in order, without pauses/bytes.
@@ -84,6 +100,7 @@ mod tests {
         let rep = RunReport {
             latency,
             cost_usd: 1.28,
+            cost_breakdown: CostBreakdown::default(),
             unfinished: 0,
             config_changes: vec![],
             finished_at: SimTime::from_secs(100),
@@ -100,6 +117,7 @@ mod tests {
         let rep = RunReport {
             latency: LatencyReport::new("x"),
             cost_usd: 5.0,
+            cost_breakdown: CostBreakdown::default(),
             unfinished: 0,
             config_changes: vec![],
             finished_at: SimTime::ZERO,

@@ -19,7 +19,8 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use cloudsim::{
-    AvailabilityTrace, CloudConfig, CloudEvent, CloudSim, ColdStorage, InstanceId, InstanceKind,
+    AvailabilityTrace, CloudConfig, CloudEvent, CloudMarket, ColdStorage, InstanceId, InstanceKind,
+    PoolId, PoolSpec,
 };
 use enginesim::{
     preemption_stop_time, recovery_worthwhile, BatchRun, ContextDaemon, IterationScheduler,
@@ -34,9 +35,11 @@ use simkit::event::EventKey;
 use simkit::{EventQueue, SimDuration, SimRng, SimTime};
 use workload::{LatencyReport, Request, WorkloadSpec};
 
+use fleetctl::{FleetController, FleetPolicy, FleetView, PoolView};
+
 use crate::config::{EngineMode, Policy, SystemOptions};
 use crate::devicemap::{map_devices, OldState};
-use crate::optimizer::ConfigOptimizer;
+use crate::optimizer::{ConfigOptimizer, OptimizerDecision};
 use crate::report::{ConfigChange, RunReport};
 
 /// A complete experiment input: model, availability trace, request stream.
@@ -44,8 +47,13 @@ use crate::report::{ConfigChange, RunReport};
 pub struct Scenario {
     /// The model being served.
     pub model: ModelSpec,
-    /// Spot-capacity trace the cloud replays.
+    /// Spot-capacity trace the cloud replays (the single-market case;
+    /// ignored when [`Scenario::pools`] is non-empty).
     pub trace: AvailabilityTrace,
+    /// Multi-pool market definition: when non-empty, the cloud replays
+    /// one pool per spec (its own trace, grant delay, and spot price)
+    /// behind a [`CloudMarket`] arbiter, and `trace` is unused.
+    pub pools: Vec<PoolSpec>,
     /// The request stream (arrival-sorted).
     pub requests: Vec<Request>,
     /// Cloud tunables (grace period, grant delays, instance type).
@@ -67,6 +75,7 @@ impl Scenario {
         Scenario {
             model,
             trace,
+            pools: Vec::new(),
             requests,
             cloud: CloudConfig::default(),
             storage: ColdStorage::default(),
@@ -86,12 +95,26 @@ impl Scenario {
         Scenario {
             model,
             trace,
+            pools: Vec::new(),
             requests,
             cloud: CloudConfig::default(),
             storage: ColdStorage::default(),
             seed,
             initial_rate,
         }
+    }
+
+    /// Replaces the single availability trace with a multi-pool market
+    /// definition (one [`PoolSpec`] per zone). With pools set, the
+    /// scenario's `trace` field is unused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pools` is empty.
+    pub fn with_pools(mut self, pools: Vec<PoolSpec>) -> Self {
+        assert!(!pools.is_empty(), "a market needs at least one pool");
+        self.pools = pools;
+        self
     }
 }
 
@@ -161,7 +184,14 @@ pub struct ServingSystem {
     opts: SystemOptions,
     scenario: Scenario,
     optimizer: ConfigOptimizer,
-    cloud: CloudSim,
+    cloud: CloudMarket,
+    /// Policy-driven acquisition (consulted for every non-reactive
+    /// [`FleetPolicy`]; [`FleetPolicy::ReactiveSpot`] keeps the legacy
+    /// paper-exact path below).
+    fleet: FleetController,
+    /// The optimizer's most recent target fleet size `N` (serving need,
+    /// excluding spares) — what the fleet controller steers toward.
+    fleet_target: u32,
     events: EventQueue<Ev>,
     now: SimTime,
     epoch: u64,
@@ -227,10 +257,19 @@ impl ServingSystem {
         // that actually serves (fixed batch-fill delay vs iteration-level
         // slot turnover).
         .with_engine_mode(opts.engine);
-        let cloud = CloudSim::new(
-            scenario.cloud.clone(),
-            scenario.trace.clone(),
-            scenario.seed,
+        let cloud = if scenario.pools.is_empty() {
+            CloudMarket::single(
+                scenario.cloud.clone(),
+                scenario.trace.clone(),
+                scenario.seed,
+            )
+        } else {
+            CloudMarket::new(&scenario.cloud, &scenario.pools, scenario.seed)
+        };
+        let fleet = FleetController::new(
+            opts.fleet_policy,
+            cloud.pool_count(),
+            scenario.cloud.spot_grant_delay,
         );
         let name = match opts.policy {
             Policy::SpotServe => "SpotServe",
@@ -247,6 +286,8 @@ impl ServingSystem {
             opts,
             optimizer,
             cloud,
+            fleet,
+            fleet_target: 0,
             events: EventQueue::new(),
             now: SimTime::ZERO,
             epoch: 0,
@@ -383,7 +424,8 @@ impl ServingSystem {
             self.cloud.release(self.now, id);
         }
         RunReport {
-            cost_usd: self.cloud.meter().total_usd(self.now),
+            cost_usd: self.cloud.total_usd(self.now),
+            cost_breakdown: self.cloud.cost_breakdown(self.now),
             latency: self.latency,
             unfinished: self.outstanding,
             config_changes: self.config_changes,
@@ -405,13 +447,36 @@ impl ServingSystem {
                 self.initial_fleet_target = instances;
             }
             _ => {
-                let decision = self.optimizer.decide(self.cloud.current_capacity(), alpha);
-                let want = decision
+                // Reactive keeps the paper's single-market view (pool 0);
+                // the controller policies size against every pool.
+                let cap = if self.opts.fleet_policy.is_reactive() {
+                    self.cloud.current_capacity()
+                } else {
+                    self.cloud.total_capacity()
+                };
+                let decision = self.optimizer.decide(cap, alpha);
+                self.note_target(&decision);
+                let target = decision
                     .target
                     .map(|c| c.instances_needed(self.gpus_per_instance()))
-                    .unwrap_or(0)
-                    + self.opts.spare_instances;
-                let ids = self.cloud.prewarm_spot(want);
+                    .unwrap_or(0);
+                let want = target + self.opts.spare_instances;
+                let ids = if matches!(self.opts.fleet_policy, FleetPolicy::SpotHedge { .. }) {
+                    // Hedged warm start: spread target + spares + hedge
+                    // across pools so no zone holds a fleet-killing share.
+                    let caps: Vec<u32> = (0..self.cloud.pool_count())
+                        .map(|i| self.cloud.capacity_in(PoolId(i as u32)))
+                        .collect();
+                    let hedge = self.fleet.hedge(target, &caps, SimTime::ZERO);
+                    let alloc = fleetctl::spread(want + hedge, &caps);
+                    alloc
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(i, &n)| self.cloud.prewarm_spot_in(PoolId(i as u32), n))
+                        .collect()
+                } else {
+                    self.cloud.prewarm_spot(want)
+                };
                 self.ready.extend(ids);
                 self.initial_fleet_target = want;
             }
@@ -431,6 +496,10 @@ impl ServingSystem {
         if let Some(cfg) = self.pick_config(decision.now, n) {
             self.adopt_config(cfg, SimDuration::ZERO, 0, 0);
         }
+        // A capacity-limited warm start may leave the controller policies
+        // short of target: let them top up (on-demand fallback, hedge
+        // spread) from t = 0.
+        self.steer_fleet();
         self.sample_fleet();
     }
 
@@ -480,6 +549,9 @@ impl ServingSystem {
                 self.sample_fleet();
             }
             CloudEvent::Preempted { id } => {
+                // Feed the per-pool churn estimator (sizes the hedge).
+                self.fleet
+                    .observe_kill(PoolId::of_instance(id).0 as usize, self.now);
                 self.ready.remove(&id);
                 self.initializing.remove(&id);
                 self.noticed.remove(&id);
@@ -487,6 +559,10 @@ impl ServingSystem {
                 self.sample_fleet();
             }
         }
+        // Every cloud transition is a steering point for the controller
+        // policies (no-op under ReactiveSpot, which replenishes via the
+        // legacy path above).
+        self.steer_fleet();
     }
 
     fn on_event(&mut self, ev: Ev) {
@@ -866,6 +942,7 @@ impl ServingSystem {
         let alpha = self.rate_estimate();
         let n = self.usable().len() as u32;
         let decision = self.optimizer.decide_with_incumbent(n, alpha, self.current);
+        self.note_target(&decision);
         let next = self.pick_config(decision.now, n);
         self.manage_fleet(decision.instance_delta);
         if next != self.current {
@@ -902,10 +979,91 @@ impl ServingSystem {
 
     // ---- Fleet management ------------------------------------------
 
+    /// Records the optimizer's desired fleet size for the controller.
+    fn note_target(&mut self, decision: &OptimizerDecision) {
+        if let Some(t) = decision.target {
+            self.fleet_target = t.instances_needed(self.gpus_per_instance());
+        }
+    }
+
+    /// A point-in-time [`FleetView`] for the controller: lease-level
+    /// per-pool counts from the market, plus the optimizer's target.
+    fn fleet_view(&self) -> FleetView {
+        let n = self.cloud.pool_count();
+        let mut pools = vec![PoolView::default(); n];
+        let mut live_ondemand = 0;
+        for info in self.cloud.fleet() {
+            match info.kind {
+                InstanceKind::OnDemand => live_ondemand += 1,
+                InstanceKind::Spot => {
+                    let p = PoolId::of_instance(info.id).0 as usize;
+                    if info.kill_at.is_some() {
+                        pools[p].noticed_spot += 1;
+                    } else {
+                        pools[p].live_spot += 1;
+                    }
+                }
+            }
+        }
+        for (i, pool) in pools.iter_mut().enumerate() {
+            let pid = PoolId(i as u32);
+            pool.provisioning_spot = self.cloud.provisioning_spot_in(pid);
+            pool.queued_spot = self.cloud.pending_spot_in(pid);
+            pool.capacity = self.cloud.capacity_in(pid);
+        }
+        FleetView {
+            pools,
+            live_ondemand,
+            pending_ondemand: self.cloud.pending_on_demand(),
+            target: self.fleet_target,
+            spares: self.opts.spare_instances,
+        }
+    }
+
+    /// Consults the fleet controller and executes its command (the
+    /// acquisition path for every non-reactive [`FleetPolicy`]). No-op
+    /// under [`FleetPolicy::ReactiveSpot`] and [`Policy::OnDemandOnly`].
+    fn steer_fleet(&mut self) {
+        if matches!(self.opts.policy, Policy::OnDemandOnly { .. })
+            || self.opts.fleet_policy.is_reactive()
+        {
+            return;
+        }
+        let view = self.fleet_view();
+        let cmd = self.fleet.command(&view, self.now);
+        if cmd.is_noop() {
+            return;
+        }
+        for (i, &k) in cmd.cancel_spot.iter().enumerate() {
+            if k > 0 {
+                self.cloud.cancel_pending_spot_in(PoolId(i as u32), k);
+            }
+        }
+        for (i, &k) in cmd.spot.iter().enumerate() {
+            if k > 0 {
+                self.cloud.request_spot_in(self.now, PoolId(i as u32), k);
+            }
+        }
+        if cmd.ondemand > 0 {
+            self.cloud.request_on_demand(self.now, cmd.ondemand);
+        }
+        if cmd.release > 0 {
+            // Idle instances only, on-demand first (the Algorithm 1
+            // line 10 release priority the controller assumes).
+            self.release_surplus(cmd.release);
+        }
+    }
+
     /// Algorithm 1 lines 6-10: allocate on positive delta (on-demand and
     /// spot together when mixing), release on negative (on-demand first).
     fn manage_fleet(&mut self, delta: i64) {
         if matches!(self.opts.policy, Policy::OnDemandOnly { .. }) {
+            return;
+        }
+        if !self.opts.fleet_policy.is_reactive() {
+            // Controller policies steer toward `fleet_target` instead of
+            // chasing the raw delta.
+            self.steer_fleet();
             return;
         }
         let in_flight = self.initializing.len() as u32 + self.cloud.pending_spot();
@@ -939,6 +1097,10 @@ impl ServingSystem {
     /// Tops the fleet back to the initial target (Rerouting / spares).
     fn replenish_fleet(&mut self) {
         if matches!(self.opts.policy, Policy::OnDemandOnly { .. }) {
+            return;
+        }
+        if !self.opts.fleet_policy.is_reactive() {
+            self.steer_fleet();
             return;
         }
         let have =
@@ -1056,6 +1218,7 @@ impl ServingSystem {
         let alpha = self.rate_estimate();
         let n = self.usable().len() as u32;
         let decision = self.optimizer.decide_with_incumbent(n, alpha, self.current);
+        self.note_target(&decision);
         let target = self.pick_config(decision.now, n);
         self.manage_fleet(decision.instance_delta);
         if target == self.current && deadline.is_none() {
@@ -1178,6 +1341,7 @@ impl ServingSystem {
         let alpha = self.rate_estimate();
         let n = self.usable().len() as u32;
         let decision = self.optimizer.decide_with_incumbent(n, alpha, self.current);
+        self.note_target(&decision);
         let target = self.pick_config(decision.now, n);
 
         // Batch-size-only change: same mesh, nothing to migrate — adopt
@@ -1567,12 +1731,19 @@ impl ServingSystem {
         self.transition = None;
         self.events
             .schedule(resume_at, Ev::TransitionDone { epoch });
-        // Give back what the new configuration does not need.
-        self.rebalance_on_demand();
-        let used = self.assignment.instances().len() as u32;
-        let have = self.usable().len() as u32;
-        if have > used + self.opts.spare_instances {
-            self.release_surplus(have - used - self.opts.spare_instances);
+        // Give back what the new configuration does not need. Controller
+        // policies size the fleet themselves (the hedge deliberately holds
+        // more than `used + spares`, and the fallback's on-demand bridge
+        // must not be shed here).
+        if self.opts.fleet_policy.is_reactive() {
+            self.rebalance_on_demand();
+            let used = self.assignment.instances().len() as u32;
+            let have = self.usable().len() as u32;
+            if have > used + self.opts.spare_instances {
+                self.release_surplus(have - used - self.opts.spare_instances);
+            }
+        } else {
+            self.steer_fleet();
         }
     }
 

@@ -47,8 +47,12 @@
 //! admission hook then projects completions over the mixed batch — see
 //! [`IterationScheduler::slo_verdict`] — and admits, defers (stays
 //! queued), or rejects (hopeless even solo; drained via
-//! [`IterationScheduler::take_rejected`]). Deadline-free workloads take
-//! the legacy FIFO path untouched.
+//! [`IterationScheduler::take_rejected`]). When deadlines are present the
+//! waiting queue pops **earliest-deadline-first** (a stable
+//! [`workload::Request::edf_key`] sort at each boundary) instead of
+//! FIFO-with-skip, so the tightest deadline claims the next free slot.
+//! Deadline-free workloads take the legacy FIFO path untouched —
+//! byte-identical to the pre-EDF engine.
 
 use std::collections::VecDeque;
 
@@ -692,12 +696,18 @@ impl IterationScheduler {
     }
 
     /// Admits from `pending` at an iteration boundary, then (re)starts the
-    /// segment at `now` if anything runs and no segment is active. The scan
-    /// stops at the first request that does not [`fit`](Self::fits) (FIFO
-    /// head-blocking on capacity/memory, as before); SLO-deferred requests
-    /// are *skipped* in place (they stay queued, later arrivals may still
-    /// fit), and SLO-hopeless ones are dropped into the rejected drain.
-    /// Returns how many requests were admitted.
+    /// segment at `now` if anything runs and no segment is active.
+    ///
+    /// When any queued request carries a deadline, the queue is first
+    /// stably reordered **earliest-deadline-first** ([`Request::edf_key`]):
+    /// deadline carriers pop in deadline order ahead of the best-effort
+    /// tail, which keeps its FIFO order. Deadline-free queues are never
+    /// touched — byte-identical to the pre-EDF engine. The scan then stops
+    /// at the first request that does not [`fit`](Self::fits)
+    /// (head-blocking on capacity/memory, as before); SLO-deferred
+    /// requests are *skipped* in place (they stay queued, later arrivals
+    /// may still fit), and SLO-hopeless ones are dropped into the rejected
+    /// drain. Returns how many requests were admitted.
     ///
     /// # Panics
     ///
@@ -713,6 +723,11 @@ impl IterationScheduler {
             self.segment.is_none(),
             "admission is only legal at an iteration boundary"
         );
+        // EDF ordering engages only when a deadline is present; the sort
+        // is stable, so a deadline-free queue is bit-for-bit untouched.
+        if pending.iter().any(|r| r.deadline.is_some()) {
+            pending.make_contiguous().sort_by_key(Request::edf_key);
+        }
         let mut admitted = 0;
         let mut i = 0;
         // Resident pricing is invariant until an admission changes the
@@ -1446,6 +1461,58 @@ mod tests {
         for r in s.running() {
             assert!(s.slo_verdict(r.request(), SimTime::ZERO, &p) != AdmissionVerdict::Reject);
         }
+    }
+
+    #[test]
+    fn edf_pops_earliest_deadline_first() {
+        // Arrival order r0 (loose), r1 (tight): with one slot, EDF must
+        // seat the tight deadline first even though it queued second.
+        let p = perf();
+        let one_slot = ParallelConfig::new(1, 1, 4, 1);
+        let mut s = IterationScheduler::new(one_slot, kvbpt(), u64::MAX);
+        let loose = deadline_req(0, 512, 16, 3000);
+        let tight = deadline_req(1, 512, 16, 600);
+        let mut q: VecDeque<Request> = vec![loose, tight].into_iter().collect();
+        s.admit(&mut q, SimTime::ZERO, &p);
+        assert_eq!(s.running()[0].request().id, RequestId(1), "tight first");
+        assert_eq!(q.front().unwrap().id, RequestId(0), "loose stays queued");
+    }
+
+    #[test]
+    fn edf_orders_deadline_carriers_ahead_of_best_effort() {
+        let p = perf();
+        let one_slot = ParallelConfig::new(1, 1, 4, 1);
+        let mut s = IterationScheduler::new(one_slot, kvbpt(), u64::MAX);
+        let mut q: VecDeque<Request> = vec![
+            req(0, 512, 16),
+            req(1, 512, 16),
+            deadline_req(2, 512, 16, 900),
+        ]
+        .into_iter()
+        .collect();
+        s.admit(&mut q, SimTime::ZERO, &p);
+        assert_eq!(s.running()[0].request().id, RequestId(2));
+        // The best-effort tail keeps FIFO order (stable sort).
+        let ids: Vec<RequestId> = q.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![RequestId(0), RequestId(1)]);
+    }
+
+    #[test]
+    fn deadline_free_queue_keeps_fifo_order() {
+        // Without deadlines the EDF sort must never engage: admission pops
+        // the *front* (ids deliberately out of numeric order) and leaves
+        // the remainder bit-for-bit in place.
+        let p = perf();
+        let one_slot = ParallelConfig::new(1, 1, 4, 1);
+        let mut s = IterationScheduler::new(one_slot, kvbpt(), u64::MAX);
+        let q0: VecDeque<Request> = vec![req(2, 512, 8), req(0, 256, 8), req(1, 128, 8)]
+            .into_iter()
+            .collect();
+        let mut q = q0.clone();
+        s.admit(&mut q, SimTime::ZERO, &p);
+        assert_eq!(s.running()[0].request().id, RequestId(2), "front admitted");
+        let rest: Vec<Request> = q.iter().copied().collect();
+        assert_eq!(rest, vec![q0[1], q0[2]], "remainder order untouched");
     }
 
     #[test]

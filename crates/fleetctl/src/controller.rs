@@ -1,0 +1,505 @@
+//! The fleet controller: snapshot in, acquisition command out.
+
+use simkit::{SimDuration, SimTime};
+
+use crate::estimator::PreemptionEstimator;
+use crate::policy::FleetPolicy;
+use crate::spread;
+
+/// One pool's state as the controller sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolView {
+    /// Spot leases alive with no preemption notice pending.
+    pub live_spot: u32,
+    /// Spot leases inside their grace period (kill scheduled): they still
+    /// serve, but the controller treats them as already lost.
+    pub noticed_spot: u32,
+    /// Spot instances provisioning (grant scheduled, not fired).
+    pub provisioning_spot: u32,
+    /// Spot requests queued behind the pool's capacity.
+    pub queued_spot: u32,
+    /// The pool's current trace capacity.
+    pub capacity: u32,
+}
+
+impl PoolView {
+    /// Capacity already secured or en route: live (unnoticed) +
+    /// provisioning + queued.
+    pub fn committed(&self) -> u32 {
+        self.live_spot + self.provisioning_spot + self.queued_spot
+    }
+}
+
+/// A point-in-time snapshot of the whole fleet.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FleetView {
+    /// Per-pool state, in pool order.
+    pub pools: Vec<PoolView>,
+    /// On-demand leases alive (never preempted).
+    pub live_ondemand: u32,
+    /// On-demand requests whose grant has not fired yet.
+    pub pending_ondemand: u32,
+    /// The optimizer's target fleet size `N` (serving need, excluding
+    /// spares).
+    pub target: u32,
+    /// Warm spare instances kept beyond the target (§3.2 keeps two).
+    pub spares: u32,
+}
+
+impl FleetView {
+    fn committed_spot(&self) -> u32 {
+        self.pools.iter().map(PoolView::committed).sum()
+    }
+
+    fn live_spot(&self) -> u32 {
+        self.pools.iter().map(|p| p.live_spot).sum()
+    }
+
+    fn capacities(&self) -> Vec<u32> {
+        self.pools.iter().map(|p| p.capacity).collect()
+    }
+}
+
+/// What the controller wants done, expressed against the market's
+/// pool-addressed surface. All fields are deltas from the snapshot the
+/// command was computed on; executing them converges the fleet toward the
+/// policy's desired shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetCommand {
+    /// Additional spot instances to request, per pool.
+    pub spot: Vec<u32>,
+    /// Queued spot requests to cancel, per pool.
+    pub cancel_spot: Vec<u32>,
+    /// Additional on-demand instances to request.
+    pub ondemand: u32,
+    /// Surplus instances to release (idle first, on-demand before spot —
+    /// the Algorithm 1 line 10 release priority).
+    pub release: u32,
+}
+
+impl FleetCommand {
+    fn idle(n_pools: usize) -> Self {
+        FleetCommand {
+            spot: vec![0; n_pools],
+            cancel_spot: vec![0; n_pools],
+            ondemand: 0,
+            release: 0,
+        }
+    }
+
+    /// Whether the command changes nothing.
+    pub fn is_noop(&self) -> bool {
+        self.ondemand == 0
+            && self.release == 0
+            && self.spot.iter().all(|&n| n == 0)
+            && self.cancel_spot.iter().all(|&n| n == 0)
+    }
+}
+
+/// Policy-driven fleet controller (see the [crate docs](crate)).
+///
+/// # Example
+///
+/// ```
+/// use fleetctl::{FleetController, FleetPolicy, FleetView, PoolView};
+/// use simkit::{SimDuration, SimTime};
+///
+/// let ctl = FleetController::new(
+///     FleetPolicy::spot_hedge(),
+///     3,
+///     SimDuration::from_secs(40),
+/// );
+/// let view = FleetView {
+///     pools: vec![PoolView { capacity: 4, ..Default::default() }; 3],
+///     target: 4,
+///     spares: 0,
+///     ..Default::default()
+/// };
+/// let cmd = ctl.command(&view, SimTime::ZERO);
+/// // target 4 + hedge spread over three healthy pools
+/// assert_eq!(cmd.spot.iter().sum::<u32>() >= 4, true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetController {
+    policy: FleetPolicy,
+    estimator: PreemptionEstimator,
+    /// Exposure horizon the churn hedge covers: how long a replacement
+    /// takes to arrive (the spot grant delay).
+    grant_delay: SimDuration,
+}
+
+impl FleetController {
+    /// A controller for `n_pools` pools under `policy`. `grant_delay` is
+    /// the replacement latency the churn hedge must cover; the estimator
+    /// window defaults to ten grant delays (a few minutes of memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` is a [`FleetPolicy::SpotHedge`] with
+    /// `min_hedge > max_hedge` — failing fast at construction instead of
+    /// deep inside the simulation loop.
+    pub fn new(policy: FleetPolicy, n_pools: usize, grant_delay: SimDuration) -> Self {
+        if let FleetPolicy::SpotHedge {
+            min_hedge,
+            max_hedge,
+            ..
+        } = policy
+        {
+            assert!(
+                min_hedge <= max_hedge,
+                "SpotHedge bounds are inverted: min_hedge {min_hedge} > max_hedge {max_hedge}"
+            );
+        }
+        let window = SimDuration::from_micros((grant_delay.as_micros()).max(1) * 10);
+        FleetController {
+            policy,
+            estimator: PreemptionEstimator::new(n_pools, window),
+            grant_delay,
+        }
+    }
+
+    /// The policy this controller runs.
+    pub fn policy(&self) -> &FleetPolicy {
+        &self.policy
+    }
+
+    /// The preemption-rate estimator (read access for reporting).
+    pub fn estimator(&self) -> &PreemptionEstimator {
+        &self.estimator
+    }
+
+    /// Feeds one observed kill in `pool` into the rate estimator.
+    pub fn observe_kill(&mut self, pool: usize, now: SimTime) {
+        self.estimator.record_kill(pool, now);
+    }
+
+    /// The hedge size for `target` over pools with capacities `caps`:
+    /// large enough that losing the single biggest even-spread share still
+    /// leaves `target` live, inflated to the churn estimate (expected
+    /// kills over one grant delay), clamped to the policy's bounds. Zero
+    /// for non-hedge policies.
+    pub fn hedge(&self, target: u32, caps: &[u32], now: SimTime) -> u32 {
+        let FleetPolicy::SpotHedge {
+            min_hedge,
+            max_hedge,
+            ..
+        } = self.policy
+        else {
+            return 0;
+        };
+        let churn = self.estimator.expected_kills(now, self.grant_delay).ceil() as u32;
+        let zone_floor = Self::zone_safe_hedge(target, caps);
+        zone_floor.max(churn).clamp(min_hedge, max_hedge)
+    }
+
+    /// The smallest `h` such that spreading `target + h` evenly over
+    /// `caps` leaves at least `target` after removing the largest single
+    /// share — i.e. a full one-pool outage cannot take the fleet below
+    /// target. With fewer than two pools holding capacity no hedge can
+    /// achieve that, so the floor is 0 and the churn term governs.
+    fn zone_safe_hedge(target: u32, caps: &[u32]) -> u32 {
+        if caps.iter().filter(|&&c| c > 0).count() < 2 {
+            return 0;
+        }
+        for h in 0..=target {
+            let alloc = spread(target + h, caps);
+            let worst = alloc.iter().copied().max().unwrap_or(0);
+            if alloc.iter().sum::<u32>() == target + h && h >= worst {
+                return h;
+            }
+        }
+        target
+    }
+
+    /// Computes the acquisition command for `view` at `now`.
+    ///
+    /// [`FleetPolicy::ReactiveSpot`] reproduces the legacy top-up (all
+    /// spot, pool 0); the serving system keeps its own paper-exact path
+    /// for that policy and only consults the controller for the others.
+    pub fn command(&self, view: &FleetView, now: SimTime) -> FleetCommand {
+        let n = view.pools.len();
+        let mut cmd = FleetCommand::idle(n);
+        match self.policy {
+            FleetPolicy::ReactiveSpot => {
+                let have = view.committed_spot() + view.live_ondemand;
+                let want = (view.target + view.spares).saturating_sub(have);
+                if n > 0 {
+                    cmd.spot[0] = want;
+                }
+            }
+            FleetPolicy::OnDemandFallback => {
+                // Ride spot exactly like the reactive baseline...
+                let desired = view.target + view.spares;
+                let have = view.committed_spot();
+                if n > 0 {
+                    cmd.spot[0] = desired.saturating_sub(have);
+                }
+                // ...but keep *live* capacity at the target: whatever spot
+                // cannot cover right now, on-demand does. Provisioning spot
+                // is deliberately not counted — it may still be shed by a
+                // capacity drop, and the fallback's contract is live
+                // instances, not promises.
+                let live = view.live_spot() + view.live_ondemand + view.pending_ondemand;
+                cmd.ondemand = view.target.saturating_sub(live);
+                // Shed the full surplus when the target shrinks or spot
+                // recovers: queued requests are cancelled first, then live
+                // instances release (idle first, on-demand before spot —
+                // the executor's release priority).
+                let mut cancel = have.saturating_sub(desired);
+                for (i, pool) in view.pools.iter().enumerate() {
+                    let k = cancel.min(pool.queued_spot);
+                    cmd.cancel_spot[i] = k;
+                    cancel -= k;
+                }
+                cmd.release = (view.live_spot() + view.live_ondemand).saturating_sub(desired);
+            }
+            FleetPolicy::SpotHedge {
+                ondemand_backstop, ..
+            } => {
+                let caps = view.capacities();
+                let hedge = self.hedge(view.target, &caps, now);
+                let desired_total = view.target + view.spares + hedge;
+                let alloc = spread(desired_total, &caps);
+                for (i, (&want, pool)) in alloc.iter().zip(&view.pools).enumerate() {
+                    let have = pool.committed();
+                    cmd.spot[i] = want.saturating_sub(have);
+                    cmd.cancel_spot[i] = have.saturating_sub(want).min(pool.queued_spot);
+                }
+                if ondemand_backstop {
+                    // Even the hedged spread cannot reach the target: every
+                    // pool is short at once. Bridge the rest with on-demand.
+                    let spot_reachable: u32 = alloc.iter().sum();
+                    cmd.ondemand = view.target.saturating_sub(
+                        spot_reachable + view.live_ondemand + view.pending_ondemand,
+                    );
+                }
+                let live = view.live_spot() + view.live_ondemand;
+                cmd.release = live.saturating_sub(desired_total);
+            }
+        }
+        cmd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(live: u32, cap: u32) -> PoolView {
+        PoolView {
+            live_spot: live,
+            capacity: cap,
+            ..Default::default()
+        }
+    }
+
+    fn ctl(policy: FleetPolicy, n: usize) -> FleetController {
+        FleetController::new(policy, n, SimDuration::from_secs(40))
+    }
+
+    #[test]
+    fn reactive_tops_up_pool_zero_only() {
+        let c = ctl(FleetPolicy::ReactiveSpot, 3);
+        let view = FleetView {
+            pools: vec![pool(2, 8), pool(0, 8), pool(0, 8)],
+            target: 5,
+            spares: 2,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, SimTime::ZERO);
+        assert_eq!(cmd.spot, vec![5, 0, 0]);
+        assert_eq!(cmd.ondemand, 0);
+    }
+
+    #[test]
+    fn fallback_covers_live_shortfall_with_on_demand() {
+        let c = ctl(FleetPolicy::OnDemandFallback, 1);
+        // 2 live, 2 provisioning, target 6: on-demand bridges the *live*
+        // gap (4), spot keeps being requested for the rest.
+        let view = FleetView {
+            pools: vec![PoolView {
+                live_spot: 2,
+                provisioning_spot: 2,
+                capacity: 8,
+                ..Default::default()
+            }],
+            target: 6,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, SimTime::ZERO);
+        assert_eq!(cmd.ondemand, 4, "live gap bridged regardless of promises");
+        assert_eq!(cmd.spot, vec![2]);
+    }
+
+    #[test]
+    fn fallback_sheds_on_demand_when_spot_recovers() {
+        let c = ctl(FleetPolicy::OnDemandFallback, 1);
+        let view = FleetView {
+            pools: vec![pool(6, 8)],
+            live_ondemand: 3,
+            target: 6,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, SimTime::ZERO);
+        assert_eq!(cmd.ondemand, 0);
+        assert_eq!(cmd.release, 3, "all on-demand is surplus");
+    }
+
+    #[test]
+    fn fallback_sheds_surplus_spot_when_the_target_shrinks() {
+        // Target dropped from 8 to 4 with no on-demand held: the full spot
+        // surplus must go — queued requests cancelled first, live surplus
+        // released — or idle instances bill until run end.
+        let c = ctl(FleetPolicy::OnDemandFallback, 1);
+        let view = FleetView {
+            pools: vec![PoolView {
+                live_spot: 10,
+                queued_spot: 2,
+                capacity: 12,
+                ..Default::default()
+            }],
+            target: 4,
+            spares: 2,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, SimTime::ZERO);
+        assert_eq!(cmd.cancel_spot, vec![2], "queued surplus cancels first");
+        assert_eq!(cmd.release, 4, "live surplus beyond target+spares releases");
+        assert_eq!(cmd.ondemand, 0);
+        assert_eq!(cmd.spot, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds are inverted")]
+    fn inverted_hedge_bounds_fail_fast_at_construction() {
+        ctl(
+            FleetPolicy::SpotHedge {
+                min_hedge: 8,
+                max_hedge: 2,
+                ondemand_backstop: true,
+            },
+            2,
+        );
+    }
+
+    #[test]
+    fn fallback_does_not_double_request_while_od_pending() {
+        let c = ctl(FleetPolicy::OnDemandFallback, 1);
+        let view = FleetView {
+            pools: vec![pool(2, 8)],
+            pending_ondemand: 4,
+            target: 6,
+            spares: 0,
+            ..Default::default()
+        };
+        assert_eq!(c.command(&view, SimTime::ZERO).ondemand, 0);
+    }
+
+    #[test]
+    fn hedge_spreads_across_pools_and_survives_one_outage() {
+        let c = ctl(FleetPolicy::spot_hedge(), 3);
+        let view = FleetView {
+            pools: vec![pool(0, 8), pool(0, 8), pool(0, 8)],
+            target: 4,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, SimTime::ZERO);
+        let total: u32 = cmd.spot.iter().sum();
+        let worst = cmd.spot.iter().copied().max().unwrap();
+        assert!(total > 4, "target plus at least min_hedge");
+        assert!(
+            total - worst >= 4,
+            "losing the biggest share {worst} of {cmd:?} must keep target"
+        );
+    }
+
+    #[test]
+    fn hedge_routes_around_a_dead_pool() {
+        let c = ctl(FleetPolicy::spot_hedge(), 3);
+        let view = FleetView {
+            pools: vec![pool(0, 0), pool(1, 6), pool(1, 6)],
+            target: 4,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, SimTime::ZERO);
+        assert_eq!(cmd.spot[0], 0, "no requests into an outage");
+        assert!(
+            cmd.spot[1] + cmd.spot[2] >= 3,
+            "healthy pools absorb: {cmd:?}"
+        );
+    }
+
+    #[test]
+    fn hedge_backstops_with_on_demand_when_all_pools_are_short() {
+        let c = ctl(FleetPolicy::spot_hedge(), 2);
+        let view = FleetView {
+            pools: vec![pool(1, 1), pool(1, 1)],
+            target: 6,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, SimTime::ZERO);
+        assert_eq!(cmd.ondemand, 4, "2 reachable spot, 4 bridged: {cmd:?}");
+    }
+
+    #[test]
+    fn churn_inflates_the_hedge_up_to_the_cap() {
+        let mut c = ctl(FleetPolicy::spot_hedge(), 2);
+        let caps = [8, 8];
+        let calm = c.hedge(4, &caps, SimTime::ZERO);
+        for k in 0..60 {
+            c.observe_kill(k % 2, SimTime::from_secs(k as u64));
+        }
+        let churny = c.hedge(4, &caps, SimTime::from_secs(60));
+        assert!(churny > calm, "observed kills must grow the hedge");
+        assert!(churny <= 8, "max_hedge caps the inflation");
+    }
+
+    #[test]
+    fn zone_floor_is_zero_with_a_single_pool() {
+        let c = ctl(FleetPolicy::spot_hedge(), 1);
+        // One pool: no spread can survive losing it; only min_hedge/churn
+        // apply.
+        assert_eq!(c.hedge(4, &[8], SimTime::ZERO), 1);
+    }
+
+    #[test]
+    fn hedge_cancels_queued_surplus() {
+        let c = ctl(FleetPolicy::spot_hedge(), 2);
+        let view = FleetView {
+            pools: vec![
+                PoolView {
+                    live_spot: 1,
+                    queued_spot: 5,
+                    capacity: 2,
+                    ..Default::default()
+                },
+                pool(1, 8),
+            ],
+            target: 2,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, SimTime::ZERO);
+        assert!(
+            cmd.cancel_spot[0] > 0,
+            "queued surplus is cancelled: {cmd:?}"
+        );
+    }
+
+    #[test]
+    fn noop_command_on_a_satisfied_fleet() {
+        let c = ctl(FleetPolicy::OnDemandFallback, 1);
+        let view = FleetView {
+            pools: vec![pool(6, 8)],
+            target: 6,
+            spares: 0,
+            ..Default::default()
+        };
+        assert!(c.command(&view, SimTime::ZERO).is_noop());
+    }
+}

@@ -1,0 +1,79 @@
+//! Acquisition policies: how the fleet reacts to a spot market.
+
+/// How the fleet controller acquires and sheds capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FleetPolicy {
+    /// The paper baseline (§3.2): request spot from the single market
+    /// (pool 0), top back up after losses, never mix in on-demand unless
+    /// the serving system's own `+O` mixing flag says so. The serving
+    /// system keeps its legacy acquisition path bit-exact under this
+    /// policy.
+    #[default]
+    ReactiveSpot,
+    /// Ride spot, but keep *live* capacity at the optimizer's target `N`:
+    /// whenever live spot (plus already-held on-demand) falls below the
+    /// target, request on-demand instances to cover the gap, and release
+    /// them again once spot recovers (on-demand has release priority —
+    /// the paper's Algorithm 1 line 10 rule, applied continuously).
+    OnDemandFallback,
+    /// SkyServe-style hedge: spread `target + hedge` spot instances across
+    /// every pool (capacity-capped even spread), sizing `hedge` so that a
+    /// full single-pool outage still leaves `target` live instances, and
+    /// inflating it when the preemption-rate estimator observes churn.
+    SpotHedge {
+        /// Floor on the hedge (extra instances beyond target), applied
+        /// even when the estimator sees no churn and one pool could
+        /// absorb everything.
+        min_hedge: u32,
+        /// Ceiling on the hedge: over-provisioning is a cost knob, and
+        /// this caps what churn can inflate it to.
+        max_hedge: u32,
+        /// Also fall back to on-demand when even the hedged spread cannot
+        /// reach `target` (every pool short on capacity at once).
+        ondemand_backstop: bool,
+    },
+}
+
+impl FleetPolicy {
+    /// The default [`FleetPolicy::SpotHedge`] tuning: hedge between 1 and
+    /// 8 instances, on-demand backstop enabled.
+    pub fn spot_hedge() -> Self {
+        FleetPolicy::SpotHedge {
+            min_hedge: 1,
+            max_hedge: 8,
+            ondemand_backstop: true,
+        }
+    }
+
+    /// Whether the serving system should keep its legacy (paper-exact)
+    /// acquisition path instead of consulting the controller.
+    pub fn is_reactive(&self) -> bool {
+        matches!(self, FleetPolicy::ReactiveSpot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reactive_is_the_default() {
+        assert_eq!(FleetPolicy::default(), FleetPolicy::ReactiveSpot);
+        assert!(FleetPolicy::default().is_reactive());
+        assert!(!FleetPolicy::spot_hedge().is_reactive());
+    }
+
+    #[test]
+    fn hedge_defaults_are_bounded() {
+        let FleetPolicy::SpotHedge {
+            min_hedge,
+            max_hedge,
+            ondemand_backstop,
+        } = FleetPolicy::spot_hedge()
+        else {
+            panic!("spot_hedge() must build a SpotHedge");
+        };
+        assert!(min_hedge <= max_hedge);
+        assert!(ondemand_backstop);
+    }
+}

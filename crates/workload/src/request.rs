@@ -64,6 +64,15 @@ impl Request {
     pub fn total_tokens(&self) -> u32 {
         self.s_in + self.s_out
     }
+
+    /// The earliest-deadline-first ordering key: the deadline for
+    /// SLO-carrying requests, `SimTime::MAX` for best-effort ones — so an
+    /// EDF sort puts every deadline carrier (most urgent first) ahead of
+    /// the best-effort tail, and a *stable* sort leaves the best-effort
+    /// tail in FIFO order.
+    pub fn edf_key(&self) -> SimTime {
+        self.deadline.unwrap_or(SimTime::MAX)
+    }
 }
 
 /// Stamps every request with a deadline of `arrival + slo` (the uniform-SLO

@@ -6,6 +6,7 @@
 
 pub use cloudsim;
 pub use enginesim;
+pub use fleetctl;
 pub use kmatch;
 pub use llmsim;
 pub use migration;

@@ -8,51 +8,13 @@
 //! rendered via their IEEE-754 bit patterns so "close enough" can never
 //! pass.
 
-use std::fmt::Write as _;
-
 use cloudsim::AvailabilityTrace;
 use llmsim::ModelSpec;
 use simkit::SimTime;
-use spotserve::{EngineMode, RunReport, Scenario, ServingSystem, SystemOptions};
+use spotserve::{EngineMode, Scenario, ServingSystem, SystemOptions};
 
-/// Canonical byte-exact rendering of everything a run produced.
-fn canonical(report: &RunReport) -> String {
-    let mut out = String::new();
-    writeln!(out, "cost_usd_bits={:016x}", report.cost_usd.to_bits()).unwrap();
-    writeln!(out, "unfinished={}", report.unfinished).unwrap();
-    writeln!(out, "finished_at_us={}", report.finished_at.as_micros()).unwrap();
-    writeln!(out, "preemptions={}", report.preemptions).unwrap();
-    writeln!(out, "grants={}", report.grants).unwrap();
-    writeln!(out, "latency_name={}", report.latency.name()).unwrap();
-    for o in report.latency.outcomes() {
-        writeln!(
-            out,
-            "outcome id={} arrival_us={} s_in={} s_out={} finished_us={}",
-            o.request.id,
-            o.request.arrival.as_micros(),
-            o.request.s_in,
-            o.request.s_out,
-            o.finished.as_micros(),
-        )
-        .unwrap();
-    }
-    for c in &report.config_changes {
-        writeln!(
-            out,
-            "config at_us={} config={:?} pause_us={} migrated={} reloaded={}",
-            c.at.as_micros(),
-            c.config,
-            c.pause.as_micros(),
-            c.migrated_bytes,
-            c.reloaded_bytes,
-        )
-        .unwrap();
-    }
-    for (t, spot, od) in &report.fleet_timeline {
-        writeln!(out, "fleet t_us={} spot={spot} od={od}", t.as_micros()).unwrap();
-    }
-    out
-}
+mod common;
+use common::canonical;
 
 fn replay(opts: SystemOptions, seed: u64) -> String {
     let mut scenario = Scenario::paper_stable(
@@ -115,20 +77,9 @@ fn replay_chunked_slo(seed: u64) -> String {
     );
     let report =
         ServingSystem::new(SystemOptions::spotserve().with_prefill_chunk(96), scenario).run();
-    let mut out = canonical(&report);
-    for r in &report.slo_rejections {
-        writeln!(
-            out,
-            "slo_reject id={} arrival_us={} s_in={} s_out={} deadline_us={}",
-            r.id,
-            r.arrival.as_micros(),
-            r.s_in,
-            r.s_out,
-            r.deadline.map(|d| d.as_micros()).unwrap_or(0),
-        )
-        .unwrap();
-    }
-    out
+    // Rejections are part of the shared canonical form: a nondeterministic
+    // admission order would change which deadlines get dropped.
+    canonical(&report)
 }
 
 #[test]
@@ -168,6 +119,50 @@ fn chunked_prefill_with_slo_admission_replays_byte_identical() {
         a.contains("slo_reject"),
         "scenario must exercise SLO rejection:\n{}",
         a.lines().take(5).collect::<Vec<_>>().join("\n")
+    );
+}
+
+/// Replay of the multi-pool fleet-controller paths: three zones, one of
+/// which collapses mid-run, served under `SpotHedge` (pool-spread
+/// acquisition, churn estimator, per-pool billing). The canonical form
+/// includes the per-pool cost breakdown, so a nondeterministic merge
+/// order or billing accumulation would fail the gate.
+fn replay_multi_pool(seed: u64) -> String {
+    use cloudsim::{AvailabilityTrace as Tr, PoolSpec};
+    use spotserve::FleetPolicy;
+
+    let pools = vec![
+        PoolSpec::new(
+            "z0",
+            Tr::from_steps(vec![(SimTime::ZERO, 6), (SimTime::from_secs(240), 0)]),
+        ),
+        PoolSpec::new("z1", Tr::constant(4)),
+        PoolSpec::new("z2", Tr::constant(4)).with_spot_price(1.4),
+    ];
+    let mut scenario = Scenario::paper_stable(
+        ModelSpec::opt_6_7b(),
+        Tr::constant(0), // unused once pools are set
+        1.0,
+        seed,
+    )
+    .with_pools(pools);
+    scenario
+        .requests
+        .retain(|r| r.arrival < SimTime::from_secs(420));
+    let opts = SystemOptions::spotserve().with_fleet_policy(FleetPolicy::spot_hedge());
+    let report = ServingSystem::new(opts, scenario).run();
+    canonical(&report)
+}
+
+#[test]
+fn multi_pool_hedge_replays_byte_identical() {
+    let a = replay_multi_pool(29);
+    let b = replay_multi_pool(29);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "multi-pool hedged replays must be byte-identical");
+    assert!(
+        a.contains("name=z2"),
+        "the canonical form must carry the per-pool breakdown"
     );
 }
 
