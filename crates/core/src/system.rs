@@ -16,7 +16,7 @@
 //! * **Rerouting** — fixed `(P, M, B)`; preempted pipelines drop, their
 //!   requests reroute and recompute; new pipelines cold-start.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 
 use cloudsim::{
     AvailabilityTrace, CloudConfig, CloudEvent, CloudMarket, ColdStorage, InstanceId, InstanceKind,
@@ -24,7 +24,7 @@ use cloudsim::{
 };
 use enginesim::{
     preemption_stop_time, recovery_worthwhile, BatchRun, ContextDaemon, IterationScheduler,
-    RequestRun,
+    PendingQueue, RequestRun,
 };
 use llmsim::ModelSpec;
 use migration::{
@@ -208,7 +208,9 @@ pub struct ServingSystem {
     context_shape: Option<ParallelConfig>,
     assignment: DeviceAssignment,
     pipelines: Vec<PipelineSlot>,
-    pending: VecDeque<Request>,
+    /// Waiting requests, with the EDF dirty flag the continuous engine's
+    /// admission consults (pushes dirty it, boundary sorts clear it).
+    pending: PendingQueue,
     transition: Option<Transition>,
     next_pipeline_id: u64,
     /// Rate-triggered reconfigurations are suppressed until this instant
@@ -298,7 +300,7 @@ impl ServingSystem {
             context_shape: None,
             assignment: DeviceAssignment::new(),
             pipelines: Vec::new(),
-            pending: VecDeque::new(),
+            pending: PendingQueue::new(),
             transition: None,
             next_pipeline_id: 0,
             settle_until: SimTime::ZERO,
@@ -651,7 +653,7 @@ impl ServingSystem {
             }
             let id = slot.id;
             let take = (cfg.batch as usize).min(self.pending.len());
-            let reqs: Vec<Request> = self.pending.drain(..take).collect();
+            let reqs: Vec<Request> = self.pending.drain_front(take).collect();
             let run = BatchRun::start(reqs, &cfg, self.now, self.optimizer.perf());
             let finish = run.finish_time();
             let key = self.events.schedule(finish, Ev::BatchDone { pipeline: id });
@@ -721,7 +723,7 @@ impl ServingSystem {
         // scan: that is capacity head-blocking, unchanged from before.
         let perf = self.optimizer.perf();
         let mut target: Option<(usize, Request)> = None;
-        for r in &self.pending {
+        for r in self.pending.iter() {
             let mut fits_somewhere = false;
             let mut best: Option<(SimTime, usize)> = None;
             for (pi, slot) in self.pipelines.iter().enumerate() {

@@ -48,9 +48,11 @@
 pub mod arranger;
 pub mod batch;
 pub mod daemon;
+pub mod queue;
 pub mod scheduler;
 
 pub use arranger::{acquisition_defer_until, preemption_stop_time, recovery_worthwhile};
 pub use batch::BatchRun;
 pub use daemon::ContextDaemon;
+pub use queue::{AdmissionQueue, PendingQueue};
 pub use scheduler::{AdmissionVerdict, IterationScheduler, RequestRun};

@@ -1,0 +1,188 @@
+//! The pending-request queue the scheduler admits from, with an EDF dirty
+//! flag.
+//!
+//! [`IterationScheduler::admit`](crate::IterationScheduler::admit) keeps
+//! deadline-carrying queues in earliest-deadline-first order by stably
+//! re-sorting at each iteration boundary. Between boundaries, though, the
+//! queue usually has not changed: admission only *removes* requests, and
+//! removals preserve sorted order. The [`AdmissionQueue`] trait lets the
+//! queue's owner tell the scheduler exactly that — [`PendingQueue`] sets a
+//! dirty flag on every push (arrivals, requeues after a migration) and the
+//! scheduler skips the re-sort when the flag is clear. A bare
+//! [`VecDeque`] still works everywhere a queue is expected and always
+//! reports dirty, which is precisely the pre-flag behavior (sort whenever
+//! a deadline is present), so existing callers are untouched.
+
+use std::collections::VecDeque;
+
+use workload::Request;
+
+/// A queue [`crate::IterationScheduler::admit`] can draw from.
+///
+/// The contract: the scheduler only ever *removes* requests from the
+/// deque (which preserves EDF order), and calls
+/// [`AdmissionQueue::note_edf_sorted`] after re-establishing EDF order.
+/// Everyone else must report order-disturbing mutations (pushes) through
+/// [`AdmissionQueue::edf_may_be_dirty`].
+pub trait AdmissionQueue {
+    /// The underlying FIFO.
+    ///
+    /// Callers other than the scheduler must not insert through this
+    /// accessor: a push that bypasses the flag-setting methods leaves the
+    /// dirty flag clear on an unsorted queue. Admission's debug builds
+    /// assert a clean queue really is in EDF order, so such a bypass
+    /// fails fast in tests instead of silently admitting out of deadline
+    /// order.
+    fn deque(&mut self) -> &mut VecDeque<Request>;
+
+    /// Whether the queue may have fallen out of EDF order since admission
+    /// last sorted it. The default (`true`) forces a sort check at every
+    /// boundary — the conservative, pre-flag behavior.
+    fn edf_may_be_dirty(&self) -> bool {
+        true
+    }
+
+    /// Admission re-established EDF order (or verified the queue carries
+    /// no deadline and needs none).
+    fn note_edf_sorted(&mut self) {}
+}
+
+/// A bare deque is always treated as possibly-dirty: admission sorts it
+/// whenever any queued request carries a deadline, exactly as before the
+/// dirty flag existed.
+impl AdmissionQueue for VecDeque<Request> {
+    fn deque(&mut self) -> &mut VecDeque<Request> {
+        self
+    }
+}
+
+/// A pending-request queue that tracks whether its EDF order may be stale.
+///
+/// Every push sets the dirty flag; the scheduler's admission clears it
+/// after sorting (or after verifying no deadline carrier is queued). A
+/// queue that only shrank since the last boundary skips the re-sort
+/// entirely.
+///
+/// # Example
+///
+/// ```
+/// use enginesim::{AdmissionQueue, PendingQueue};
+/// use simkit::SimTime;
+/// use workload::{Request, RequestId};
+///
+/// let mut q = PendingQueue::new();
+/// assert!(!q.edf_may_be_dirty(), "an empty queue is trivially sorted");
+/// q.push_back(Request::new(RequestId(0), SimTime::ZERO, 512, 128));
+/// assert!(q.edf_may_be_dirty());
+/// q.note_edf_sorted();
+/// assert!(!q.edf_may_be_dirty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PendingQueue {
+    q: VecDeque<Request>,
+    edf_dirty: bool,
+}
+
+impl PendingQueue {
+    /// An empty queue (clean: nothing to sort).
+    pub fn new() -> Self {
+        PendingQueue::default()
+    }
+
+    /// Appends an arrival at the back.
+    pub fn push_back(&mut self, r: Request) {
+        self.q.push_back(r);
+        self.edf_dirty = true;
+    }
+
+    /// Requeues a request at the front (the recomputation path after a
+    /// preemption or shrink).
+    pub fn push_front(&mut self, r: Request) {
+        self.q.push_front(r);
+        self.edf_dirty = true;
+    }
+
+    /// Queued requests.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Iterates the queue front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &Request> {
+        self.q.iter()
+    }
+
+    /// The request at the front.
+    pub fn front(&self) -> Option<&Request> {
+        self.q.front()
+    }
+
+    /// Removes and returns the first `n` requests (front removal keeps
+    /// EDF order, so the flag is untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`PendingQueue::len`].
+    pub fn drain_front(&mut self, n: usize) -> impl Iterator<Item = Request> + '_ {
+        self.q.drain(..n)
+    }
+}
+
+impl AdmissionQueue for PendingQueue {
+    fn deque(&mut self) -> &mut VecDeque<Request> {
+        &mut self.q
+    }
+
+    fn edf_may_be_dirty(&self) -> bool {
+        self.edf_dirty
+    }
+
+    fn note_edf_sorted(&mut self) {
+        self.edf_dirty = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+    use workload::RequestId;
+
+    fn req(id: u64) -> Request {
+        Request::new(RequestId(id), SimTime::ZERO, 512, 128)
+    }
+
+    #[test]
+    fn pushes_dirty_the_flag_and_sorting_clears_it() {
+        let mut q = PendingQueue::new();
+        q.push_back(req(0));
+        assert!(q.edf_may_be_dirty());
+        q.note_edf_sorted();
+        assert!(!q.edf_may_be_dirty());
+        q.push_front(req(1));
+        assert!(q.edf_may_be_dirty());
+    }
+
+    #[test]
+    fn removals_keep_the_flag_clean() {
+        let mut q = PendingQueue::new();
+        q.push_back(req(0));
+        q.push_back(req(1));
+        q.note_edf_sorted();
+        let drained: Vec<Request> = q.drain_front(1).collect();
+        assert_eq!(drained, vec![req(0)]);
+        assert!(!q.edf_may_be_dirty(), "front removal preserves order");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn bare_vecdeque_is_always_dirty() {
+        let q: VecDeque<Request> = VecDeque::new();
+        assert!(q.edf_may_be_dirty(), "pre-flag behavior: always re-sort");
+    }
+}

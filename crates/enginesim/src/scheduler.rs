@@ -54,13 +54,15 @@
 //! Deadline-free workloads take the legacy FIFO path untouched —
 //! byte-identical to the pre-EDF engine.
 
-use std::collections::VecDeque;
+use std::cell::RefCell;
 
 use parallelism::{ParallelConfig, PerfModel};
 use simkit::{SimDuration, SimTime};
 use workload::{Request, RequestId};
 
 use llmsim::SeqWork;
+
+use crate::queue::AdmissionQueue;
 
 /// Per-request execution record: one request's progress through the engine.
 ///
@@ -212,10 +214,18 @@ impl RequestRun {
     }
 }
 
-/// Resident pricing data invariant across one admission scan: every
-/// resident's worst-pass work, plus `(deadline, remaining boundaries)` for
-/// the deadline carriers.
-type ResidentSloData = (Vec<SeqWork>, Vec<(SimTime, u64)>);
+/// A reusable [`SeqWork`] pricing buffer. Scratch space, not scheduler
+/// state: equality-transparent so two schedulers with identical in-flight
+/// work compare equal whatever their buffers last priced, and interior
+/// mutability so `&self` verdict queries can reuse it too.
+#[derive(Debug, Clone, Default)]
+struct SeqScratch(RefCell<Vec<SeqWork>>);
+
+impl PartialEq for SeqScratch {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
 
 /// One span of iterations over a fixed running set.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -297,6 +307,18 @@ pub struct IterationScheduler {
     /// Deadline-hopeless requests dropped at admission (SLO-aware
     /// admission); drained by [`IterationScheduler::take_rejected`].
     rejected: Vec<Request>,
+    /// Per-resident worst-pass work, aligned with `running` — the
+    /// admission projection's pricing input, maintained incrementally on
+    /// admit/retire/progress instead of being rebuilt per verdict.
+    slo_worst: Vec<SeqWork>,
+    /// Per-resident `(deadline, remaining boundaries)`, aligned with
+    /// `running` (`None` for best-effort residents) — maintained alongside
+    /// `slo_worst`.
+    slo_deadlines: Vec<Option<(SimTime, u64)>>,
+    /// Reused mixed-pass buffer for admission verdicts.
+    verdict_scratch: SeqScratch,
+    /// Reused mixed-pass buffer for segment pricing.
+    segment_scratch: SeqScratch,
 }
 
 /// What SLO-aware admission decided for one candidate request at one
@@ -330,6 +352,10 @@ impl IterationScheduler {
             running: Vec::new(),
             segment: None,
             rejected: Vec::new(),
+            slo_worst: Vec::new(),
+            slo_deadlines: Vec::new(),
+            verdict_scratch: SeqScratch::default(),
+            segment_scratch: SeqScratch::default(),
         }
     }
 
@@ -406,6 +432,7 @@ impl IterationScheduler {
             assert!(!r.is_done(), "{} is already finished", r.request.id);
         }
         self.running = records;
+        self.rebuild_slo_entries();
         if !self.running.is_empty() {
             self.start_segment(now, perf);
         }
@@ -471,6 +498,7 @@ impl IterationScheduler {
                 dropped.push(r.request);
             }
         }
+        self.rebuild_slo_entries();
         if !self.running.is_empty() {
             self.start_segment(now, perf);
         }
@@ -575,37 +603,58 @@ impl IterationScheduler {
         }
     }
 
-    /// The per-boundary pricing data that is invariant across one
-    /// admission scan: every resident's worst-pass work and, for the
-    /// deadline carriers, their remaining boundary count. Hoisted out of
-    /// [`IterationScheduler::slo_verdict`] so a deep deferred queue prices
-    /// residents once per boundary, not once per candidate.
-    fn resident_slo_data(&self) -> ResidentSloData {
-        let worst: Vec<SeqWork> = self
-            .running
-            .iter()
-            .map(|q| {
-                Self::worst_pass_work(
-                    q.request.s_in,
-                    q.request.s_out,
-                    q.needs_prefill(),
-                    self.chunk,
-                )
-            })
-            .collect();
-        let deadlines: Vec<(SimTime, u64)> = self
-            .running
-            .iter()
-            .filter_map(|q| {
-                let d = q.request.deadline?;
-                Some((
-                    d,
-                    Self::remaining_iters(q, self.chunk.min(q.request.s_in).max(1)),
-                ))
-            })
-            .collect();
-        (worst, deadlines)
+    /// One resident's admission-pricing entry: its worst-pass work and,
+    /// when it carries a deadline, its remaining boundary count.
+    fn slo_entry(r: &RequestRun, chunk: u32) -> (SeqWork, Option<(SimTime, u64)>) {
+        let worst =
+            Self::worst_pass_work(r.request.s_in, r.request.s_out, r.needs_prefill(), chunk);
+        let deadline = r.request.deadline.map(|d| {
+            (
+                d,
+                Self::remaining_iters(r, chunk.min(r.request.s_in).max(1)),
+            )
+        });
+        (worst, deadline)
     }
+
+    /// Appends the pricing entry for a record just pushed onto `running`
+    /// (the admit-side half of the incremental maintenance).
+    fn push_slo_entry(&mut self, r: &RequestRun) {
+        let (worst, deadline) = Self::slo_entry(r, self.chunk);
+        self.slo_worst.push(worst);
+        self.slo_deadlines.push(deadline);
+    }
+
+    /// Recomputes every resident's pricing entry in place (no allocation:
+    /// the buffers keep their capacity). Called where progress commits or
+    /// membership is rebuilt wholesale — retirement, restore — the
+    /// admit-side stays a push.
+    fn rebuild_slo_entries(&mut self) {
+        self.slo_worst.clear();
+        self.slo_deadlines.clear();
+        let chunk = self.chunk;
+        for r in &self.running {
+            let (worst, deadline) = Self::slo_entry(r, chunk);
+            self.slo_worst.push(worst);
+            self.slo_deadlines.push(deadline);
+        }
+    }
+
+    /// Debug-build guard: the incrementally maintained entries must equal
+    /// a fresh computation from the running set.
+    #[cfg(debug_assertions)]
+    fn debug_check_slo_entries(&self) {
+        assert_eq!(self.slo_worst.len(), self.running.len(), "stale SLO data");
+        assert_eq!(self.slo_deadlines.len(), self.running.len());
+        for (i, r) in self.running.iter().enumerate() {
+            let (worst, deadline) = Self::slo_entry(r, self.chunk);
+            assert_eq!(self.slo_worst[i], worst, "stale worst-pass entry");
+            assert_eq!(self.slo_deadlines[i], deadline, "stale deadline entry");
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_check_slo_entries(&self) {}
 
     /// SLO-aware admission (the scheduler's admission hook): projects the
     /// completion of the candidate and of every already-admitted
@@ -635,35 +684,33 @@ impl IterationScheduler {
         if r.deadline.is_none() && !self.residents_carry_deadlines() {
             return AdmissionVerdict::Admit;
         }
-        let (worst, deadlines) = self.resident_slo_data();
-        self.slo_verdict_with(r, now, perf, &worst, &deadlines)
+        self.debug_check_slo_entries();
+        self.slo_verdict_inner(r, now, perf)
     }
 
     /// Whether any in-flight request carries a deadline (i.e. admission
     /// must run the SLO projection even for best-effort candidates).
     fn residents_carry_deadlines(&self) -> bool {
-        self.running.iter().any(|q| q.request.deadline.is_some())
+        self.slo_deadlines.iter().any(Option::is_some)
     }
 
-    /// [`IterationScheduler::slo_verdict`] against precomputed
-    /// [`IterationScheduler::resident_slo_data`].
-    fn slo_verdict_with(
-        &self,
-        r: &Request,
-        now: SimTime,
-        perf: &PerfModel,
-        resident_worst: &[SeqWork],
-        resident_deadlines: &[(SimTime, u64)],
-    ) -> AdmissionVerdict {
-        if r.deadline.is_none() && resident_deadlines.is_empty() {
+    /// [`IterationScheduler::slo_verdict`] against the incrementally
+    /// maintained per-resident entries, pricing through the reused
+    /// scratch buffer — no allocation per verdict.
+    fn slo_verdict_inner(&self, r: &Request, now: SimTime, perf: &PerfModel) -> AdmissionVerdict {
+        if r.deadline.is_none() && !self.residents_carry_deadlines() {
             return AdmissionVerdict::Admit;
         }
         // Same contract as admission itself: the projection arithmetic
         // below assumes at least one output token.
         assert!(r.s_out > 0, "generation must produce tokens");
-        let mut worst_seqs = resident_worst.to_vec();
-        worst_seqs.push(Self::worst_pass_work(r.s_in, r.s_out, true, self.chunk));
-        let t_worst = perf.mixed_iteration_time(&self.cfg, &worst_seqs);
+        let t_worst = {
+            let mut worst_seqs = self.verdict_scratch.0.borrow_mut();
+            worst_seqs.clear();
+            worst_seqs.extend_from_slice(&self.slo_worst);
+            worst_seqs.push(Self::worst_pass_work(r.s_in, r.s_out, true, self.chunk));
+            perf.mixed_iteration_time(&self.cfg, &worst_seqs)
+        };
         let chunk = self.chunk.min(r.s_in).max(1);
         if let Some(deadline) = r.deadline {
             let rem = Self::remaining_iters(&RequestRun::fresh(*r), chunk);
@@ -687,7 +734,7 @@ impl IterationScheduler {
                 };
             }
         }
-        for &(deadline, rem) in resident_deadlines {
+        for &(deadline, rem) in self.slo_deadlines.iter().flatten() {
             if now + t_worst * rem > deadline {
                 return AdmissionVerdict::Defer;
             }
@@ -702,20 +749,25 @@ impl IterationScheduler {
     /// stably reordered **earliest-deadline-first** ([`Request::edf_key`]):
     /// deadline carriers pop in deadline order ahead of the best-effort
     /// tail, which keeps its FIFO order. Deadline-free queues are never
-    /// touched — byte-identical to the pre-EDF engine. The scan then stops
-    /// at the first request that does not [`fit`](Self::fits)
-    /// (head-blocking on capacity/memory, as before); SLO-deferred
-    /// requests are *skipped* in place (they stay queued, later arrivals
-    /// may still fit), and SLO-hopeless ones are dropped into the rejected
-    /// drain. Returns how many requests were admitted.
+    /// touched — byte-identical to the pre-EDF engine — and a queue that
+    /// reports itself unchanged since the last boundary
+    /// ([`AdmissionQueue::edf_may_be_dirty`], e.g. a
+    /// [`crate::PendingQueue`] that only shrank) skips the re-sort
+    /// entirely: admission removals preserve sorted order, so the stable
+    /// sort would be the identity. The scan then stops at the first
+    /// request that does not [`fit`](Self::fits) (head-blocking on
+    /// capacity/memory, as before); SLO-deferred requests are *skipped* in
+    /// place (they stay queued, later arrivals may still fit), and
+    /// SLO-hopeless ones are dropped into the rejected drain. Returns how
+    /// many requests were admitted.
     ///
     /// # Panics
     ///
     /// Panics if called mid-segment, or if an admitted request has
     /// `s_out == 0`.
-    pub fn admit(
+    pub fn admit<Q: AdmissionQueue + ?Sized>(
         &mut self,
-        pending: &mut VecDeque<Request>,
+        pending: &mut Q,
         now: SimTime,
         perf: &PerfModel,
     ) -> usize {
@@ -725,16 +777,36 @@ impl IterationScheduler {
         );
         // EDF ordering engages only when a deadline is present; the sort
         // is stable, so a deadline-free queue is bit-for-bit untouched.
-        if pending.iter().any(|r| r.deadline.is_some()) {
-            pending.make_contiguous().sort_by_key(Request::edf_key);
+        if pending.edf_may_be_dirty() {
+            let q = pending.deque();
+            if q.iter().any(|r| r.deadline.is_some()) {
+                q.make_contiguous().sort_by_key(Request::edf_key);
+            }
+            pending.note_edf_sorted();
+        } else {
+            // A clean queue must actually be in EDF order when it carries
+            // deadlines — catches callers that mutated the deque behind
+            // the dirty flag (e.g. through `AdmissionQueue::deque`
+            // instead of the flag-setting push methods).
+            debug_assert!(
+                {
+                    let q = pending.deque();
+                    !q.iter().any(|r| r.deadline.is_some())
+                        || q.iter().map(Request::edf_key).is_sorted()
+                },
+                "queue reported clean but is not in EDF order"
+            );
         }
+        let pending = pending.deque();
         let mut admitted = 0;
         let mut i = 0;
-        // Resident pricing is invariant until an admission changes the
-        // membership; compute it lazily, once per membership — and not at
-        // all while neither candidate nor residents carry a deadline
-        // (admitting a best-effort request cannot create a deadline).
-        let mut resident: Option<ResidentSloData> = None;
+        // Resident pricing entries are maintained incrementally (pushed on
+        // admit, refreshed on retire/progress), so verdicts read them
+        // directly — no per-scan rebuild, no per-candidate allocation. The
+        // SLO path is skipped entirely while neither candidate nor
+        // residents carry a deadline (admitting a best-effort request
+        // cannot create a deadline).
+        self.debug_check_slo_entries();
         let mut guarded = self.residents_carry_deadlines();
         while i < pending.len() {
             if !self.fits(&pending[i]) {
@@ -743,17 +815,17 @@ impl IterationScheduler {
             let verdict = if !guarded && pending[i].deadline.is_none() {
                 AdmissionVerdict::Admit
             } else {
-                let (worst, deadlines) = resident.get_or_insert_with(|| self.resident_slo_data());
-                self.slo_verdict_with(&pending[i], now, perf, worst, deadlines)
+                self.slo_verdict_inner(&pending[i], now, perf)
             };
             match verdict {
                 AdmissionVerdict::Admit => {
                     let req = pending.remove(i).expect("indexed");
                     assert!(req.s_out > 0, "generation must produce tokens");
                     guarded |= req.deadline.is_some();
-                    self.running.push(RequestRun::fresh(req));
+                    let run = RequestRun::fresh(req);
+                    self.running.push(run);
+                    self.push_slo_entry(&run);
                     admitted += 1;
-                    resident = None;
                 }
                 AdmissionVerdict::Defer => i += 1,
                 AdmissionVerdict::Reject => {
@@ -793,10 +865,10 @@ impl IterationScheduler {
     /// segment's iterations, retires finished requests, admits waiting
     /// ones, and starts the next segment. Returns the retired requests in
     /// admission order.
-    pub fn advance(
+    pub fn advance<Q: AdmissionQueue + ?Sized>(
         &mut self,
         now: SimTime,
-        pending: &mut VecDeque<Request>,
+        pending: &mut Q,
         perf: &PerfModel,
     ) -> Vec<Request> {
         let Some(seg) = self.segment.take() else {
@@ -819,6 +891,9 @@ impl IterationScheduler {
                 true
             }
         });
+        // Progress moved and membership may have shrunk: refresh the
+        // admission-pricing entries in place before `admit` reads them.
+        self.rebuild_slo_entries();
         // `admit` restarts the segment whenever anything is still running.
         self.admit(pending, now, perf);
         retired
@@ -859,6 +934,8 @@ impl IterationScheduler {
                 (r.prefilled, r.committed) = r.advanced(done, chunk);
             }
         }
+        self.slo_worst.clear();
+        self.slo_deadlines.clear();
         std::mem::take(&mut self.running)
     }
 
@@ -924,24 +1001,24 @@ impl IterationScheduler {
     /// never engages at all.
     fn start_segment(&mut self, now: SimTime, perf: &PerfModel) {
         debug_assert!(!self.running.is_empty());
+        // Segment pricing runs at every boundary: reuse one scratch buffer
+        // across segments instead of allocating fresh `Vec<SeqWork>`s.
+        let mut seqs = self.segment_scratch.0.borrow_mut();
         if self.chunk != u32::MAX
             && self
                 .running
                 .iter()
                 .any(|r| r.request.s_in - r.prefilled > self.chunk)
         {
-            let seqs: Vec<SeqWork> = self
-                .running
-                .iter()
-                .map(|r| {
-                    if r.needs_prefill() {
-                        let left = r.request.s_in - r.prefilled;
-                        SeqWork::prefill_chunk(r.prefilled, left.min(self.chunk))
-                    } else {
-                        SeqWork::decode(r.request.s_in + r.committed)
-                    }
-                })
-                .collect();
+            seqs.clear();
+            seqs.extend(self.running.iter().map(|r| {
+                if r.needs_prefill() {
+                    let left = r.request.s_in - r.prefilled;
+                    SeqWork::prefill_chunk(r.prefilled, left.min(self.chunk))
+                } else {
+                    SeqWork::decode(r.request.s_in + r.committed)
+                }
+            }));
             let pass = perf.mixed_iteration_time(&self.cfg, &seqs);
             self.segment = Some(Segment {
                 start: now,
@@ -961,31 +1038,25 @@ impl IterationScheduler {
         let mid_ctx = |r: &RequestRun| {
             (r.request.s_in + r.committed + k / 2).min(r.request.s_in + r.request.s_out)
         };
-        let decode_seqs: Vec<SeqWork> = self
-            .running
-            .iter()
-            .map(|r| SeqWork::decode(mid_ctx(r)))
-            .collect();
-        let iter_time = perf.mixed_iteration_time(&self.cfg, &decode_seqs);
+        seqs.clear();
+        seqs.extend(self.running.iter().map(|r| SeqWork::decode(mid_ctx(r))));
+        let iter_time = perf.mixed_iteration_time(&self.cfg, &seqs);
         let first_iter = if self.running.iter().any(RequestRun::needs_prefill) {
-            let first_seqs: Vec<SeqWork> = self
-                .running
-                .iter()
-                .map(|r| {
-                    if r.needs_prefill() {
-                        // The whole remaining prompt in one pass (a record
-                        // checkpointed mid-chunk resumes only the tokens it
-                        // still lacks).
-                        SeqWork {
-                            new_tokens: r.request.s_in - r.prefilled,
-                            ctx: r.request.s_in,
-                        }
-                    } else {
-                        SeqWork::decode(mid_ctx(r))
+            seqs.clear();
+            seqs.extend(self.running.iter().map(|r| {
+                if r.needs_prefill() {
+                    // The whole remaining prompt in one pass (a record
+                    // checkpointed mid-chunk resumes only the tokens it
+                    // still lacks).
+                    SeqWork {
+                        new_tokens: r.request.s_in - r.prefilled,
+                        ctx: r.request.s_in,
                     }
-                })
-                .collect();
-            perf.mixed_iteration_time(&self.cfg, &first_seqs)
+                } else {
+                    SeqWork::decode(mid_ctx(r))
+                }
+            }));
+            perf.mixed_iteration_time(&self.cfg, &seqs)
         } else {
             iter_time
         };
@@ -1000,6 +1071,8 @@ impl IterationScheduler {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::VecDeque;
+
     use super::*;
     use crate::batch::BatchRun;
     use llmsim::ModelSpec;

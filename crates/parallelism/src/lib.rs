@@ -25,12 +25,14 @@
 
 pub mod config;
 pub mod enumerate;
+pub mod frontier;
 pub mod mesh;
 pub mod partition;
 pub mod perf;
 
 pub use config::ParallelConfig;
 pub use enumerate::{enumerate_configs, ConfigSpace};
+pub use frontier::{Candidate, CandidateFrontier, PricingMode};
 pub use mesh::MeshPosition;
 pub use partition::{shard_overlap, stage_layers, PositionContext};
 pub use perf::PerfModel;

@@ -129,15 +129,31 @@ impl PerfModel {
     ///
     /// Panics if `alpha` is negative or not finite.
     pub fn request_latency(&self, c: &ParallelConfig, alpha: f64) -> SimDuration {
+        self.request_latency_with_exec(c, self.exec_latency(c), alpha)
+    }
+
+    /// The fixed-batch `l_req` formula over a precomputed `l_exe` — the
+    /// kernel behind [`PerfModel::request_latency`], exposed so callers
+    /// holding a cached `exec_latency` (the candidate frontier) price
+    /// bit-identically to the fresh path by running the *same* code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative or not finite.
+    pub fn request_latency_with_exec(
+        &self,
+        c: &ParallelConfig,
+        l_exe: SimDuration,
+        alpha: f64,
+    ) -> SimDuration {
         assert!(
             alpha >= 0.0 && alpha.is_finite(),
             "bad arrival rate {alpha}"
         );
-        let l_exe = self.exec_latency(c);
         if alpha == 0.0 {
             return l_exe;
         }
-        let phi = self.throughput(c);
+        let phi = (c.data * c.batch) as f64 / l_exe.as_secs_f64();
         let rho = alpha / phi;
         if rho >= 1.0 {
             return SimDuration::MAX;
@@ -163,7 +179,7 @@ impl PerfModel {
 
     /// One steady decode iteration at occupancy `b` (each resident at its
     /// mid-lifetime attention context).
-    fn steady_iteration(&self, c: &ParallelConfig, b: u32) -> SimDuration {
+    pub fn steady_iteration(&self, c: &ParallelConfig, b: u32) -> SimDuration {
         self.cost.decode_time(
             &self.model,
             c.pipeline,
@@ -184,7 +200,7 @@ impl PerfModel {
 
     /// How long one request occupies a slot at steady occupancy `b`: its
     /// admission (prefill) pass plus `S_out − 1` decode iterations.
-    fn slot_time(&self, c: &ParallelConfig, b: u32) -> SimDuration {
+    pub fn slot_time(&self, c: &ParallelConfig, b: u32) -> SimDuration {
         self.admission_pass(c, b) + self.steady_iteration(c, b) * (self.s_out - 1) as u64
     }
 
@@ -216,15 +232,42 @@ impl PerfModel {
     ///
     /// Panics if `alpha` is negative or not finite.
     pub fn request_latency_continuous(&self, c: &ParallelConfig, alpha: f64) -> SimDuration {
+        self.request_latency_continuous_with(
+            c,
+            alpha,
+            |b| self.slot_time(c, b),
+            |b| self.steady_iteration(c, b),
+        )
+    }
+
+    /// The continuous `l_req` formula over caller-supplied slot/steady
+    /// iteration prices — the kernel behind
+    /// [`PerfModel::request_latency_continuous`], exposed so callers
+    /// holding per-occupancy tables (the candidate frontier) price
+    /// bit-identically to the fresh path by running the *same* code.
+    /// `slot(b)` and `steady(b)` are queried for occupancies `1..=c.batch`
+    /// and must return exactly [`PerfModel::slot_time`] and
+    /// [`PerfModel::steady_iteration`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative or not finite.
+    pub fn request_latency_continuous_with(
+        &self,
+        c: &ParallelConfig,
+        alpha: f64,
+        slot: impl Fn(u32) -> SimDuration,
+        steady: impl Fn(u32) -> SimDuration,
+    ) -> SimDuration {
         assert!(
             alpha >= 0.0 && alpha.is_finite(),
             "bad arrival rate {alpha}"
         );
         if alpha == 0.0 {
             // Empty engine: run alone at occupancy 1.
-            return self.slot_time(c, 1);
+            return slot(1);
         }
-        let phi = self.throughput_continuous(c);
+        let phi = (c.data * c.batch) as f64 / slot(c.batch).as_secs_f64();
         let rho = alpha / phi;
         if rho >= 1.0 {
             return SimDuration::MAX;
@@ -235,14 +278,13 @@ impl PerfModel {
         let mut b = 1.0f64;
         for _ in 0..16 {
             let bi = clamp(b).ceil() as u32;
-            b = clamp(per_pipeline * self.slot_time(c, bi).as_secs_f64());
+            b = clamp(per_pipeline * slot(bi).as_secs_f64());
         }
         let bi = clamp(b).ceil() as u32;
-        let l_exe = self.slot_time(c, bi);
-        let boundary = self.steady_iteration(c, bi) / 2;
+        let l_exe = slot(bi);
+        let boundary = steady(bi) / 2;
         let servers = (c.data * c.batch) as f64;
-        let queue = self.slot_time(c, c.batch).as_secs_f64()
-            * rho.powf((2.0 * (servers + 1.0)).sqrt())
+        let queue = slot(c.batch).as_secs_f64() * rho.powf((2.0 * (servers + 1.0)).sqrt())
             / (servers * (1.0 - rho));
         l_exe + boundary + SimDuration::from_secs_f64(queue)
     }

@@ -167,6 +167,24 @@ fn multi_pool_hedge_replays_byte_identical() {
 }
 
 #[test]
+fn cached_optimizer_replays_byte_identical_at_a_large_ceiling() {
+    // PR 5: Algorithm 1 runs over a memoized candidate frontier with a
+    // per-(N, α) decision memo. A large fleet ceiling stresses the
+    // frontier's range lookups and pruning through full serving replays —
+    // the cached optimizer may never make the run depend on its own query
+    // history.
+    let run = || {
+        let mut opts = SystemOptions::spotserve();
+        opts.max_instances = 64;
+        replay(opts, 41)
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "cached-optimizer replays must be byte-identical");
+}
+
+#[test]
 fn different_seeds_actually_differ() {
     // Guards the gate itself: if `canonical` ever collapsed to a constant,
     // the identity assertions above would be vacuous.

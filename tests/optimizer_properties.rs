@@ -91,6 +91,47 @@ proptest! {
         }
     }
 
+    /// The PR 5 tentpole contract: frontier-backed decisions — memoized
+    /// range lookups over precomputed, Pareto-pruned candidates — are
+    /// **bit-identical** with the pre-frontier fresh-enumeration reference
+    /// implementations, across fleet size, arrival rate, engine mode,
+    /// model, SLO target, and incumbent bias. Each query runs twice so the
+    /// memo-hit path is held to the same identity.
+    #[test]
+    fn frontier_decisions_equal_fresh_enumeration(
+        n in 0u32..20,
+        alpha_millis in 0u32..2000,
+        model_sel in 0usize..8,
+        engine_sel in 0usize..2,
+        slo_secs in 1u64..300,
+        inc_idx in 0usize..64,
+    ) {
+        let models = ModelSpec::paper_models();
+        let engine = [EngineMode::FixedBatch, EngineMode::ContinuousBatching][engine_sel];
+        let opt = ConfigOptimizer::paper_defaults(
+            models[model_sel % models.len()].clone(),
+            16,
+        )
+        .with_engine_mode(engine);
+        let alpha = alpha_millis as f64 / 1000.0;
+        let reference = opt.decide_reference(n, alpha);
+        prop_assert_eq!(opt.decide(n, alpha), reference, "decide ({engine:?})");
+        prop_assert_eq!(opt.decide(n, alpha), reference, "memo hit");
+        let slo = SimDuration::from_secs(slo_secs);
+        let slo_ref = opt.decide_slo_reference(n, alpha, slo);
+        prop_assert_eq!(opt.decide_slo(n, alpha, slo), slo_ref, "decide_slo");
+        prop_assert_eq!(opt.decide_slo(n, alpha, slo), slo_ref, "slo memo hit");
+        let feasible = opt.feasible(16);
+        if !feasible.is_empty() {
+            let inc = feasible[inc_idx % feasible.len()];
+            prop_assert_eq!(
+                opt.decide_with_incumbent(n, alpha, Some(inc)),
+                opt.decide_with_incumbent_reference(n, alpha, Some(inc)),
+                "incumbent {inc}"
+            );
+        }
+    }
+
     /// The continuous-batching estimator never reports a lower peak
     /// throughput than the fixed-batch one, whatever the configuration: an
     /// iteration-level slot can only turn over faster than a

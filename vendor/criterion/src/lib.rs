@@ -15,8 +15,17 @@
 //! variable (the shim's equivalent of the real crate's
 //! `--measurement-time` flag): CI's bench-smoke job sets a small value so
 //! every bench *executes* quickly on each PR.
+//!
+//! When `CRITERION_JSON` names a file, every measurement is additionally
+//! appended to it as one record of a growing JSON array
+//! (`[{"group":…,"bench":…,"ns_per_iter":…,"iters":…}, …]`). Bench
+//! binaries run sequentially under `cargo bench`, each reopening and
+//! extending the same array, so the file ends the run as a single valid
+//! JSON document consolidating every group — the machine-readable perf
+//! trajectory CI uploads per PR (`BENCH_PR5.json`).
 
 use std::fmt::Display;
+use std::path::Path;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
@@ -186,7 +195,90 @@ where
             "{label:<48} {ns_per_iter:>14.1} ns/iter ({} iters)",
             bencher.iters
         );
+        if let Some(path) = std::env::var_os("CRITERION_JSON") {
+            let path = Path::new(&path);
+            json_run_boundary(path);
+            append_json_record(
+                path,
+                group.unwrap_or(""),
+                &id.id,
+                ns_per_iter,
+                bencher.iters,
+            );
+        }
     }
+}
+
+/// Starts a fresh JSON array when this is a *new bench run*, so repeated
+/// local runs do not accumulate duplicate records. Every bench binary of
+/// one `cargo bench` invocation shares the same parent process, so the
+/// parent pid (recorded in a `.runid` sidecar) identifies the run: the
+/// first binary of a new invocation truncates the file, its successors
+/// append. Checked once per process. On platforms without a parent-pid
+/// API the file keeps pure append semantics (delete it between runs).
+fn json_run_boundary(path: &Path) {
+    static BOUNDARY: OnceLock<()> = OnceLock::new();
+    BOUNDARY.get_or_init(|| {
+        #[cfg(unix)]
+        start_run_if_new(path, &std::os::unix::process::parent_id().to_string());
+        #[cfg(not(unix))]
+        let _ = path;
+    });
+}
+
+/// The boundary logic behind [`json_run_boundary`]: truncate `path` and
+/// re-stamp the sidecar unless it already records `run_id`.
+fn start_run_if_new(path: &Path, run_id: &str) {
+    let sidecar = path.with_extension("runid");
+    let same_run =
+        std::fs::read_to_string(&sidecar).is_ok_and(|recorded| recorded.trim() == run_id);
+    if !same_run {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::write(&sidecar, run_id);
+    }
+}
+
+/// Appends one measurement to the growing JSON array at `path` (creating
+/// `[record]` on first write). Best-effort: IO errors must never fail a
+/// bench run, so they are reported to stderr and swallowed.
+fn append_json_record(path: &Path, group: &str, bench: &str, ns_per_iter: f64, iters: u64) {
+    let record = format!(
+        r#"{{"group":"{}","bench":"{}","ns_per_iter":{ns_per_iter},"iters":{iters}}}"#,
+        escape_json(group),
+        escape_json(bench),
+    );
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                // Extend the array — unless it is empty, in which case the
+                // new record is its first element.
+                Some(init) if !init.trim_end().ends_with('[') => {
+                    format!("{init},\n  {record}\n]\n", init = init.trim_end())
+                }
+                _ => format!("[\n  {record}\n]\n"),
+            }
+        }
+        Err(_) => format!("[\n  {record}\n]\n"),
+    };
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("criterion shim: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Minimal JSON string escaping (labels are benign identifiers, but a
+/// stray quote or backslash must not corrupt the document).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Expands to a function running every listed bench target in order.
@@ -208,4 +300,66 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_records_accumulate_into_one_array() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion_shim_json_{}_{}.json",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let _ = std::fs::remove_file(&path);
+        append_json_record(&path, "g1", "warm/256", 123.5, 10);
+        append_json_record(&path, "g2", "a \"quoted\" bench", 7.0, 2);
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(body.trim_start().starts_with('['), "{body}");
+        assert!(body.trim_end().ends_with(']'), "{body}");
+        assert!(body.contains(r#""group":"g1","bench":"warm/256","ns_per_iter":123.5"#));
+        assert!(body.contains(r#"\"quoted\""#), "escaped: {body}");
+        assert_eq!(body.matches("ns_per_iter").count(), 2);
+    }
+
+    #[test]
+    fn escape_json_handles_control_chars() {
+        assert_eq!(escape_json("a\tb"), "a\\u0009b");
+        assert_eq!(escape_json(r#"p\q"#), r#"p\\q"#);
+    }
+
+    #[test]
+    fn stale_run_id_truncates_the_json_file() {
+        let base = std::env::temp_dir().join(format!(
+            "criterion_shim_runid_{}_{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let json = base.with_extension("json");
+        let sidecar = json.with_extension("runid");
+        std::fs::write(&json, "[\n  {\"stale\":true}\n]\n").unwrap();
+        std::fs::write(&sidecar, "previous-invocation").unwrap();
+        // A new run id truncates the stale records and re-stamps the
+        // sidecar…
+        start_run_if_new(&json, "this-invocation");
+        assert!(!json.exists(), "stale records must be dropped");
+        append_json_record(&json, "g", "b", 1.0, 1);
+        // …while the same run id appends.
+        start_run_if_new(&json, "this-invocation");
+        append_json_record(&json, "g", "b2", 2.0, 1);
+        let body = std::fs::read_to_string(&json).unwrap();
+        std::fs::remove_file(&json).unwrap();
+        std::fs::remove_file(&sidecar).unwrap();
+        assert!(!body.contains("stale"), "{body}");
+        assert_eq!(body.matches("ns_per_iter").count(), 2, "{body}");
+    }
 }
