@@ -6,7 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use cloudsim::{AvailabilityTrace, CloudConfig, CloudMarket, PoolId, PoolSpec};
-use fleetctl::{FleetController, FleetPolicy, FleetView, PoolView};
+use fleetctl::{FleetController, FleetPolicy, FleetView, PoolCaps, PoolView};
 use simkit::{SimDuration, SimTime};
 
 fn controller_view(pools: usize) -> FleetView {
@@ -18,6 +18,13 @@ fn controller_view(pools: usize) -> FleetView {
                 queued_spot: 0,
                 noticed_spot: 0,
                 capacity: 4 + (i % 5) as u32,
+                caps: PoolCaps {
+                    sku: "g4dn.12xlarge",
+                    spot_cents_per_hour: 190 + (i % 4) as u32 * 75,
+                    ondemand_cents_per_hour: 390 + (i % 4) as u32 * 110,
+                    gpus_per_instance: 4,
+                    fits_model: i % 7 != 6,
+                },
             })
             .collect(),
         live_ondemand: 1,
@@ -47,6 +54,14 @@ fn bench_controller(c: &mut Criterion) {
         );
         g.bench_function(format!("ondemand_fallback/{pools}_pools"), |b| {
             b.iter(|| fallback.command(black_box(&view), black_box(SimTime::from_secs(100))))
+        });
+        let cost_aware = FleetController::new(
+            FleetPolicy::cost_aware_hedge(),
+            pools,
+            SimDuration::from_secs(40),
+        );
+        g.bench_function(format!("cost_aware_hedge/{pools}_pools"), |b| {
+            b.iter(|| cost_aware.command(black_box(&view), black_box(SimTime::from_secs(100))))
         });
     }
     g.finish();

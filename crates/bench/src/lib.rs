@@ -11,12 +11,13 @@
 //! | `fig8`   | Figure 8: fluctuating (MAF) workload study |
 //! | `fig9`   | Figure 9: component ablation on GPT-20B |
 //! | `fig_fleet` | Fleet policies: availability + cost split under a zone outage (beyond-paper) |
+//! | `fig_hetero` | Heterogeneous SKUs: A100 collapse → L4/H100 recovery, per-policy cost (beyond-paper) |
 //!
 //! The criterion benches (`benches/`) cover the paper's systems claims:
 //! the online optimizer runs in well under a second (§3.2), KM mapping is
 //! fast at fleet scale (§3.3), and migration planning is cheap (§3.4).
 
-use cloudsim::{AvailabilityTrace, PoolSpec};
+use cloudsim::{AvailabilityTrace, InstanceType, PoolSpec};
 use llmsim::ModelSpec;
 use simkit::metrics::Percentiles;
 use simkit::{SimDuration, SimTime};
@@ -108,6 +109,51 @@ pub fn zone_outage_scenario(seed: u64) -> Scenario {
     scenario
 }
 
+/// The acquisition policies compared on the heterogeneous-SKU scenario:
+/// the single-SKU-minded on-demand bridge, the price-blind multi-pool
+/// hedge, and the SKU/price-aware hedge that routes its on-demand
+/// backstop to the cheapest capable pool.
+pub fn hetero_policy_ladder() -> Vec<(&'static str, FleetPolicy)> {
+    vec![
+        ("OnDemandFallback", FleetPolicy::OnDemandFallback),
+        ("SpotHedge", FleetPolicy::spot_hedge()),
+        ("CostAwareHedge", FleetPolicy::cost_aware_hedge()),
+    ]
+}
+
+/// The heterogeneous-fleet collapse behind `fig_hetero`: three pools with
+/// *different* SKUs. The A100 pool (`p4d.24xlarge`) carries the fleet
+/// until its spot market collapses entirely at t = 300 s; the cheap L4
+/// pool (`g6.12xlarge`) stays healthy, and the premium H100 pool
+/// (`p5.48xlarge`) has zero spot capacity — it only matters as an
+/// on-demand backstop. OPT-6.7B at 1 req/s for 480 s of arrivals, every
+/// request carrying a 900 s SLO. Recovery therefore *must* cross SKUs:
+/// the optimizer's L4 lane (or on-demand H100) picks up the traffic.
+pub fn hetero_outage_scenario(seed: u64) -> Scenario {
+    let pools = vec![
+        PoolSpec::new(
+            "a100",
+            AvailabilityTrace::from_steps(vec![(SimTime::ZERO, 6), (SimTime::from_secs(300), 0)]),
+        )
+        .with_instance_type(InstanceType::a100()),
+        PoolSpec::new("l4", AvailabilityTrace::constant(6)).with_instance_type(InstanceType::l4()),
+        PoolSpec::new("h100", AvailabilityTrace::constant(0))
+            .with_instance_type(InstanceType::h100()),
+    ];
+    let mut scenario = Scenario::paper_stable(
+        ModelSpec::opt_6_7b(),
+        AvailabilityTrace::constant(0), // unused once pools are set
+        1.0,
+        seed,
+    )
+    .with_pools(pools);
+    scenario
+        .requests
+        .retain(|r| r.arrival < SimTime::from_secs(480));
+    workload::apply_slo(&mut scenario.requests, SimDuration::from_secs(900));
+    scenario
+}
+
 /// The Figure 9 ablation ladder: components disabled cumulatively, in the
 /// paper's order.
 pub fn ablation_ladder() -> Vec<(&'static str, AblationFlags)> {
@@ -168,6 +214,23 @@ mod tests {
         let s = zone_outage_scenario(1);
         assert_eq!(s.pools.len(), 3);
         assert_eq!(s.pools[0].trace.min_capacity(), 0, "z0 collapses");
+        assert!(s.requests.iter().all(|r| r.deadline.is_some()));
+    }
+
+    #[test]
+    fn hetero_ladder_and_scenario_are_well_formed() {
+        let ladder = hetero_policy_ladder();
+        assert_eq!(ladder.len(), 3);
+        let s = hetero_outage_scenario(1);
+        assert_eq!(s.pools.len(), 3);
+        let skus: Vec<&str> = s
+            .pools
+            .iter()
+            .map(|p| p.instance_type.as_ref().unwrap().name)
+            .collect();
+        assert_eq!(skus, ["p4d.24xlarge", "g6.12xlarge", "p5.48xlarge"]);
+        assert_eq!(s.pools[0].trace.min_capacity(), 0, "a100 pool collapses");
+        assert_eq!(s.pools[2].trace.min_capacity(), 0, "h100 is on-demand only");
         assert!(s.requests.iter().all(|r| r.deadline.is_some()));
     }
 

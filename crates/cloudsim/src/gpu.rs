@@ -57,6 +57,27 @@ impl GpuSpec {
             mem_bandwidth: 900e9,
         }
     }
+
+    /// NVIDIA L4-24GB: the T4's Ada successor — cheap inference spot
+    /// capacity on `g6`-class instances.
+    pub const fn l4() -> Self {
+        GpuSpec {
+            name: "L4",
+            memory_bytes: 24 * (1 << 30),
+            peak_flops: 121e12,
+            mem_bandwidth: 300e9,
+        }
+    }
+
+    /// NVIDIA H100-80GB (SXM): the top-end on-demand backstop SKU.
+    pub const fn h100() -> Self {
+        GpuSpec {
+            name: "H100-80G",
+            memory_bytes: 80 * (1 << 30),
+            peak_flops: 989e12,
+            mem_bandwidth: 3_350e9,
+        }
+    }
 }
 
 impl Default for GpuSpec {
@@ -71,7 +92,13 @@ mod tests {
 
     #[test]
     fn presets_are_plausible() {
-        for g in [GpuSpec::t4(), GpuSpec::a100_40g(), GpuSpec::v100_16g()] {
+        for g in [
+            GpuSpec::t4(),
+            GpuSpec::a100_40g(),
+            GpuSpec::v100_16g(),
+            GpuSpec::l4(),
+            GpuSpec::h100(),
+        ] {
             assert!(g.memory_bytes >= 8 << 30, "{}: memory too small", g.name);
             assert!(g.peak_flops > 1e12, "{}: flops too small", g.name);
             assert!(g.mem_bandwidth > 1e11, "{}: bandwidth too small", g.name);

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::gpu::GpuSpec;
+use crate::network::NetFabric;
 
 /// Unique identifier of one leased instance (monotonic per [`CloudSim`]).
 ///
@@ -69,7 +70,8 @@ impl fmt::Display for InstanceKind {
     }
 }
 
-/// Static description of an instance type (GPU count, pricing, local fabric).
+/// Static description of an instance type: the named bundle of GPU model,
+/// GPU count, network fabric, and pricing that a pool leases.
 ///
 /// # Example
 ///
@@ -87,6 +89,8 @@ pub struct InstanceType {
     pub gpus_per_instance: u8,
     /// The GPU model installed.
     pub gpu: GpuSpec,
+    /// The instance's intra/inter network fabric.
+    pub net: NetFabric,
     /// On-demand price, USD per instance-hour.
     pub ondemand_price_per_hour: f64,
     /// Spot price, USD per instance-hour.
@@ -103,20 +107,72 @@ impl InstanceType {
             name: "g4dn.12xlarge",
             gpus_per_instance: 4,
             gpu: GpuSpec::t4(),
+            net: NetFabric::g4dn_default(),
             ondemand_price_per_hour: 3.9,
             spot_price_per_hour: 1.9,
         }
     }
 
-    /// A hypothetical 8×A100 instance for what-if experiments.
+    /// The paper's platform under its GPU name ([`g4dn_12xlarge`]).
+    ///
+    /// [`g4dn_12xlarge`]: InstanceType::g4dn_12xlarge
+    pub const fn t4() -> Self {
+        InstanceType::g4dn_12xlarge()
+    }
+
+    /// 8×A100 with NVSwitch + EFA (`p4d.24xlarge`).
     pub const fn p4d_24xlarge() -> Self {
         InstanceType {
             name: "p4d.24xlarge",
             gpus_per_instance: 8,
             gpu: GpuSpec::a100_40g(),
+            net: NetFabric::nvlink_a100(),
             ondemand_price_per_hour: 32.77,
             spot_price_per_hour: 9.83,
         }
+    }
+
+    /// The A100 pool SKU ([`p4d_24xlarge`]) under its GPU name.
+    ///
+    /// [`p4d_24xlarge`]: InstanceType::p4d_24xlarge
+    pub const fn a100() -> Self {
+        InstanceType::p4d_24xlarge()
+    }
+
+    /// 4×L4 over PCIe (`g6.12xlarge`): the cheap recovery SKU — close to
+    /// g4dn pricing with 50% more memory per GPU.
+    pub const fn l4() -> Self {
+        InstanceType {
+            name: "g6.12xlarge",
+            gpus_per_instance: 4,
+            gpu: GpuSpec::l4(),
+            net: NetFabric::pcie_l4(),
+            ondemand_price_per_hour: 4.6,
+            spot_price_per_hour: 1.8,
+        }
+    }
+
+    /// 8×H100 with NVSwitch + EFA (`p5.48xlarge`): the premium on-demand
+    /// backstop.
+    pub const fn h100() -> Self {
+        InstanceType {
+            name: "p5.48xlarge",
+            gpus_per_instance: 8,
+            gpu: GpuSpec::h100(),
+            net: NetFabric::nvlink_h100(),
+            ondemand_price_per_hour: 98.32,
+            spot_price_per_hour: 39.33,
+        }
+    }
+
+    /// The four SKU presets a heterogeneous fleet draws from.
+    pub fn presets() -> [InstanceType; 4] {
+        [
+            InstanceType::t4(),
+            InstanceType::a100(),
+            InstanceType::l4(),
+            InstanceType::h100(),
+        ]
     }
 
     /// Hourly price for the given billing kind.
@@ -167,6 +223,27 @@ mod tests {
         let ty = InstanceType::g4dn_12xlarge();
         assert_eq!(ty.price_per_hour(InstanceKind::Spot), 1.9);
         assert_eq!(ty.price_per_hour(InstanceKind::OnDemand), 3.9);
+    }
+
+    #[test]
+    fn presets_are_distinct_and_priced_sanely() {
+        let presets = InstanceType::presets();
+        for ty in &presets {
+            assert!(
+                ty.spot_price_per_hour < ty.ondemand_price_per_hour,
+                "{}",
+                ty.name
+            );
+            assert!(ty.gpus_per_instance > 0, "{}", ty.name);
+            assert!(ty.net.intra_bw >= ty.net.inter_bw, "{}", ty.name);
+        }
+        for (i, a) in presets.iter().enumerate() {
+            for b in presets.iter().skip(i + 1) {
+                assert_ne!(a.name, b.name);
+            }
+        }
+        assert_eq!(InstanceType::t4(), InstanceType::g4dn_12xlarge());
+        assert_eq!(InstanceType::a100(), InstanceType::p4d_24xlarge());
     }
 
     #[test]

@@ -32,7 +32,7 @@
 use simkit::SimTime;
 
 use crate::events::CloudEvent;
-use crate::instance::{InstanceId, InstanceKind};
+use crate::instance::{InstanceId, InstanceKind, InstanceType};
 use crate::pool::{PoolId, PoolSpec};
 use crate::provider::{CloudConfig, CloudSim, InstanceInfo};
 use crate::trace::AvailabilityTrace;
@@ -44,6 +44,8 @@ pub struct PoolCost {
     pub pool: PoolId,
     /// The pool's human-readable name.
     pub name: String,
+    /// The SKU this pool leases (the instance type's name).
+    pub sku: &'static str,
     /// USD spent on spot leases in this pool.
     pub spot_usd: f64,
     /// USD spent on on-demand leases in this pool.
@@ -101,8 +103,9 @@ impl CloudMarket {
     }
 
     /// A market of `specs.len()` pools. Pool `i` inherits `base` with its
-    /// spec's grant-delay / spot-price overrides applied, replays its own
-    /// trace, and draws from its own random stream.
+    /// spec's instance-type / grant-delay / spot-price overrides applied
+    /// (the price override applies on top of the pool's own SKU), replays
+    /// its own trace, and draws from its own random stream.
     ///
     /// # Panics
     ///
@@ -114,6 +117,9 @@ impl CloudMarket {
             .enumerate()
             .map(|(i, spec)| {
                 let mut cfg = base.clone();
+                if let Some(ty) = &spec.instance_type {
+                    cfg.instance_type = ty.clone();
+                }
                 if let Some(d) = spec.spot_grant_delay {
                     cfg.spot_grant_delay = d;
                 }
@@ -180,6 +186,20 @@ impl CloudMarket {
     /// Spot instances provisioning in `pool` (grant scheduled, not fired).
     pub fn provisioning_spot_in(&self, pool: PoolId) -> u32 {
         self.pool(pool).provisioning_spot()
+    }
+
+    /// The instance type `pool` leases.
+    pub fn instance_type_in(&self, pool: PoolId) -> &InstanceType {
+        &self.pool(pool).config().instance_type
+    }
+
+    /// Requests `n` on-demand instances *of `pool`'s SKU* at `now` (billed
+    /// against that pool). The pool-less [`request_on_demand`] routes to
+    /// pool 0.
+    ///
+    /// [`request_on_demand`]: CloudMarket::request_on_demand
+    pub fn request_on_demand_in(&mut self, now: SimTime, pool: PoolId, n: u32) {
+        self.pool_mut(pool).request_on_demand(now, n);
     }
 
     // ---- Legacy (pool-0) surface -----------------------------------
@@ -290,6 +310,7 @@ impl CloudMarket {
                 .map(|(i, p)| PoolCost {
                     pool: PoolId(i as u32),
                     name: self.names[i].clone(),
+                    sku: p.config().instance_type.name,
                     spot_usd: p.meter().usd_of_kind(InstanceKind::Spot, now),
                     ondemand_usd: p.meter().usd_of_kind(InstanceKind::OnDemand, now),
                 })
@@ -409,6 +430,53 @@ mod tests {
         assert!((bd.spot_usd() - 1.9).abs() < 1e-9);
         assert!((bd.ondemand_usd() - 3.9).abs() < 1e-9);
         assert!((bd.total_usd() - m.total_usd(end)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_pool_instance_types_flow_into_billing() {
+        // A T4 pool and an L4 pool: each bills at its own SKU's list spot
+        // price, and on-demand routed to a pool bills at that pool's SKU.
+        let pools = vec![
+            PoolSpec::new("t4", AvailabilityTrace::constant(2)),
+            PoolSpec::new("l4", AvailabilityTrace::constant(2))
+                .with_instance_type(InstanceType::l4()),
+        ];
+        let mut m = CloudMarket::new(&CloudConfig::default(), &pools, 7);
+        assert_eq!(m.instance_type_in(PoolId(0)).name, "g4dn.12xlarge");
+        assert_eq!(m.instance_type_in(PoolId(1)).name, "g6.12xlarge");
+        m.request_spot_in(SimTime::ZERO, PoolId(0), 1);
+        m.request_spot_in(SimTime::ZERO, PoolId(1), 1);
+        m.request_on_demand_in(SimTime::ZERO, PoolId(1), 1);
+        while m.pop_next().is_some() {}
+        let hour = SimDuration::from_secs(3600);
+        let ids: Vec<(InstanceId, SimTime)> = m.fleet().map(|i| (i.id, i.granted_at)).collect();
+        for (id, granted) in ids {
+            m.release(granted + hour, id);
+        }
+        let bd = m.cost_breakdown(SimTime::from_secs(10_000));
+        assert_eq!(bd.pools[0].sku, "g4dn.12xlarge");
+        assert_eq!(bd.pools[1].sku, "g6.12xlarge");
+        assert!((bd.pools[0].spot_usd - 1.9).abs() < 1e-9);
+        assert!((bd.pools[1].spot_usd - 1.8).abs() < 1e-9, "L4 spot price");
+        assert!(
+            (bd.pools[1].ondemand_usd - 4.6).abs() < 1e-9,
+            "on-demand billed at the pool's SKU"
+        );
+    }
+
+    #[test]
+    fn price_override_applies_on_top_of_pool_sku() {
+        let pools = vec![PoolSpec::new("cheap-l4", AvailabilityTrace::constant(1))
+            .with_instance_type(InstanceType::l4())
+            .with_spot_price(0.9)];
+        let mut m = CloudMarket::new(&CloudConfig::default(), &pools, 7);
+        let ty = m.instance_type_in(PoolId(0));
+        assert_eq!(ty.gpu.name, "L4");
+        assert_eq!(ty.spot_price_per_hour, 0.9);
+        let ids = m.prewarm_spot_in(PoolId(0), 1);
+        m.release(SimTime::from_secs(3600), ids[0]);
+        let bd = m.cost_breakdown(SimTime::from_secs(3600));
+        assert!((bd.pools[0].spot_usd - 0.9).abs() < 1e-9);
     }
 
     #[test]

@@ -44,6 +44,42 @@ impl NetFabric {
         }
     }
 
+    /// Fabric of NVLink-class A100 instances (`p4d.24xlarge`): NVSwitch
+    /// locally (~300 GB/s effective) and 400 Gbit/s EFA (~40 GB/s
+    /// effective) between instances.
+    pub const fn nvlink_a100() -> Self {
+        NetFabric {
+            intra_bw: 300e9,
+            inter_bw: 40e9,
+            intra_latency: SimDuration::from_micros(10),
+            inter_latency: SimDuration::from_micros(30),
+        }
+    }
+
+    /// Fabric of `g6`-class L4 instances: PCIe 4.0 x16 locally (~16 GB/s
+    /// effective) and a 40 Gbit/s NIC (~4.5 GB/s effective) between
+    /// instances.
+    pub const fn pcie_l4() -> Self {
+        NetFabric {
+            intra_bw: 16e9,
+            inter_bw: 4.5e9,
+            intra_latency: SimDuration::from_micros(20),
+            inter_latency: SimDuration::from_micros(40),
+        }
+    }
+
+    /// Fabric of NVLink-class H100 instances (`p5.48xlarge`): NVSwitch
+    /// locally (~450 GB/s effective) and 3200 Gbit/s EFA (~80 GB/s
+    /// effective per link) between instances.
+    pub const fn nvlink_h100() -> Self {
+        NetFabric {
+            intra_bw: 450e9,
+            inter_bw: 80e9,
+            intra_latency: SimDuration::from_micros(10),
+            inter_latency: SimDuration::from_micros(25),
+        }
+    }
+
     /// Time to move `bytes` point-to-point.
     ///
     /// `same_instance` selects the local or remote link.

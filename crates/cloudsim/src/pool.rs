@@ -12,7 +12,7 @@
 
 use simkit::SimDuration;
 
-use crate::instance::InstanceId;
+use crate::instance::{InstanceId, InstanceType};
 use crate::trace::AvailabilityTrace;
 
 /// Identifier of one spot pool (e.g. one availability zone).
@@ -65,6 +65,10 @@ pub struct PoolSpec {
     /// Spot price override in USD per instance-hour (`None` = the instance
     /// type's list spot price). Pools price independently in real markets.
     pub spot_price_per_hour: Option<f64>,
+    /// Instance type this pool leases (`None` = the scenario's default
+    /// type). Real spot markets are heterogeneous: the pool where capacity
+    /// reappears after a preemption is rarely the SKU that was lost.
+    pub instance_type: Option<InstanceType>,
 }
 
 impl PoolSpec {
@@ -76,6 +80,7 @@ impl PoolSpec {
             trace,
             spot_grant_delay: None,
             spot_price_per_hour: None,
+            instance_type: None,
         }
     }
 
@@ -88,6 +93,22 @@ impl PoolSpec {
     /// Overrides this pool's spot price (USD per instance-hour).
     pub fn with_spot_price(mut self, usd_per_hour: f64) -> Self {
         self.spot_price_per_hour = Some(usd_per_hour);
+        self
+    }
+
+    /// Makes this pool lease `ty` instead of the scenario's default type.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cloudsim::{AvailabilityTrace, InstanceType, PoolSpec};
+    ///
+    /// let pool = PoolSpec::new("l4-east", AvailabilityTrace::constant(8))
+    ///     .with_instance_type(InstanceType::l4());
+    /// assert_eq!(pool.instance_type.unwrap().gpu.name, "L4");
+    /// ```
+    pub fn with_instance_type(mut self, ty: InstanceType) -> Self {
+        self.instance_type = Some(ty);
         self
     }
 }
@@ -116,5 +137,6 @@ mod tests {
         let p = PoolSpec::new("z", AvailabilityTrace::constant(1));
         assert_eq!(p.spot_grant_delay, None);
         assert_eq!(p.spot_price_per_hour, None);
+        assert_eq!(p.instance_type, None);
     }
 }

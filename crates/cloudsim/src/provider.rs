@@ -20,12 +20,12 @@ use crate::trace::AvailabilityTrace;
 /// Tunables of the simulated cloud.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CloudConfig {
-    /// The instance SKU leased. Fleets are homogeneous in *type* (the paper
-    /// targets `g4dn.12xlarge`, §6.1), but capacity may come from several
-    /// spot pools with independent traces, grant delays, and prices — see
-    /// [`PoolSpec`](crate::PoolSpec) and [`CloudMarket`](crate::CloudMarket).
-    /// Heterogeneous instance *types* within one fleet remain future work
-    /// (§8).
+    /// The instance SKU leased by default (the paper targets
+    /// `g4dn.12xlarge`, §6.1). Capacity may come from several spot pools
+    /// with independent traces, grant delays, prices, *and instance types*
+    /// — see [`PoolSpec`](crate::PoolSpec) and
+    /// [`CloudMarket`](crate::CloudMarket); a pool whose spec names an
+    /// [`InstanceType`] leases that SKU instead of this one.
     pub instance_type: InstanceType,
     /// Warning the cloud gives before reclaiming a spot instance
     /// (30 s on AWS/Azure, §2).

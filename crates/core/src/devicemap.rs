@@ -13,7 +13,7 @@
 //! instances as possible.
 
 use cloudsim::{GpuRef, InstanceId};
-use kmatch::{max_weight_assignment, WeightMatrix};
+use kmatch::{max_weight_assignment, SkuCaps, WeightMatrix};
 use llmsim::ModelSpec;
 use migration::DeviceAssignment;
 use parallelism::{MeshPosition, ParallelConfig, PositionContext};
@@ -43,6 +43,24 @@ pub struct OldState {
     pub progress_per_pipeline: Vec<u32>,
 }
 
+/// Cross-SKU capability context for device mapping over a mixed fleet.
+///
+/// In a heterogeneous fleet the candidate GPUs are not interchangeable:
+/// a position whose shard exceeds an instance's per-GPU memory is *no*
+/// placement (the matching's `-INFINITY`), and reuse bytes missing on a
+/// GPU behind a slower inter-instance link arrive late, so its edge is
+/// discounted by the bandwidth asymmetry ([`kmatch::edge_weight`]).
+pub struct SkuTable<'a> {
+    /// The SKU capability of the instance hosting each candidate GPU.
+    pub caps_of: &'a dyn Fn(InstanceId) -> SkuCaps,
+    /// The SKU whose fabric holds the *source* context being migrated
+    /// (the old mesh's SKU).
+    pub src: SkuCaps,
+    /// Device bytes one position of the new configuration must hold
+    /// ([`llmsim::MemoryModel::required_bytes_per_gpu`]).
+    pub required_bytes_per_gpu: u64,
+}
+
 /// Maps `instances` (each contributing `gpus_per_instance` GPUs) onto
 /// `new_config`'s mesh.
 ///
@@ -59,6 +77,38 @@ pub fn map_devices(
     gpus_per_instance: u8,
     old: &OldState,
     use_km: bool,
+) -> DeviceMapOutcome {
+    map_devices_with_skus(
+        model,
+        new_config,
+        instances,
+        gpus_per_instance,
+        old,
+        use_km,
+        None,
+    )
+}
+
+/// [`map_devices`] over a possibly heterogeneous fleet: when `skus` is
+/// given, edges are priced by [`kmatch::edge_weight`] — reuse minus the
+/// bandwidth-asymmetry cost of the bytes that must still move, and
+/// [`kmatch::FORBIDDEN`] for positions that do not fit the hosting SKU.
+/// With `skus = None` (or a table whose SKUs all match the source) every
+/// edge is plain reuse and the outcome is bit-identical to the single-SKU
+/// mapper.
+///
+/// # Panics
+///
+/// Panics if the instances provide fewer GPUs than the mesh needs.
+#[allow(clippy::too_many_arguments)]
+pub fn map_devices_with_skus(
+    model: &ModelSpec,
+    new_config: &ParallelConfig,
+    instances: &[InstanceId],
+    gpus_per_instance: u8,
+    old: &OldState,
+    use_km: bool,
+    skus: Option<&SkuTable<'_>>,
 ) -> DeviceMapOutcome {
     let total_gpus = instances.len() * gpus_per_instance as usize;
     assert!(
@@ -91,7 +141,27 @@ pub fn map_devices(
     let groups: Vec<&[MeshPosition]> = positions.chunks(gpus_per_instance as usize).collect();
 
     let weight = |gpu: GpuRef, pos: MeshPosition| -> i64 {
-        edge_weight(model, new_config, gpu, pos, old, &inheritance)
+        let reuse = edge_weight(model, new_config, gpu, pos, old, &inheritance);
+        let Some(table) = skus else { return reuse };
+        let dst = (table.caps_of)(gpu.instance);
+        // Bytes the position needs that are *not* already on this GPU:
+        // they cross the fabric, at the slower of the two links.
+        let ctx = PositionContext::new(
+            model.num_layers,
+            new_config.pipeline,
+            pos.stage,
+            new_config.tensor,
+            pos.shard,
+        );
+        let full = ctx.weight_overlap_bytes(&ctx, model.layer_bytes()) as i64;
+        let moved = (full - reuse).max(0) as u64;
+        kmatch::edge_weight(
+            reuse.max(0) as u64,
+            moved,
+            table.required_bytes_per_gpu,
+            &table.src,
+            &dst,
+        )
     };
 
     let mut sorted_instances = instances.to_vec();
@@ -314,6 +384,89 @@ mod tests {
     fn too_few_instances_panics() {
         let cfg = ParallelConfig::new(1, 2, 4, 8);
         map_devices(&model(), &cfg, &instances(1), 4, &OldState::default(), true);
+    }
+
+    // ---- Cross-SKU mapping -------------------------------------------
+
+    const T4_CAPS: SkuCaps = SkuCaps {
+        memory_bytes: 16 << 30,
+        link_bandwidth: 6e9,
+    };
+    const L4_CAPS: SkuCaps = SkuCaps {
+        memory_bytes: 24 << 30,
+        link_bandwidth: 4.5e9,
+    };
+
+    #[test]
+    fn uniform_sku_table_is_bit_identical_with_the_plain_mapper() {
+        let cfg = ParallelConfig::new(2, 2, 2, 8);
+        let insts = instances(3);
+        let old = old_state(ParallelConfig::new(1, 2, 4, 8), &insts[..2], 1 << 20);
+        let caps_of = |_: InstanceId| T4_CAPS;
+        let table = SkuTable {
+            caps_of: &caps_of,
+            src: T4_CAPS,
+            required_bytes_per_gpu: 4 << 30,
+        };
+        for use_km in [true, false] {
+            let plain = map_devices(&model(), &cfg, &insts, 4, &old, use_km);
+            let skued =
+                map_devices_with_skus(&model(), &cfg, &insts, 4, &old, use_km, Some(&table));
+            assert_eq!(plain.assignment, skued.assignment, "km={use_km}");
+            assert_eq!(plain.reused_bytes, skued.reused_bytes);
+            assert_eq!(plain.inheritance, skued.inheritance);
+        }
+    }
+
+    #[test]
+    fn positions_avoid_instances_whose_sku_cannot_hold_the_shard() {
+        // Four instances, mesh needs two of them; instances 0 and 2 are a
+        // tiny-memory SKU the shard does not fit. KM must place the whole
+        // mesh on instances 1 and 3.
+        let cfg = ParallelConfig::new(1, 2, 4, 8);
+        let insts = instances(4);
+        let tiny = SkuCaps {
+            memory_bytes: 1 << 30,
+            link_bandwidth: 6e9,
+        };
+        let caps_of = |i: InstanceId| if i.0.is_multiple_of(2) { tiny } else { L4_CAPS };
+        let table = SkuTable {
+            caps_of: &caps_of,
+            src: T4_CAPS,
+            required_bytes_per_gpu: 8 << 30,
+        };
+        let out = map_devices_with_skus(
+            &model(),
+            &cfg,
+            &insts,
+            4,
+            &OldState::default(),
+            true,
+            Some(&table),
+        );
+        for (pos, gpu) in out.assignment.iter() {
+            assert_eq!(gpu.instance.0 % 2, 1, "{pos} landed on a tiny SKU");
+        }
+    }
+
+    #[test]
+    fn slower_linked_sku_discounts_missing_bytes() {
+        // Old mesh on instance 0 (T4 fabric). New fleet {0, 1} where
+        // instance 1 sits behind a slower link: with equal reuse the
+        // discount must keep the mesh on instance 0.
+        let cfg = ParallelConfig::new(1, 2, 2, 8);
+        let insts = vec![InstanceId(0), InstanceId(1)];
+        let old = old_state(cfg, &insts[..1], 0);
+        let caps_of = |i: InstanceId| if i.0 == 0 { T4_CAPS } else { L4_CAPS };
+        let table = SkuTable {
+            caps_of: &caps_of,
+            src: T4_CAPS,
+            required_bytes_per_gpu: 4 << 30,
+        };
+        let out = map_devices_with_skus(&model(), &cfg, &insts, 4, &old, true, Some(&table));
+        for (pos, gpu) in out.assignment.iter() {
+            assert_eq!(gpu.instance, InstanceId(0), "{pos} left the fast SKU");
+        }
     }
 
     #[test]

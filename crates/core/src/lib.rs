@@ -40,8 +40,8 @@ pub mod report;
 pub mod system;
 
 pub use config::{AblationFlags, EngineMode, Policy, SystemOptions};
-pub use devicemap::{map_devices, DeviceMapOutcome};
+pub use devicemap::{map_devices, map_devices_with_skus, DeviceMapOutcome, SkuTable};
 pub use fleetctl::{FleetController, FleetPolicy, PreemptionEstimator};
-pub use optimizer::{ConfigOptimizer, OptimizerDecision};
+pub use optimizer::{ConfigOptimizer, MultiSkuDecision, OptimizerDecision, MAX_SKU_LANES};
 pub use report::{ConfigChange, RunReport};
 pub use system::{Scenario, ServingSystem};

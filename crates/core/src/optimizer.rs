@@ -27,8 +27,8 @@
 
 use std::cell::{Ref, RefCell};
 
-use cloudsim::GpuSpec;
-use llmsim::{MemoryModel, ModelSpec};
+use cloudsim::{GpuSpec, InstanceType};
+use llmsim::{CostModel, MemoryModel, ModelSpec};
 use parallelism::{
     enumerate_configs, CandidateFrontier, ConfigSpace, ParallelConfig, PerfModel, PricingMode,
 };
@@ -93,6 +93,46 @@ impl DecisionMemo {
     }
 }
 
+/// The joint verdict over a heterogeneous fleet: which SKU lane serves,
+/// and what configuration on it.
+///
+/// `now` and `target` may name *different* lanes — e.g. keep serving on
+/// the surviving L4 pool while growing toward an H100 mesh — which is
+/// exactly the cross-SKU migration the device mapper prices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiSkuDecision {
+    /// `(lane index, config)` to materialize now, or `None` when nothing
+    /// fits any lane's current availability.
+    pub now: Option<(usize, ParallelConfig)>,
+    /// `(lane index, config)` the fleet should grow toward.
+    pub target: Option<(usize, ParallelConfig)>,
+    /// `#Instances(target) − avail[target lane]` — the delta on the
+    /// *target lane's* pool(s); other lanes' instances are releasable.
+    pub instance_delta: i64,
+}
+
+/// Upper bound on registered SKU lanes: the memo keys availability as a
+/// fixed `[u32; MAX_SKU_LANES]` so it stays `Copy`.
+pub const MAX_SKU_LANES: usize = 8;
+
+/// Memo key for [`ConfigOptimizer::decide_multi`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MultiKey {
+    avail: [u32; MAX_SKU_LANES],
+    alpha_bits: u64,
+}
+
+/// One instance type's decision lane: its own performance model (the
+/// per-model calibration scale on that SKU's hardware terms) and its own
+/// memoized frontier. Registered lanes are *additive* — the single-SKU
+/// decision paths never consult them.
+#[derive(Debug, Clone)]
+struct SkuLane {
+    ty: InstanceType,
+    perf: PerfModel,
+    frontier: RefCell<Option<CandidateFrontier>>,
+}
+
 /// The paper's Algorithm 1, parameterized by model, memory model and
 /// hardware.
 ///
@@ -126,6 +166,11 @@ pub struct ConfigOptimizer {
     frontier: RefCell<Option<CandidateFrontier>>,
     /// Per-`(N, α)` decision memo over the frontier.
     memo: RefCell<DecisionMemo>,
+    /// Registered SKU lanes for heterogeneous fleets (empty in single-SKU
+    /// operation, where no decision path reads them).
+    lanes: Vec<SkuLane>,
+    /// Per-`(avail, α)` memo for [`ConfigOptimizer::decide_multi`].
+    multi_memo: RefCell<Vec<(MultiKey, MultiSkuDecision)>>,
 }
 
 impl ConfigOptimizer {
@@ -153,6 +198,8 @@ impl ConfigOptimizer {
             engine: EngineMode::FixedBatch,
             frontier: RefCell::new(None),
             memo: RefCell::new(DecisionMemo::default()),
+            lanes: Vec::new(),
+            multi_memo: RefCell::new(Vec::new()),
         }
     }
 
@@ -165,7 +212,68 @@ impl ConfigOptimizer {
     pub fn with_engine_mode(mut self, engine: EngineMode) -> Self {
         self.engine = engine;
         self.memo.get_mut().entries.clear();
+        self.multi_memo.get_mut().clear();
         self
+    }
+
+    /// Registers a SKU lane for heterogeneous decisions: `ty`'s hardware
+    /// terms under this optimizer's model-structure calibration scale and
+    /// sequence shape. Lane indices are assignment order — the caller's
+    /// pool→SKU mapping must use the same order. Single-SKU decision paths
+    /// (`decide*`) never read lanes, so registering them cannot perturb a
+    /// homogeneous replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics past [`MAX_SKU_LANES`] registered lanes.
+    pub fn with_sku(mut self, ty: InstanceType) -> Self {
+        assert!(self.lanes.len() < MAX_SKU_LANES, "too many SKU lanes");
+        let model = self.perf.model().clone();
+        let scale = llmsim::calibration::calibration_scale(&model);
+        let (s_in, s_out) = self.perf.sequence_shape();
+        let cost = CostModel::for_instance_type(&ty).with_scale(scale);
+        let perf = PerfModel::new(model, cost, s_in, s_out);
+        self.lanes.push(SkuLane {
+            ty,
+            perf,
+            frontier: RefCell::new(None),
+        });
+        self.multi_memo.get_mut().clear();
+        self
+    }
+
+    /// Number of registered SKU lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The instance type behind lane `i`.
+    pub fn lane_type(&self, i: usize) -> &InstanceType {
+        &self.lanes[i].ty
+    }
+
+    /// Lane `i`'s performance model (that SKU's hardware under the shared
+    /// calibration scale).
+    pub fn lane_perf(&self, i: usize) -> &PerfModel {
+        &self.lanes[i].perf
+    }
+
+    /// `φ(C)` on lane `i` under the selected engine's estimator.
+    pub fn lane_throughput(&self, i: usize, c: &ParallelConfig) -> f64 {
+        let perf = &self.lanes[i].perf;
+        match self.engine {
+            EngineMode::FixedBatch => perf.throughput(c),
+            EngineMode::ContinuousBatching => perf.throughput_continuous(c),
+        }
+    }
+
+    /// `l_req(C, α)` on lane `i` under the selected engine's estimator.
+    pub fn lane_latency(&self, i: usize, c: &ParallelConfig, alpha: f64) -> SimDuration {
+        let perf = &self.lanes[i].perf;
+        match self.engine {
+            EngineMode::FixedBatch => perf.request_latency(c, alpha),
+            EngineMode::ContinuousBatching => perf.request_latency_continuous(c, alpha),
+        }
     }
 
     /// The engine mode whose estimator prices candidates.
@@ -406,6 +514,176 @@ impl ConfigOptimizer {
             instance_delta: needed as i64 - n_instances as i64,
         };
         self.memo.borrow_mut().insert(key, d);
+        d
+    }
+
+    // ---- Heterogeneous fleets: the joint (SKU, C, B) decision --------
+
+    /// Ensures lane `i`'s frontier exists and covers `ceiling` instances.
+    fn ensure_lane_frontier(&self, i: usize, ceiling: u32) {
+        let lane = &self.lanes[i];
+        let sufficient = lane
+            .frontier
+            .borrow()
+            .as_ref()
+            .is_some_and(|f| f.ceiling() >= ceiling);
+        if sufficient {
+            return;
+        }
+        let built = CandidateFrontier::new(
+            &lane.perf,
+            &self.mem,
+            &lane.ty.gpu,
+            &self.space,
+            lane.ty.gpus_per_instance,
+            ceiling.max(self.max_instances),
+        );
+        *lane.frontier.borrow_mut() = Some(built);
+    }
+
+    /// Lane `i`'s live frontier (must be ensured first).
+    fn lane_frontier_ref(&self, i: usize) -> Ref<'_, CandidateFrontier> {
+        Ref::map(self.lanes[i].frontier.borrow(), |o| {
+            o.as_ref().expect("lane frontier ensured by caller")
+        })
+    }
+
+    /// Joint maximum-throughput candidate across lanes within each lane's
+    /// current availability: maximize `φ`, break ties toward the lower
+    /// lane index, then canonical config order.
+    fn max_throughput_multi(
+        &self,
+        avail: &[u32],
+        mode: PricingMode,
+    ) -> Option<(usize, ParallelConfig)> {
+        let mut best: Option<(f64, std::cmp::Reverse<(usize, ParallelConfig)>)> = None;
+        for (i, &lane_avail) in avail.iter().enumerate().take(self.lanes.len()) {
+            if lane_avail == 0 {
+                continue;
+            }
+            self.ensure_lane_frontier(i, self.max_instances.max(lane_avail));
+            let fr = self.lane_frontier_ref(i);
+            for cand in fr.pruned_at(lane_avail, mode) {
+                let key = (cand.throughput(mode), std::cmp::Reverse((i, cand.config)));
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        key.partial_cmp(b).expect("throughput is finite")
+                            == std::cmp::Ordering::Greater
+                    }
+                };
+                if better {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(_, std::cmp::Reverse((i, c)))| (i, c))
+    }
+
+    /// Algorithm 1 over a heterogeneous fleet: given per-lane instance
+    /// availability `avail[i]` (same order as [`ConfigOptimizer::with_sku`]
+    /// registration), pick the best `(SKU, C, B)` jointly.
+    ///
+    /// The structure mirrors [`ConfigOptimizer::decide`] exactly, with the
+    /// lane index inserted into each tie-break:
+    ///
+    /// * if any lane has a sustaining configuration within its ceiling,
+    ///   minimize `(l_req, instances, lane, config)` across *all* lanes —
+    ///   a lane with zero availability today is still a valid growth
+    ///   target (that is the cross-SKU recovery path);
+    /// * otherwise maximize throughput over what is available right now,
+    ///   ties toward the lower lane index then canonical order.
+    ///
+    /// `now` is what can materialize immediately and may sit on a
+    /// *different* lane than `target` — the serving mesh stays single-SKU,
+    /// and the device mapper prices the cross-SKU migration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no lanes are registered or `avail.len()` differs from
+    /// the lane count.
+    pub fn decide_multi(&self, avail: &[u32], alpha: f64) -> MultiSkuDecision {
+        assert!(!self.lanes.is_empty(), "no SKU lanes registered");
+        assert_eq!(avail.len(), self.lanes.len(), "one entry per lane");
+        let mut key = MultiKey {
+            avail: [0; MAX_SKU_LANES],
+            alpha_bits: alpha.to_bits(),
+        };
+        key.avail[..avail.len()].copy_from_slice(avail);
+        if let Some(d) = self
+            .multi_memo
+            .borrow()
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, d)| *d)
+        {
+            return d;
+        }
+        let mode = self.pricing_mode();
+        // Joint line 3: minimum-(l_req, instances, lane, config) sustaining
+        // candidate, at each lane's ceiling (target) and within each
+        // lane's availability (now).
+        let mut target: Option<(SimDuration, u32, usize, ParallelConfig)> = None;
+        let mut now_sustaining: Option<(SimDuration, u32, usize, ParallelConfig)> = None;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let ceiling = self.max_instances.max(avail[i]);
+            self.ensure_lane_frontier(i, ceiling);
+            let fr = self.lane_frontier_ref(i);
+            for cand in fr.pruned_at(ceiling, mode) {
+                if cand.throughput(mode) < alpha {
+                    continue;
+                }
+                let k = (
+                    cand.latency(&lane.perf, mode, alpha),
+                    cand.instances,
+                    i,
+                    cand.config,
+                );
+                if target.is_none_or(|b| k < b) {
+                    target = Some(k);
+                }
+                if cand.instances <= avail[i] && now_sustaining.is_none_or(|b| k < b) {
+                    now_sustaining = Some(k);
+                }
+            }
+        }
+        let d = match target {
+            Some((_, needed, lane, config)) => {
+                let now = if needed <= avail[lane] {
+                    Some((lane, config))
+                } else {
+                    now_sustaining
+                        .map(|(_, _, i, c)| (i, c))
+                        .or_else(|| self.max_throughput_multi(avail, mode))
+                };
+                MultiSkuDecision {
+                    now,
+                    target: Some((lane, config)),
+                    instance_delta: needed as i64 - avail[lane] as i64,
+                }
+            }
+            None => {
+                // Joint line 5: nothing sustains anywhere — maximize
+                // throughput with the instances at hand.
+                let best = self.max_throughput_multi(avail, mode);
+                let delta = best
+                    .map(|(i, c)| {
+                        let gpi = self.lanes[i].ty.gpus_per_instance;
+                        c.instances_needed(gpi) as i64 - avail[i] as i64
+                    })
+                    .unwrap_or(0);
+                MultiSkuDecision {
+                    now: best,
+                    target: best,
+                    instance_delta: delta,
+                }
+            }
+        };
+        let mut memo = self.multi_memo.borrow_mut();
+        if memo.len() >= MEMO_CAP {
+            memo.clear();
+        }
+        memo.push((key, d));
         d
     }
 
@@ -870,6 +1148,117 @@ mod tests {
         let d_cont = cont.decide(12, 0.35);
         assert_ne!(d_fixed.now, d_cont.now, "estimator change changes picks");
         assert_eq!(d_cont, cont.decide_reference(12, 0.35));
+    }
+
+    // ---- Heterogeneous lanes -----------------------------------------
+
+    use cloudsim::InstanceType;
+
+    #[test]
+    fn single_t4_lane_reproduces_the_single_sku_decision() {
+        // A one-lane T4 fleet is the homogeneous problem in multi-SKU
+        // clothing: `paper_defaults` prices with
+        // `for_instance_type(t4()).with_scale(scale)` bitwise, so the
+        // joint decision must pick the same (config, delta).
+        let o = opt(ModelSpec::gpt_20b()).with_sku(InstanceType::t4());
+        for (n, alpha) in [(10u32, 0.35), (3, 0.35), (8, 0.35), (12, 0.05)] {
+            let single = o.decide(n, alpha);
+            let multi = o.decide_multi(&[n], alpha);
+            assert_eq!(multi.now.map(|(_, c)| c), single.now, "now at {n}/{alpha}");
+            assert_eq!(
+                multi.target.map(|(_, c)| c),
+                single.target,
+                "target at {n}/{alpha}"
+            );
+            assert_eq!(multi.instance_delta, single.instance_delta);
+            assert!(multi.now.iter().all(|&(lane, _)| lane == 0));
+        }
+    }
+
+    #[test]
+    fn collapsed_lane_recovers_on_another_sku() {
+        // T4 pool collapsed to zero, L4 pool healthy: the target must sit
+        // on the L4 lane, and `now` must be materializable there.
+        let o = opt(ModelSpec::gpt_20b())
+            .with_sku(InstanceType::t4())
+            .with_sku(InstanceType::l4());
+        let d = o.decide_multi(&[0, 10], 0.35);
+        let (lane, c) = d.target.expect("L4s can serve GPT-20B");
+        assert_eq!(lane, 1, "target recovers on the surviving SKU");
+        assert!(
+            o.lane_throughput(1, &c) >= 0.35,
+            "{c} must sustain 0.35 req/s on L4"
+        );
+        let (now_lane, now_c) = d.now.expect("10 L4 instances fit GPT-20B");
+        assert_eq!(now_lane, 1);
+        assert!(now_c.instances_needed(o.lane_type(1).gpus_per_instance) <= 10);
+    }
+
+    #[test]
+    fn faster_sku_wins_the_latency_objective() {
+        // Both lanes available: H100s dominate T4s on latency at equal
+        // request rate, so the joint minimum must come from the H100 lane.
+        let o = opt(ModelSpec::gpt_20b())
+            .with_sku(InstanceType::t4())
+            .with_sku(InstanceType::h100());
+        let d = o.decide_multi(&[8, 8], 0.35);
+        let (lane, c) = d.target.expect("sustaining config exists");
+        assert_eq!(lane, 1, "H100 lane wins, got {c} on lane {lane}");
+        // And the pick is the joint minimum: no sustaining candidate on
+        // either lane has a strictly lower (l, instances, lane, config).
+        let l = o.lane_latency(lane, &c, 0.35);
+        for i in 0..o.lane_count() {
+            let gpi = o.lane_type(i).gpus_per_instance;
+            let fr_configs: Vec<_> = {
+                let perf = o.lane_perf(i);
+                enumerate_configs(
+                    perf.model(),
+                    o.memory(),
+                    &o.lane_type(i).gpu,
+                    &ConfigSpace::default(),
+                    16 * gpi as u32,
+                )
+            };
+            for other in fr_configs {
+                if o.lane_throughput(i, &other) >= 0.35 {
+                    assert!(
+                        o.lane_latency(i, &other, 0.35) >= l,
+                        "{other} on lane {i} beats the pick"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_memo_is_transparent_and_bounded() {
+        let o = opt(ModelSpec::gpt_20b())
+            .with_sku(InstanceType::t4())
+            .with_sku(InstanceType::l4());
+        let first = o.decide_multi(&[6, 4], 0.35);
+        for _ in 0..3 {
+            assert_eq!(o.decide_multi(&[6, 4], 0.35), first);
+        }
+        // Overflow the memo and confirm the pinned answer survives.
+        for i in 0..(2 * MEMO_CAP as u32) {
+            let _ = o.decide_multi(&[6, 4], 0.05 + i as f64 * 0.013);
+        }
+        assert_eq!(o.decide_multi(&[6, 4], 0.35), first);
+    }
+
+    #[test]
+    fn model_too_big_for_lane_serves_now_on_the_capable_sku() {
+        // LLaMA-30B does not fit one L4 instance (4×24 GiB): with a single
+        // L4 available and T4s plentiful, `now` must materialize on the
+        // T4 lane — a starved lane stays a legal *growth* target, but it
+        // cannot serve today.
+        let o = opt(ModelSpec::llama_30b())
+            .with_sku(InstanceType::t4())
+            .with_sku(InstanceType::l4());
+        let d = o.decide_multi(&[8, 1], 0.2);
+        let (now_lane, now_c) = d.now.expect("8 T4 instances fit LLaMA-30B");
+        assert_eq!(now_lane, 0, "only the T4 fleet can serve now");
+        assert!(now_c.instances_needed(4) <= 8);
     }
 
     #[test]

@@ -20,26 +20,27 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use cloudsim::{
     AvailabilityTrace, CloudConfig, CloudEvent, CloudMarket, ColdStorage, InstanceId, InstanceKind,
-    PoolId, PoolSpec,
+    InstanceType, PoolId, PoolSpec,
 };
 use enginesim::{
     preemption_stop_time, recovery_worthwhile, BatchRun, ContextDaemon, IterationScheduler,
     PendingQueue, RequestRun,
 };
+use kmatch::SkuCaps;
 use llmsim::ModelSpec;
 use migration::{
     evaluate_plan, plan_migration, DeviceAssignment, MigrationPlan, MigrationTask, PlannerOptions,
 };
-use parallelism::ParallelConfig;
+use parallelism::{ParallelConfig, PerfModel};
 use simkit::event::EventKey;
 use simkit::{EventQueue, SimDuration, SimRng, SimTime};
 use workload::{LatencyReport, Request, WorkloadSpec};
 
-use fleetctl::{FleetController, FleetPolicy, FleetView, PoolView};
+use fleetctl::{FleetController, FleetPolicy, FleetView, PoolCaps, PoolView};
 
 use crate::config::{EngineMode, Policy, SystemOptions};
-use crate::devicemap::{map_devices, OldState};
-use crate::optimizer::{ConfigOptimizer, OptimizerDecision};
+use crate::devicemap::{map_devices_with_skus, OldState, SkuTable};
+use crate::optimizer::{ConfigOptimizer, MultiSkuDecision, OptimizerDecision};
 use crate::report::{ConfigChange, RunReport};
 
 /// A complete experiment input: model, availability trace, request stream.
@@ -179,6 +180,50 @@ struct Transition {
     deadline: Option<SimTime>,
 }
 
+/// Mixed-SKU fleet state. `None` whenever every pool leases the scenario's
+/// base instance type — the single-SKU decision, pricing, and placement
+/// paths then execute verbatim, keeping homogeneous replays byte-identical.
+#[derive(Debug)]
+struct HeteroState {
+    /// Optimizer lane index of each pool (lane order = first-seen SKU
+    /// order across the pool list).
+    pool_lane: Vec<usize>,
+    /// The lane whose SKU the serving mesh currently runs on (prices
+    /// running batches and the old side of a migration).
+    active_lane: usize,
+    /// The lane the latest decision's `now` config is shaped for (prices
+    /// the new mesh; placement draws from this lane's pools). Becomes
+    /// `active_lane` when the configuration is adopted.
+    decided_lane: usize,
+}
+
+/// The perf model pricing the *serving* mesh: the active lane's on a mixed
+/// fleet, the base model otherwise. A free function over the two fields so
+/// call sites holding disjoint `&mut` borrows of the system keep compiling.
+fn serving_perf<'a>(optimizer: &'a ConfigOptimizer, hetero: &Option<HeteroState>) -> &'a PerfModel {
+    match hetero {
+        None => optimizer.perf(),
+        Some(h) => optimizer.lane_perf(h.active_lane),
+    }
+}
+
+/// The perf model pricing the *decided* (incoming) mesh — differs from
+/// [`serving_perf`] only mid-transition on a mixed fleet.
+fn decided_perf<'a>(optimizer: &'a ConfigOptimizer, hetero: &Option<HeteroState>) -> &'a PerfModel {
+    match hetero {
+        None => optimizer.perf(),
+        Some(h) => optimizer.lane_perf(h.decided_lane),
+    }
+}
+
+/// The capability card kmatch prices cross-SKU edges with.
+fn sku_caps(ty: &InstanceType) -> SkuCaps {
+    SkuCaps {
+        memory_bytes: ty.gpu.memory_bytes,
+        link_bandwidth: ty.net.inter_bw,
+    }
+}
+
 /// The discrete-event serving simulation. See the crate-level example.
 pub struct ServingSystem {
     opts: SystemOptions,
@@ -220,6 +265,9 @@ pub struct ServingSystem {
     /// The bootstrap configuration (the `-Controller` ablation pins this).
     frozen_config: Option<ParallelConfig>,
     initial_fleet_target: u32,
+    /// Mixed-SKU fleet state; `None` on homogeneous fleets (see
+    /// [`HeteroState`]).
+    hetero: Option<HeteroState>,
 
     // Accounting.
     outstanding: usize,
@@ -247,7 +295,7 @@ impl ServingSystem {
         } else {
             llmsim::MemoryModel::default()
         };
-        let optimizer = ConfigOptimizer::new(
+        let mut optimizer = ConfigOptimizer::new(
             parallelism::PerfModel::paper_defaults(scenario.model.clone()),
             mem,
             scenario.cloud.instance_type.gpu,
@@ -259,6 +307,36 @@ impl ServingSystem {
         // that actually serves (fixed batch-fill delay vs iteration-level
         // slot turnover).
         .with_engine_mode(opts.engine);
+        // A pool leasing a different SKU than the base type turns on the
+        // heterogeneous decision path: one optimizer lane per distinct SKU,
+        // pools mapped onto lanes in first-seen order.
+        let base_ty = &scenario.cloud.instance_type;
+        let mixed = scenario
+            .pools
+            .iter()
+            .any(|p| p.instance_type.as_ref().is_some_and(|t| t != base_ty));
+        let hetero = if mixed {
+            let mut lane_types: Vec<InstanceType> = Vec::new();
+            let mut pool_lane = Vec::with_capacity(scenario.pools.len());
+            for p in &scenario.pools {
+                let ty = p.instance_type.clone().unwrap_or_else(|| base_ty.clone());
+                let lane = lane_types.iter().position(|t| *t == ty).unwrap_or_else(|| {
+                    lane_types.push(ty.clone());
+                    lane_types.len() - 1
+                });
+                pool_lane.push(lane);
+            }
+            for ty in lane_types {
+                optimizer = optimizer.with_sku(ty);
+            }
+            Some(HeteroState {
+                pool_lane,
+                active_lane: 0,
+                decided_lane: 0,
+            })
+        } else {
+            None
+        };
         let cloud = if scenario.pools.is_empty() {
             CloudMarket::single(
                 scenario.cloud.clone(),
@@ -307,6 +385,7 @@ impl ServingSystem {
             rerouting_shape: None,
             frozen_config: None,
             initial_fleet_target: 0,
+            hetero,
             outstanding: scenario.requests.len(),
             arrivals_seen: Vec::new(),
             slo_rejections: Vec::new(),
@@ -320,8 +399,13 @@ impl ServingSystem {
         }
     }
 
+    /// GPUs per instance of the SKU new configurations are shaped for (the
+    /// decided lane's on a mixed fleet, the base type's otherwise).
     fn gpus_per_instance(&self) -> u8 {
-        self.scenario.cloud.instance_type.gpus_per_instance
+        match &self.hetero {
+            None => self.scenario.cloud.instance_type.gpus_per_instance,
+            Some(h) => self.optimizer.lane_type(h.decided_lane).gpus_per_instance,
+        }
     }
 
     /// Instances usable for serving decisions: engine up, not being killed.
@@ -331,6 +415,81 @@ impl ServingSystem {
             .copied()
             .filter(|id| !self.noticed.contains_key(id))
             .collect()
+    }
+
+    /// The SKU lane instance `id` belongs to (mixed fleets only).
+    fn lane_of_instance(&self, id: InstanceId) -> usize {
+        let h = self.hetero.as_ref().expect("mixed fleet");
+        h.pool_lane[PoolId::of_instance(id).0 as usize]
+    }
+
+    /// Usable instances per lane, in lane registration order.
+    fn lane_avail(&self) -> Vec<u32> {
+        let mut avail = vec![0u32; self.optimizer.lane_count()];
+        for id in self.usable() {
+            avail[self.lane_of_instance(id)] += 1;
+        }
+        avail
+    }
+
+    /// Instances a new mesh may be placed on: every usable instance on a
+    /// homogeneous fleet; the decided lane's usable instances on a mixed
+    /// one (the serving mesh stays single-SKU).
+    fn placement_instances(&self) -> Vec<InstanceId> {
+        match &self.hetero {
+            None => self.usable(),
+            Some(h) => self
+                .usable()
+                .into_iter()
+                .filter(|&id| self.lane_of_instance(id) == h.decided_lane)
+                .collect(),
+        }
+    }
+
+    /// Maps a lane-annotated decision onto the legacy decision shape,
+    /// recording the decided lane and the target lane's fleet size.
+    fn apply_multi(&mut self, d: MultiSkuDecision) -> OptimizerDecision {
+        if let Some((lane, _)) = d.now {
+            self.hetero.as_mut().expect("mixed fleet").decided_lane = lane;
+        }
+        if let Some((lane, c)) = d.target {
+            self.fleet_target =
+                c.instances_needed(self.optimizer.lane_type(lane).gpus_per_instance);
+        }
+        OptimizerDecision {
+            now: d.now.map(|(_, c)| c),
+            target: d.target.map(|(_, c)| c),
+            instance_delta: d.instance_delta,
+        }
+    }
+
+    /// Algorithm 1 for the serving loop: the legacy single-SKU path on a
+    /// homogeneous fleet (bit-identical to the pre-SKU system), the joint
+    /// `(SKU, C, B)` decision across lanes on a mixed one.
+    fn decide_serving(&mut self, n: u32, alpha: f64) -> OptimizerDecision {
+        if self.hetero.is_none() {
+            let d = self.optimizer.decide_with_incumbent(n, alpha, self.current);
+            self.note_target(&d);
+            return d;
+        }
+        let d = self.optimizer.decide_multi(&self.lane_avail(), alpha);
+        self.apply_multi(d)
+    }
+
+    /// `φ(C)` of the serving mesh under its own SKU's estimator.
+    fn serving_throughput(&self, c: &ParallelConfig) -> f64 {
+        match &self.hetero {
+            None => self.optimizer.estimated_throughput(c),
+            Some(h) => self.optimizer.lane_throughput(h.active_lane, c),
+        }
+    }
+
+    /// `l_req(C, α)` of a config on the serving mesh's SKU.
+    fn serving_latency(&self, c: &ParallelConfig, alpha: f64) -> SimDuration {
+        match &self.hetero {
+            None => self.optimizer.estimated_latency(c, alpha),
+            Some(h) => self.optimizer.lane_latency(h.active_lane, c, alpha),
+        }
     }
 
     fn sample_fleet(&mut self) {
@@ -451,19 +610,35 @@ impl ServingSystem {
             _ => {
                 // Reactive keeps the paper's single-market view (pool 0);
                 // the controller policies size against every pool.
-                let cap = if self.opts.fleet_policy.is_reactive() {
-                    self.cloud.current_capacity()
+                let target = if self.hetero.is_some() {
+                    // Mixed fleet: size against per-lane pool capacities;
+                    // the joint decision already prices each lane's SKU.
+                    let h = self.hetero.as_ref().expect("mixed fleet");
+                    let mut cap = vec![0u32; self.optimizer.lane_count()];
+                    for (pid, &lane) in h.pool_lane.iter().enumerate() {
+                        cap[lane] += self.cloud.capacity_in(PoolId(pid as u32));
+                    }
+                    let d = self.optimizer.decide_multi(&cap, alpha);
+                    self.apply_multi(d);
+                    self.fleet_target
                 } else {
-                    self.cloud.total_capacity()
+                    let cap = if self.opts.fleet_policy.is_reactive() {
+                        self.cloud.current_capacity()
+                    } else {
+                        self.cloud.total_capacity()
+                    };
+                    let decision = self.optimizer.decide(cap, alpha);
+                    self.note_target(&decision);
+                    decision
+                        .target
+                        .map(|c| c.instances_needed(self.gpus_per_instance()))
+                        .unwrap_or(0)
                 };
-                let decision = self.optimizer.decide(cap, alpha);
-                self.note_target(&decision);
-                let target = decision
-                    .target
-                    .map(|c| c.instances_needed(self.gpus_per_instance()))
-                    .unwrap_or(0);
                 let want = target + self.opts.spare_instances;
-                let ids = if matches!(self.opts.fleet_policy, FleetPolicy::SpotHedge { .. }) {
+                let ids = if matches!(
+                    self.opts.fleet_policy,
+                    FleetPolicy::SpotHedge { .. } | FleetPolicy::CostAwareHedge { .. }
+                ) {
                     // Hedged warm start: spread target + spares + hedge
                     // across pools so no zone holds a fleet-killing share.
                     let caps: Vec<u32> = (0..self.cloud.pool_count())
@@ -493,7 +668,13 @@ impl ServingSystem {
         }
         // Adopt the initial configuration at zero cost (pre-loaded).
         let n = self.ready.len() as u32;
-        let decision = self.optimizer.decide(n, alpha);
+        let decision = match &self.hetero {
+            None => self.optimizer.decide(n, alpha),
+            Some(_) => {
+                let d = self.optimizer.decide_multi(&self.lane_avail(), alpha);
+                self.apply_multi(d)
+            }
+        };
         self.frozen_config = decision.now;
         if let Some(cfg) = self.pick_config(decision.now, n) {
             self.adopt_config(cfg, SimDuration::ZERO, 0, 0);
@@ -654,7 +835,12 @@ impl ServingSystem {
             let id = slot.id;
             let take = (cfg.batch as usize).min(self.pending.len());
             let reqs: Vec<Request> = self.pending.drain_front(take).collect();
-            let run = BatchRun::start(reqs, &cfg, self.now, self.optimizer.perf());
+            let run = BatchRun::start(
+                reqs,
+                &cfg,
+                self.now,
+                serving_perf(&self.optimizer, &self.hetero),
+            );
             let finish = run.finish_time();
             let key = self.events.schedule(finish, Ev::BatchDone { pipeline: id });
             let slot = &mut self.pipelines[pi];
@@ -704,7 +890,11 @@ impl ServingSystem {
                 .scheduler_mut()
                 .expect("just attached");
             if sched.next_event().is_none() {
-                sched.admit(&mut self.pending, now, self.optimizer.perf());
+                sched.admit(
+                    &mut self.pending,
+                    now,
+                    serving_perf(&self.optimizer, &self.hetero),
+                );
                 let next = sched.next_event();
                 self.drain_rejections(pi);
                 if let Some(t) = next {
@@ -721,7 +911,7 @@ impl ServingSystem {
         // upcoming boundary among those with room); the others keep
         // decoding undisturbed. A request that fits *nowhere* ends the
         // scan: that is capacity head-blocking, unchanged from before.
-        let perf = self.optimizer.perf();
+        let perf = serving_perf(&self.optimizer, &self.hetero);
         let mut target: Option<(usize, Request)> = None;
         for r in self.pending.iter() {
             let mut fits_somewhere = false;
@@ -777,7 +967,11 @@ impl ServingSystem {
         let Some(sched) = self.pipelines[pipeline].daemon.scheduler_mut() else {
             return;
         };
-        let retired = sched.advance(now, &mut self.pending, self.optimizer.perf());
+        let retired = sched.advance(
+            now,
+            &mut self.pending,
+            serving_perf(&self.optimizer, &self.hetero),
+        );
         let next = sched.next_event();
         self.drain_rejections(pipeline);
         for request in retired {
@@ -943,15 +1137,19 @@ impl ServingSystem {
         }
         let alpha = self.rate_estimate();
         let n = self.usable().len() as u32;
-        let decision = self.optimizer.decide_with_incumbent(n, alpha, self.current);
-        self.note_target(&decision);
+        let decision = self.decide_serving(n, alpha);
         let next = self.pick_config(decision.now, n);
         self.manage_fleet(decision.instance_delta);
-        if next != self.current {
+        let lane_change = self
+            .hetero
+            .as_ref()
+            .is_some_and(|h| h.decided_lane != h.active_lane);
+        if next != self.current || lane_change {
             let worthwhile = match (self.current, next) {
                 (Some(cur), Some(new)) => {
-                    // Batch-only changes are free: always take them.
-                    if cur.mesh_key() == new.mesh_key() {
+                    // Batch-only changes are free: always take them (a
+                    // mesh key only matches within one SKU's lane).
+                    if cur.mesh_key() == new.mesh_key() && !lane_change {
                         true
                     } else {
                         let backlog = self.pending.len();
@@ -961,11 +1159,13 @@ impl ServingSystem {
                         // serving capability is incompatible with the
                         // workload, not on estimator noise). Priced with
                         // the serving engine's own estimator.
-                        let overloaded =
-                            self.optimizer.estimated_throughput(&cur) < alpha && backlog > cap;
+                        let overloaded = self.serving_throughput(&cur) < alpha && backlog > cap;
                         // Or a large predicted latency win while calm.
-                        let cur_l = self.optimizer.estimated_latency(&cur, alpha);
-                        let new_l = self.optimizer.estimated_latency(&new, alpha);
+                        let cur_l = self.serving_latency(&cur, alpha);
+                        let new_l = match &self.hetero {
+                            None => self.optimizer.estimated_latency(&new, alpha),
+                            Some(h) => self.optimizer.lane_latency(h.decided_lane, &new, alpha),
+                        };
                         let big_win =
                             backlog <= cap && new_l.as_secs_f64() < cur_l.as_secs_f64() * 0.7;
                         overloaded || big_win
@@ -1012,6 +1212,19 @@ impl ServingSystem {
             pool.provisioning_spot = self.cloud.provisioning_spot_in(pid);
             pool.queued_spot = self.cloud.pending_spot_in(pid);
             pool.capacity = self.cloud.capacity_in(pid);
+            // The pool's capability/price card: price-blind policies
+            // ignore it; the cost-aware hedge masks and biases by it.
+            let ty = self.cloud.instance_type_in(pid);
+            pool.caps = PoolCaps::of(ty);
+            pool.caps.fits_model = self
+                .optimizer
+                .memory()
+                .min_gpus(
+                    &self.scenario.model,
+                    &ty.gpu,
+                    self.opts.max_instances * ty.gpus_per_instance as u32,
+                )
+                .is_some();
         }
         FleetView {
             pools,
@@ -1047,7 +1260,15 @@ impl ServingSystem {
             }
         }
         if cmd.ondemand > 0 {
-            self.cloud.request_on_demand(self.now, cmd.ondemand);
+            match cmd.ondemand_pool {
+                // Cost-aware routing: the backstop lands in the named
+                // pool (and inherits its SKU). Price-blind policies leave
+                // this `None` — the legacy pool-0 path, byte-identical.
+                Some(p) => self
+                    .cloud
+                    .request_on_demand_in(self.now, PoolId(p), cmd.ondemand),
+                None => self.cloud.request_on_demand(self.now, cmd.ondemand),
+            }
         }
         if cmd.release > 0 {
             // Idle instances only, on-demand first (the Algorithm 1
@@ -1219,11 +1440,14 @@ impl ServingSystem {
         }
         let alpha = self.rate_estimate();
         let n = self.usable().len() as u32;
-        let decision = self.optimizer.decide_with_incumbent(n, alpha, self.current);
-        self.note_target(&decision);
+        let decision = self.decide_serving(n, alpha);
         let target = self.pick_config(decision.now, n);
         self.manage_fleet(decision.instance_delta);
-        if target == self.current && deadline.is_none() {
+        let lane_change = self
+            .hetero
+            .as_ref()
+            .is_some_and(|h| h.decided_lane != h.active_lane);
+        if target == self.current && deadline.is_none() && !lane_change {
             return;
         }
         self.epoch += 1;
@@ -1248,7 +1472,7 @@ impl ServingSystem {
         let Some(cfg) = target else {
             return SimDuration::ZERO;
         };
-        let usable = self.usable();
+        let usable = self.placement_instances();
         let needed = cfg.instances_needed(self.gpus_per_instance()) as usize;
         if usable.len() < needed {
             return SimDuration::ZERO;
@@ -1256,7 +1480,9 @@ impl ServingSystem {
         let (plan, _) = self.build_plan(cfg, &usable, SimTime::MAX);
         let tl = evaluate_plan(
             &plan,
-            self.optimizer.perf().cost_model().net(),
+            decided_perf(&self.optimizer, &self.hetero)
+                .cost_model()
+                .net(),
             &self.scenario.storage,
         );
         tl.total
@@ -1293,13 +1519,37 @@ impl ServingSystem {
             cache_bytes_per_pipeline: cache_bytes.clone(),
             progress_per_pipeline: progress,
         };
-        let outcome = map_devices(
+        // On a mixed fleet the mapper prices edges with each SKU's
+        // capability card: forbidden where the shard exceeds the target
+        // GPU's memory, discounted where the reuse crosses into a slower
+        // fabric. Homogeneous fleets pass no table — the legacy matrix.
+        let caps_of =
+            |id: InstanceId| sku_caps(self.cloud.instance_type_in(PoolId::of_instance(id)));
+        let table = self.hetero.as_ref().map(|h| {
+            let src_lane = self
+                .assignment
+                .instances()
+                .first()
+                .map(|&id| self.lane_of_instance(id))
+                .unwrap_or(h.active_lane);
+            SkuTable {
+                caps_of: &caps_of,
+                src: sku_caps(self.optimizer.lane_type(src_lane)),
+                required_bytes_per_gpu: self.optimizer.memory().required_bytes_per_gpu(
+                    &self.scenario.model,
+                    cfg.pipeline,
+                    cfg.tensor,
+                ),
+            }
+        });
+        let outcome = map_devices_with_skus(
             &self.scenario.model,
             &cfg,
             instances,
             self.gpus_per_instance(),
             &old,
             !self.opts.ablation.no_device_mapper,
+            table.as_ref(),
         );
         let planner_opts = PlannerOptions {
             memory_optimized: !self.opts.ablation.no_migration_planner,
@@ -1315,7 +1565,9 @@ impl ServingSystem {
             cache_bytes_per_pipeline: cache_bytes,
             pipeline_inheritance: outcome.inheritance.clone(),
         };
-        let net = self.optimizer.perf().cost_model().net();
+        let net = decided_perf(&self.optimizer, &self.hetero)
+            .cost_model()
+            .net();
         let plan = plan_migration(&task, &planner_opts);
         let tl = evaluate_plan(&plan, net, &self.scenario.storage);
         if self.now + tl.total > deadline {
@@ -1342,14 +1594,19 @@ impl ServingSystem {
         // decoding through the grace period).
         let alpha = self.rate_estimate();
         let n = self.usable().len() as u32;
-        let decision = self.optimizer.decide_with_incumbent(n, alpha, self.current);
-        self.note_target(&decision);
+        let decision = self.decide_serving(n, alpha);
         let target = self.pick_config(decision.now, n);
+        let lane_change = self
+            .hetero
+            .as_ref()
+            .is_some_and(|h| h.decided_lane != h.active_lane);
 
         // Batch-size-only change: same mesh, nothing to migrate — adopt
         // instantly without touching running batches or resident context.
+        // A mesh key only matches within one SKU: crossing lanes always
+        // migrates.
         if let (Some(cur), Some(cfg)) = (self.current, target) {
-            if cur.mesh_key() == cfg.mesh_key() && cur != cfg {
+            if cur.mesh_key() == cfg.mesh_key() && cur != cfg && !lane_change {
                 self.current = Some(cfg);
                 self.context_shape = Some(cfg);
                 // Running schedulers adopt the new batch capacity in place.
@@ -1369,7 +1626,7 @@ impl ServingSystem {
                 self.dispatch_all();
                 return;
             }
-            if cur == cfg && deadline.is_none() {
+            if cur == cfg && deadline.is_none() && !lane_change {
                 self.transition = None;
                 return;
             }
@@ -1396,14 +1653,16 @@ impl ServingSystem {
 
         match self.opts.policy {
             Policy::SpotServe => {
-                let usable = self.usable();
+                let usable = self.placement_instances();
                 let (plan, outcome) =
                     self.build_plan(cfg, &usable, deadline.unwrap_or(SimTime::MAX));
-                let net = *self.optimizer.perf().cost_model().net();
+                let net = *decided_perf(&self.optimizer, &self.hetero)
+                    .cost_model()
+                    .net();
                 let tl = evaluate_plan(&plan, &net, &self.scenario.storage);
                 // Stage step for progressive overlap: one stage's share of
-                // a prefill pass.
-                let perf = self.optimizer.perf();
+                // a prefill pass (the incoming mesh's SKU sets the pace).
+                let perf = decided_perf(&self.optimizer, &self.hetero);
                 let (s_in, _) = perf.sequence_shape();
                 let stage_step = perf.cost_model().prefill_time(
                     &self.scenario.model,
@@ -1522,7 +1781,7 @@ impl ServingSystem {
                             .map(|r| r.request().s_in)
                             .max()
                             .expect("non-empty");
-                        let cost = self.optimizer.perf().cost_model();
+                        let cost = decided_perf(&self.optimizer, &self.hetero).cost_model();
                         let prefill = cost.prefill_time(
                             &self.scenario.model,
                             cfg.pipeline,
@@ -1589,7 +1848,7 @@ impl ServingSystem {
                         .scenario
                         .storage
                         .load_time(self.scenario.model.param_bytes(), instances);
-                let usable = self.usable();
+                let usable = self.placement_instances();
                 let gpus: Vec<cloudsim::GpuRef> = usable
                     .iter()
                     .flat_map(|&i| {
@@ -1617,7 +1876,7 @@ impl ServingSystem {
         migrated: u64,
         reloaded: u64,
     ) {
-        let usable = self.usable();
+        let usable = self.placement_instances();
         let gpus: Vec<cloudsim::GpuRef> = usable
             .iter()
             .flat_map(|&i| (0..self.gpus_per_instance()).map(move |s| cloudsim::GpuRef::new(i, s)))
@@ -1647,6 +1906,10 @@ impl ServingSystem {
         carried: Vec<Option<Carried>>,
     ) {
         self.epoch += 1;
+        // The decided SKU's mesh takes over: pricing follows it from here.
+        if let Some(h) = &mut self.hetero {
+            h.active_lane = h.decided_lane;
+        }
         let resume_at = self.now + pause;
         self.current = Some(cfg);
         self.context_shape = Some(cfg);
@@ -1679,9 +1942,20 @@ impl ServingSystem {
                         }
                     }
                     let run = if committed == 0 {
-                        BatchRun::start(reqs, &cfg, resume_at, self.optimizer.perf())
+                        BatchRun::start(
+                            reqs,
+                            &cfg,
+                            resume_at,
+                            serving_perf(&self.optimizer, &self.hetero),
+                        )
                     } else {
-                        BatchRun::resume(reqs, &cfg, resume_at, self.optimizer.perf(), committed)
+                        BatchRun::resume(
+                            reqs,
+                            &cfg,
+                            resume_at,
+                            serving_perf(&self.optimizer, &self.hetero),
+                            committed,
+                        )
                     };
                     let finish = run.finish_time();
                     let id = self.pipelines[d].id;
@@ -1704,7 +1978,7 @@ impl ServingSystem {
                     .restore_within_budget(
                         records,
                         resume_at,
-                        self.optimizer.perf(),
+                        serving_perf(&self.optimizer, &self.hetero),
                     );
                     for req in dropped.into_iter().rev() {
                         self.pending.push_front(req);
@@ -1950,6 +2224,76 @@ mod tests {
         let scenario = small_scenario(AvailabilityTrace::paper_bs(), 1.0, 29);
         let report = ServingSystem::new(SystemOptions::on_demand_only(5), scenario).run();
         assert_eq!(report.preemptions, 0);
+        assert_eq!(report.unfinished, 0);
+    }
+
+    /// The tentpole's acceptance scenario in miniature: the A100 spot pool
+    /// collapses, the L4 pool stays healthy, and an H100 pool offers only
+    /// on-demand capacity. The system must re-serve on a *different* SKU
+    /// and finish every request.
+    fn mixed_sku_scenario(seed: u64) -> Scenario {
+        let a100 =
+            AvailabilityTrace::from_steps(vec![(SimTime::ZERO, 6), (SimTime::from_secs(60), 0)]);
+        small_scenario(AvailabilityTrace::constant(0), 0.8, seed).with_pools(vec![
+            PoolSpec::new("a100", a100).with_instance_type(InstanceType::a100()),
+            PoolSpec::new("l4", AvailabilityTrace::constant(6))
+                .with_instance_type(InstanceType::l4()),
+            PoolSpec::new("h100", AvailabilityTrace::constant(0))
+                .with_instance_type(InstanceType::h100()),
+        ])
+    }
+
+    #[test]
+    fn mixed_sku_collapse_recovers_on_another_sku_without_loss() {
+        let opts =
+            SystemOptions::spotserve().with_fleet_policy(fleetctl::FleetPolicy::cost_aware_hedge());
+        let report = ServingSystem::new(opts, mixed_sku_scenario(41)).run();
+        assert_eq!(
+            report.unfinished, 0,
+            "zero request loss across the SKU switch"
+        );
+        assert!(report.preemptions >= 1, "the A100 collapse was observed");
+        assert!(
+            report
+                .config_changes
+                .iter()
+                .any(|c| c.config.is_some() && c.at > SimTime::from_secs(60)),
+            "a post-collapse configuration was adopted"
+        );
+        assert!(report.cost_usd > 0.0);
+    }
+
+    #[test]
+    fn mixed_sku_runs_are_deterministic() {
+        let run = || {
+            let opts = SystemOptions::spotserve()
+                .with_fleet_policy(fleetctl::FleetPolicy::cost_aware_hedge());
+            let mut r = ServingSystem::new(opts, mixed_sku_scenario(43)).run();
+            (
+                r.latency.percentiles().mean,
+                r.cost_usd.to_bits(),
+                r.config_changes.len(),
+                r.preemptions,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn homogeneous_pools_never_build_hetero_state() {
+        // Multi-pool but single-SKU: the hetero axis must stay off so the
+        // legacy decision path executes verbatim.
+        let scenario = small_scenario(AvailabilityTrace::constant(0), 0.8, 47).with_pools(vec![
+            PoolSpec::new("z0", AvailabilityTrace::constant(3)),
+            PoolSpec::new("z1", AvailabilityTrace::constant(3))
+                .with_instance_type(cloudsim::InstanceType::g4dn_12xlarge()),
+        ]);
+        let sys = ServingSystem::new(
+            SystemOptions::spotserve().with_fleet_policy(fleetctl::FleetPolicy::spot_hedge()),
+            scenario,
+        );
+        assert!(sys.hetero.is_none(), "explicit base SKU is not mixed");
+        let report = sys.run();
         assert_eq!(report.unfinished, 0);
     }
 

@@ -1,10 +1,58 @@
 //! The fleet controller: snapshot in, acquisition command out.
 
+use cloudsim::InstanceType;
 use simkit::{SimDuration, SimTime};
 
 use crate::estimator::PreemptionEstimator;
 use crate::policy::FleetPolicy;
 use crate::spread;
+
+/// One pool's capability and price card: what the controller needs to
+/// hedge across unlike SKUs. Prices are integer cents per hour so the
+/// snapshot types keep their derived `Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolCaps {
+    /// The pool's instance-type name (e.g. `"g4dn.12xlarge"`).
+    pub sku: &'static str,
+    /// Spot price, cents per instance-hour.
+    pub spot_cents_per_hour: u32,
+    /// On-demand price, cents per instance-hour.
+    pub ondemand_cents_per_hour: u32,
+    /// GPUs per instance of this SKU.
+    pub gpus_per_instance: u8,
+    /// Whether the served model fits this SKU at all (any enumerable
+    /// configuration) — set by the serving system, which owns the memory
+    /// model. Incapable pools are invisible to capability-aware policies.
+    pub fits_model: bool,
+}
+
+impl PoolCaps {
+    /// The capability card of `ty`, assuming the model fits (the caller
+    /// owns the memory model and clears [`PoolCaps::fits_model`] itself).
+    pub fn of(ty: &InstanceType) -> Self {
+        PoolCaps {
+            sku: ty.name,
+            spot_cents_per_hour: (ty.spot_price_per_hour * 100.0).round() as u32,
+            ondemand_cents_per_hour: (ty.ondemand_price_per_hour * 100.0).round() as u32,
+            gpus_per_instance: ty.gpus_per_instance,
+            fits_model: true,
+        }
+    }
+}
+
+impl Default for PoolCaps {
+    /// An anonymous, free, capable pool: price-blind policies behave
+    /// identically whether or not anyone filled the card in.
+    fn default() -> Self {
+        PoolCaps {
+            sku: "",
+            spot_cents_per_hour: 0,
+            ondemand_cents_per_hour: 0,
+            gpus_per_instance: 4,
+            fits_model: true,
+        }
+    }
+}
 
 /// One pool's state as the controller sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -20,6 +68,8 @@ pub struct PoolView {
     pub queued_spot: u32,
     /// The pool's current trace capacity.
     pub capacity: u32,
+    /// The pool's SKU capability card (ignored by price-blind policies).
+    pub caps: PoolCaps,
 }
 
 impl PoolView {
@@ -72,6 +122,9 @@ pub struct FleetCommand {
     pub cancel_spot: Vec<u32>,
     /// Additional on-demand instances to request.
     pub ondemand: u32,
+    /// Which pool the on-demand request should land in (its SKU, its
+    /// bill). `None` keeps the legacy routing: pool 0.
+    pub ondemand_pool: Option<u32>,
     /// Surplus instances to release (idle first, on-demand before spot —
     /// the Algorithm 1 line 10 release priority).
     pub release: u32,
@@ -83,6 +136,7 @@ impl FleetCommand {
             spot: vec![0; n_pools],
             cancel_spot: vec![0; n_pools],
             ondemand: 0,
+            ondemand_pool: None,
             release: 0,
         }
     }
@@ -143,6 +197,11 @@ impl FleetController {
             min_hedge,
             max_hedge,
             ..
+        }
+        | FleetPolicy::CostAwareHedge {
+            min_hedge,
+            max_hedge,
+            ..
         } = policy
         {
             assert!(
@@ -179,13 +238,18 @@ impl FleetController {
     /// kills over one grant delay), clamped to the policy's bounds. Zero
     /// for non-hedge policies.
     pub fn hedge(&self, target: u32, caps: &[u32], now: SimTime) -> u32 {
-        let FleetPolicy::SpotHedge {
-            min_hedge,
-            max_hedge,
-            ..
-        } = self.policy
-        else {
-            return 0;
+        let (min_hedge, max_hedge) = match self.policy {
+            FleetPolicy::SpotHedge {
+                min_hedge,
+                max_hedge,
+                ..
+            }
+            | FleetPolicy::CostAwareHedge {
+                min_hedge,
+                max_hedge,
+                ..
+            } => (min_hedge, max_hedge),
+            _ => return 0,
         };
         let churn = self.estimator.expected_kills(now, self.grant_delay).ceil() as u32;
         let zone_floor = Self::zone_safe_hedge(target, caps);
@@ -276,9 +340,66 @@ impl FleetController {
                 let live = view.live_spot() + view.live_ondemand;
                 cmd.release = live.saturating_sub(desired_total);
             }
+            FleetPolicy::CostAwareHedge {
+                ondemand_backstop, ..
+            } => {
+                // Capability mask: pools whose SKU cannot host the model
+                // contribute no capacity and receive no requests.
+                let caps: Vec<u32> = view
+                    .pools
+                    .iter()
+                    .map(|p| if p.caps.fits_model { p.capacity } else { 0 })
+                    .collect();
+                let hedge = self.hedge(view.target, &caps, now);
+                let desired_total = view.target + view.spares + hedge;
+                // Price-ordered spread: same share *multiset* as the even
+                // spread (so one-outage survivability is unchanged), with
+                // the remainder shares biased toward cheap spot pools.
+                let alloc = spread_by_price(desired_total, &caps, |i| {
+                    view.pools[i].caps.spot_cents_per_hour
+                });
+                for (i, (&want, pool)) in alloc.iter().zip(&view.pools).enumerate() {
+                    let have = pool.committed();
+                    cmd.spot[i] = want.saturating_sub(have);
+                    cmd.cancel_spot[i] = have.saturating_sub(want).min(pool.queued_spot);
+                }
+                if ondemand_backstop {
+                    let spot_reachable: u32 = alloc.iter().sum();
+                    cmd.ondemand = view.target.saturating_sub(
+                        spot_reachable + view.live_ondemand + view.pending_ondemand,
+                    );
+                    // The backstop lands in the cheapest *capable* pool —
+                    // its SKU, its bill — instead of defaulting to pool 0.
+                    cmd.ondemand_pool = view
+                        .pools
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.caps.fits_model)
+                        .min_by_key(|(i, p)| (p.caps.ondemand_cents_per_hour, *i))
+                        .map(|(i, _)| i as u32);
+                }
+                let live = view.live_spot() + view.live_ondemand;
+                cmd.release = live.saturating_sub(desired_total);
+            }
         }
         cmd
     }
+}
+
+/// [`spread`] with the pools visited cheapest-first: permute capacities by
+/// `(price, index)`, spread, unpermute. The resulting share multiset is
+/// identical to the even spread's (spreading is order-blind up to
+/// remainder placement), so hedge sizing transfers unchanged.
+fn spread_by_price(total: u32, caps: &[u32], price: impl Fn(usize) -> u32) -> Vec<u32> {
+    let mut order: Vec<usize> = (0..caps.len()).collect();
+    order.sort_by_key(|&i| (price(i), i));
+    let permuted: Vec<u32> = order.iter().map(|&i| caps[i]).collect();
+    let permuted_alloc = spread(total, &permuted);
+    let mut alloc = vec![0u32; caps.len()];
+    for (slot, &i) in order.iter().enumerate() {
+        alloc[i] = permuted_alloc[slot];
+    }
+    alloc
 }
 
 #[cfg(test)]
@@ -489,6 +610,136 @@ mod tests {
             cmd.cancel_spot[0] > 0,
             "queued surplus is cancelled: {cmd:?}"
         );
+    }
+
+    // ---- Cost-aware hedging ------------------------------------------
+
+    fn priced_pool(cap: u32, spot_cents: u32, od_cents: u32, fits: bool) -> PoolView {
+        PoolView {
+            capacity: cap,
+            caps: PoolCaps {
+                sku: "x",
+                spot_cents_per_hour: spot_cents,
+                ondemand_cents_per_hour: od_cents,
+                gpus_per_instance: 4,
+                fits_model: fits,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pool_caps_card_reads_off_the_instance_type() {
+        let l4 = PoolCaps::of(&InstanceType::l4());
+        assert_eq!(l4.sku, "g6.12xlarge");
+        assert_eq!(l4.gpus_per_instance, 4);
+        assert!(l4.spot_cents_per_hour < l4.ondemand_cents_per_hour);
+        assert!(l4.fits_model, "capability defaults to capable");
+    }
+
+    #[test]
+    fn cost_aware_biases_the_remainder_toward_cheap_spot() {
+        let c = ctl(FleetPolicy::cost_aware_hedge(), 3);
+        // Target 5 hedges to a desired total of 8 over three pools — an
+        // uneven 3/3/2 spread. The even spread leaves the short share on
+        // the last pool; price order (pool 2 cheapest, pool 1 dearest)
+        // must instead short the most expensive pool.
+        let view = FleetView {
+            pools: vec![
+                priced_pool(8, 190, 390, true),
+                priced_pool(8, 300, 390, true),
+                priced_pool(8, 45, 460, true),
+            ],
+            target: 5,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, SimTime::ZERO);
+        let total: u32 = cmd.spot.iter().sum();
+        assert!(
+            cmd.spot[1] < cmd.spot[2],
+            "dearest pool gets the short share: {cmd:?}"
+        );
+        assert!(cmd.spot[0] >= cmd.spot[1] && cmd.spot[2] >= cmd.spot[0]);
+        // Survivability transfers from the even spread: losing the biggest
+        // share keeps the target.
+        assert!(total - cmd.spot.iter().max().unwrap() >= view.target);
+    }
+
+    #[test]
+    fn cost_aware_excludes_incapable_pools() {
+        let c = ctl(FleetPolicy::cost_aware_hedge(), 3);
+        // Pool 1's SKU cannot host the model: nothing may be requested
+        // there, however cheap it is.
+        let view = FleetView {
+            pools: vec![
+                priced_pool(8, 190, 390, true),
+                priced_pool(8, 10, 50, false),
+                priced_pool(8, 180, 460, true),
+            ],
+            target: 4,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, SimTime::ZERO);
+        assert_eq!(cmd.spot[1], 0, "incapable pool gets nothing: {cmd:?}");
+        assert!(cmd.spot[0] + cmd.spot[2] >= 4);
+    }
+
+    #[test]
+    fn cost_aware_backstop_routes_to_the_cheapest_capable_pool() {
+        let c = ctl(FleetPolicy::cost_aware_hedge(), 3);
+        // Every pool is short: the bridge must land in pool 2 (cheapest
+        // *capable* on-demand), not pool 0 and not the incapable pool 1.
+        let view = FleetView {
+            pools: vec![
+                priced_pool(1, 190, 390, true),
+                priced_pool(0, 10, 50, false),
+                priced_pool(1, 180, 330, true),
+            ],
+            target: 6,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, SimTime::ZERO);
+        assert_eq!(cmd.ondemand, 4, "2 reachable spot, 4 bridged: {cmd:?}");
+        assert_eq!(cmd.ondemand_pool, Some(2));
+    }
+
+    #[test]
+    fn price_blind_policies_leave_ondemand_routing_alone() {
+        for policy in [
+            FleetPolicy::ReactiveSpot,
+            FleetPolicy::OnDemandFallback,
+            FleetPolicy::spot_hedge(),
+        ] {
+            let c = ctl(policy, 2);
+            let view = FleetView {
+                pools: vec![priced_pool(1, 190, 390, true); 2],
+                target: 6,
+                spares: 0,
+                ..Default::default()
+            };
+            let cmd = c.command(&view, SimTime::ZERO);
+            assert_eq!(cmd.ondemand_pool, None, "{policy:?} stays legacy");
+        }
+    }
+
+    #[test]
+    fn spread_by_price_preserves_the_share_multiset() {
+        let caps = [5u32, 8, 8, 3];
+        let prices = [400u32, 100, 300, 50];
+        for total in 0..=24u32 {
+            let even = spread(total, &caps);
+            let priced = spread_by_price(total, &caps, |i| prices[i]);
+            let mut a: Vec<u32> = even.clone();
+            let mut b: Vec<u32> = priced.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "total {total}: {even:?} vs {priced:?}");
+            assert_eq!(priced.iter().sum::<u32>(), even.iter().sum::<u32>());
+            assert!(priced.iter().zip(&caps).all(|(x, c)| x <= c));
+        }
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   the hedge so that losing any *single* pool still leaves at least
 //!   `target` live instances, inflated further when the
 //!   [`PreemptionEstimator`] observes churn.
+//! * [`FleetPolicy::CostAwareHedge`] — the hedge for heterogeneous
+//!   fleets: each pool carries a [`PoolCaps`] capability/price card,
+//!   incapable SKUs are excluded, the spread biases toward cheap spot,
+//!   and the on-demand backstop lands in the cheapest capable pool.
 //!
 //! The controller is pure decision logic over a [`FleetView`] snapshot —
 //! it holds no cloud handles — which keeps it deterministic, replayable,
@@ -33,7 +37,7 @@ pub mod controller;
 pub mod estimator;
 pub mod policy;
 
-pub use controller::{FleetCommand, FleetController, FleetView, PoolView};
+pub use controller::{FleetCommand, FleetController, FleetView, PoolCaps, PoolView};
 pub use estimator::PreemptionEstimator;
 pub use policy::FleetPolicy;
 

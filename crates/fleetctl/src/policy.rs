@@ -32,6 +32,21 @@ pub enum FleetPolicy {
         /// reach `target` (every pool short on capacity at once).
         ondemand_backstop: bool,
     },
+    /// [`FleetPolicy::SpotHedge`] for heterogeneous fleets: pools whose
+    /// SKU cannot host the model are excluded outright, the hedged spread
+    /// biases its remainder toward the cheapest spot pools (same share
+    /// multiset as the even spread, so one-outage survivability is
+    /// unchanged), and the on-demand backstop lands in the *cheapest
+    /// capable* pool's SKU instead of pool 0's.
+    CostAwareHedge {
+        /// Floor on the hedge, as in [`FleetPolicy::SpotHedge`].
+        min_hedge: u32,
+        /// Ceiling on the hedge, as in [`FleetPolicy::SpotHedge`].
+        max_hedge: u32,
+        /// Bridge to on-demand (in the cheapest capable pool) when the
+        /// hedged spread cannot reach `target`.
+        ondemand_backstop: bool,
+    },
 }
 
 impl FleetPolicy {
@@ -39,6 +54,17 @@ impl FleetPolicy {
     /// 8 instances, on-demand backstop enabled.
     pub fn spot_hedge() -> Self {
         FleetPolicy::SpotHedge {
+            min_hedge: 1,
+            max_hedge: 8,
+            ondemand_backstop: true,
+        }
+    }
+
+    /// The default [`FleetPolicy::CostAwareHedge`] tuning: the
+    /// [`FleetPolicy::spot_hedge`] bounds, with the backstop routed by
+    /// price.
+    pub fn cost_aware_hedge() -> Self {
+        FleetPolicy::CostAwareHedge {
             min_hedge: 1,
             max_hedge: 8,
             ondemand_backstop: true,

@@ -1,7 +1,7 @@
 //! Analytical iteration-latency model (the stand-in for the paper's
 //! offline profiler, §5).
 
-use cloudsim::{GpuSpec, NetFabric};
+use cloudsim::{GpuSpec, InstanceType, NetFabric};
 use simkit::SimDuration;
 
 use crate::spec::ModelSpec;
@@ -139,9 +139,67 @@ impl CostModel {
         }
     }
 
+    /// A cost model for a cluster of `ty` instances: GPU, network fabric,
+    /// and GPU count all come from the SKU bundle, so per-pool instance
+    /// types price consistently with what the pool actually leases.
+    ///
+    /// # Examples
+    ///
+    /// The paper's platform reproduces [`CostModel::t4_cluster`] exactly:
+    ///
+    /// ```
+    /// use cloudsim::InstanceType;
+    /// use llmsim::CostModel;
+    ///
+    /// let t4 = CostModel::for_instance_type(&InstanceType::t4());
+    /// assert_eq!(t4, CostModel::t4_cluster());
+    /// ```
+    ///
+    /// The A100 preset is an 8-GPU NVLink box:
+    ///
+    /// ```
+    /// use cloudsim::InstanceType;
+    /// use llmsim::CostModel;
+    ///
+    /// let a100 = CostModel::for_instance_type(&InstanceType::a100());
+    /// assert_eq!(a100.gpus_per_instance(), 8);
+    /// assert_eq!(a100.gpu().name, "A100-40G");
+    /// assert!(a100.net().intra_bw > 100e9, "NVLink-class local fabric");
+    /// ```
+    ///
+    /// The L4 preset keeps the 4-GPU PCIe shape with more memory per GPU:
+    ///
+    /// ```
+    /// use cloudsim::InstanceType;
+    /// use llmsim::CostModel;
+    ///
+    /// let l4 = CostModel::for_instance_type(&InstanceType::l4());
+    /// assert_eq!(l4.gpus_per_instance(), 4);
+    /// assert_eq!(l4.gpu().memory_bytes, 24 << 30);
+    /// ```
+    ///
+    /// The H100 preset is the premium 8-GPU backstop:
+    ///
+    /// ```
+    /// use cloudsim::InstanceType;
+    /// use llmsim::CostModel;
+    ///
+    /// let h100 = CostModel::for_instance_type(&InstanceType::h100());
+    /// assert_eq!(h100.gpu().name, "H100-80G");
+    /// assert_eq!(h100.gpus_per_instance(), 8);
+    /// ```
+    pub fn for_instance_type(ty: &InstanceType) -> Self {
+        CostModel::new(ty.gpu, ty.net, ty.gpus_per_instance)
+    }
+
     /// The paper's evaluation platform: 4×T4 `g4dn.12xlarge` instances.
+    ///
+    /// Deprecated in favor of
+    /// [`CostModel::for_instance_type`]`(&InstanceType::t4())`, which keeps
+    /// the GPU/fabric/count bundle in one authoritative place; this
+    /// constructor survives as its (pinned-identical) shorthand.
     pub fn t4_cluster() -> Self {
-        CostModel::new(GpuSpec::t4(), NetFabric::g4dn_default(), 4)
+        CostModel::for_instance_type(&InstanceType::t4())
     }
 
     /// Replaces the efficiency knobs.
@@ -245,23 +303,35 @@ impl CostModel {
         // float multiply.
         let mut total_tokens: u64 = 0;
         let mut total_ctx: u64 = 0;
-        let mut by_ctx: Vec<(u32, u64)> = Vec::new();
         for s in seqs {
             assert!(s.new_tokens > 0, "degenerate forward");
             total_tokens += s.new_tokens as u64;
             total_ctx += s.ctx as u64;
-            match by_ctx.iter_mut().find(|(c, _)| *c == s.ctx) {
-                Some((_, t)) => *t += s.new_tokens as u64,
-                None => by_ctx.push((s.ctx, s.new_tokens as u64)),
-            }
         }
         let tokens_total = total_tokens as f64;
 
-        // Per-layer compute: dense projections + context attention.
+        // Per-layer compute: dense projections + context attention, one
+        // term per distinct context length. Groups form in first-seen
+        // order with exact integer token sums — the same order and sums a
+        // scratch `Vec<(ctx, tokens)>` would produce, so the f64
+        // accumulation is bit-identical to the old buffered grouping — but
+        // without allocating: the first sequence at each context owns the
+        // group and re-scans the tail for its members. This sits on the
+        // continuous engine's per-iteration hot path, where in-flight sets
+        // are small and the rescan is cheaper than a heap allocation.
         let mut flops_per_layer = 0.0;
-        for (ctx, t) in &by_ctx {
-            flops_per_layer += *t as f64
-                * (model.flops_per_token_per_layer() + model.attn_flops_per_token_per_layer(*ctx));
+        for (i, s) in seqs.iter().enumerate() {
+            if seqs[..i].iter().any(|prev| prev.ctx == s.ctx) {
+                continue; // group already accumulated at its first member
+            }
+            let mut group_tokens: u64 = s.new_tokens as u64;
+            for later in &seqs[i + 1..] {
+                if later.ctx == s.ctx {
+                    group_tokens += later.new_tokens as u64;
+                }
+            }
+            flops_per_layer += group_tokens as f64
+                * (model.flops_per_token_per_layer() + model.attn_flops_per_token_per_layer(s.ctx));
         }
         self.assemble_forward_time(model, p, m, tokens_total, flops_per_layer, total_ctx as f64)
     }
@@ -525,6 +595,89 @@ mod tests {
     #[should_panic(expected = "degenerate forward")]
     fn empty_mixed_batch_panics() {
         cost().mixed_forward_time(&ModelSpec::opt_6_7b(), 1, 4, &[]);
+    }
+
+    /// The buffered per-context grouping `mixed_forward_time` used before
+    /// the allocation-free rewrite, kept verbatim as the equivalence
+    /// reference: group by first-seen context into a scratch buffer with
+    /// exact integer token sums, then accumulate f64 terms in group order
+    /// and price through the shared tail.
+    fn mixed_forward_time_buffered_reference(
+        c: &CostModel,
+        model: &ModelSpec,
+        p: u32,
+        m: u32,
+        seqs: &[SeqWork],
+    ) -> SimDuration {
+        let mut total_tokens: u64 = 0;
+        let mut total_ctx: u64 = 0;
+        let mut by_ctx: Vec<(u32, u64)> = Vec::new();
+        for s in seqs {
+            assert!(s.new_tokens > 0, "degenerate forward");
+            total_tokens += s.new_tokens as u64;
+            total_ctx += s.ctx as u64;
+            match by_ctx.iter_mut().find(|(ctx, _)| *ctx == s.ctx) {
+                Some((_, t)) => *t += s.new_tokens as u64,
+                None => by_ctx.push((s.ctx, s.new_tokens as u64)),
+            }
+        }
+        let mut flops_per_layer = 0.0;
+        for (ctx, t) in &by_ctx {
+            flops_per_layer += *t as f64
+                * (model.flops_per_token_per_layer() + model.attn_flops_per_token_per_layer(*ctx));
+        }
+        c.assemble_forward_time(
+            model,
+            p,
+            m,
+            total_tokens as f64,
+            flops_per_layer,
+            total_ctx as f64,
+        )
+    }
+
+    #[test]
+    fn allocation_free_grouping_matches_buffered_reference_bit_exactly() {
+        // Adversarial grouping shapes: interleaved repeats, strictly
+        // distinct contexts, all-identical, groups appearing out of sorted
+        // order, and a long mixed tail. The allocation-free first-seen
+        // rescan must reproduce the buffered grouping's result bit-exactly.
+        let c = cost();
+        let m = ModelSpec::gpt_20b();
+        let batches: Vec<Vec<SeqWork>> = vec![
+            vec![
+                SeqWork::decode(512),
+                SeqWork::prefill(256),
+                SeqWork::decode(512),
+                SeqWork::decode(256),
+            ],
+            (0..16).map(|i| SeqWork::decode(100 + i * 7)).collect(),
+            vec![SeqWork::decode(640); 12],
+            vec![
+                SeqWork::decode(900),
+                SeqWork::decode(100),
+                SeqWork::decode(900),
+                SeqWork::prefill(100),
+                SeqWork::prefill_chunk(64, 36),
+            ],
+            (0..40)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        SeqWork::prefill(128 + (i % 5) * 32)
+                    } else {
+                        SeqWork::decode(512 + (i % 4) * 17)
+                    }
+                })
+                .collect(),
+        ];
+        for seqs in &batches {
+            let fast = c.mixed_forward_time(&m, 3, 4, seqs);
+            let reference = mixed_forward_time_buffered_reference(&c, &m, 3, 4, seqs);
+            assert_eq!(
+                fast, reference,
+                "grouping rewrite must be bit-identical on {seqs:?}"
+            );
+        }
     }
 
     #[test]

@@ -20,9 +20,10 @@ pub fn canonical(report: &RunReport) -> String {
     for pc in &report.cost_breakdown.pools {
         writeln!(
             out,
-            "pool {} name={} spot_bits={:016x} od_bits={:016x}",
+            "pool {} name={} sku={} spot_bits={:016x} od_bits={:016x}",
             pc.pool,
             pc.name,
+            pc.sku,
             pc.spot_usd.to_bits(),
             pc.ondemand_usd.to_bits(),
         )

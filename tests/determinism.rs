@@ -166,6 +166,103 @@ fn multi_pool_hedge_replays_byte_identical() {
     );
 }
 
+/// Replay of the heterogeneous-fleet paths: three pools with *different*
+/// SKUs (the A100 pool collapsing mid-run, a healthy cheap L4 pool, an
+/// on-demand-only H100 pool) under the SKU/price-aware hedge. This drives
+/// the per-SKU optimizer lanes, the SKU-aware KM edge costs, and the
+/// cross-SKU migration; the canonical form carries the per-pool, per-SKU
+/// cost bits, so any nondeterminism in lane selection or cross-fabric
+/// pricing fails the gate.
+fn replay_mixed_sku(seed: u64) -> String {
+    use cloudsim::{AvailabilityTrace as Tr, InstanceType, PoolSpec};
+    use spotserve::FleetPolicy;
+
+    let pools = vec![
+        PoolSpec::new(
+            "a100",
+            Tr::from_steps(vec![(SimTime::ZERO, 6), (SimTime::from_secs(240), 0)]),
+        )
+        .with_instance_type(InstanceType::a100()),
+        PoolSpec::new("l4", Tr::constant(6)).with_instance_type(InstanceType::l4()),
+        PoolSpec::new("h100", Tr::constant(0)).with_instance_type(InstanceType::h100()),
+    ];
+    let mut scenario = Scenario::paper_stable(
+        ModelSpec::opt_6_7b(),
+        AvailabilityTrace::constant(0), // unused once pools are set
+        1.0,
+        seed,
+    )
+    .with_pools(pools);
+    scenario
+        .requests
+        .retain(|r| r.arrival < SimTime::from_secs(420));
+    let opts = SystemOptions::spotserve().with_fleet_policy(FleetPolicy::cost_aware_hedge());
+    let report = ServingSystem::new(opts, scenario).run();
+    canonical(&report)
+}
+
+#[test]
+fn mixed_sku_fleet_replays_byte_identical() {
+    let a = replay_mixed_sku(31);
+    let b = replay_mixed_sku(31);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "mixed-SKU replays must be byte-identical");
+    for sku in ["p4d.24xlarge", "g6.12xlarge", "p5.48xlarge"] {
+        assert!(
+            a.contains(&format!("sku={sku}")),
+            "canonical form must carry the per-pool SKU attribution ({sku})"
+        );
+    }
+}
+
+#[test]
+fn explicit_base_sku_is_bit_exact_with_the_inherited_default() {
+    // The heterogeneity axis must be purely additive: a pool that names
+    // the scenario's base SKU explicitly takes the exact same code path
+    // (no per-SKU lanes, no SKU-aware KM costs) as one that inherits it,
+    // down to the last cost bit. This pins the pre-PR single-SKU behavior.
+    use cloudsim::{AvailabilityTrace as Tr, InstanceType, PoolSpec};
+    use spotserve::FleetPolicy;
+
+    let replay = |explicit: bool| {
+        let pools = vec![
+            PoolSpec::new(
+                "z0",
+                Tr::from_steps(vec![(SimTime::ZERO, 6), (SimTime::from_secs(240), 0)]),
+            ),
+            PoolSpec::new("z1", Tr::constant(4)),
+        ]
+        .into_iter()
+        .map(|p| {
+            if explicit {
+                p.with_instance_type(InstanceType::g4dn_12xlarge())
+            } else {
+                p
+            }
+        })
+        .collect();
+        let mut scenario = Scenario::paper_stable(
+            ModelSpec::opt_6_7b(),
+            AvailabilityTrace::constant(0), // unused once pools are set
+            1.0,
+            37,
+        )
+        .with_pools(pools);
+        scenario
+            .requests
+            .retain(|r| r.arrival < SimTime::from_secs(420));
+        let opts = SystemOptions::spotserve().with_fleet_policy(FleetPolicy::spot_hedge());
+        canonical(&ServingSystem::new(opts, scenario).run())
+    };
+    let inherited = replay(false);
+    let explicit = replay(true);
+    assert!(!inherited.is_empty());
+    assert_eq!(
+        inherited, explicit,
+        "explicitly naming the base SKU must not perturb a single bit"
+    );
+}
+
 #[test]
 fn cached_optimizer_replays_byte_identical_at_a_large_ceiling() {
     // PR 5: Algorithm 1 runs over a memoized candidate frontier with a
