@@ -26,7 +26,7 @@ fn main() {
         for (tname, trace, mixing) in paper_traces() {
             let mut report = run_cell(opts.clone(), &model, &trace, mixing, rate, seed);
             let p = report.latency.percentiles();
-            let cpt = report.cost_per_token().unwrap_or(f64::NAN);
+            let cpt = report.cost().usd_per_token.unwrap_or(f64::NAN);
             println!(
                 "{sname:<20} {tname:<6} {:>13.2}e-5 {:>12.1} {:>12.1}",
                 cpt * 1e5,
@@ -52,7 +52,7 @@ fn main() {
             seed,
         );
         let p = report.latency.percentiles();
-        let cpt = report.cost_per_token().unwrap_or(f64::NAN);
+        let cpt = report.cost().usd_per_token.unwrap_or(f64::NAN);
         println!(
             "{:<20} {:<6} {:>13.2}e-5 {:>12.1} {:>12.1}",
             format!("OnDemand(k={k})"),

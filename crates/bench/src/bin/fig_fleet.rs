@@ -45,18 +45,19 @@ fn main() {
         let opts = SystemOptions::spotserve().with_fleet_policy(policy);
         let mut report = ServingSystem::new(opts, zone_outage_scenario(seed)).run();
         let p = report.latency.percentiles();
-        let cpt = report.cost_per_token().unwrap_or(f64::NAN);
+        let cost = report.cost();
+        let cpt = cost.usd_per_token.unwrap_or(f64::NAN);
         println!(
             "{name:<18} {:>9} {:>7} {:>8} {:>10.3} {:>10.3} {:>11.2}e-5 {:>10.1}",
             min_live_after(&report, settled),
             report.unfinished,
             report.slo_rejections.len(),
-            report.spot_usd(),
-            report.ondemand_usd(),
+            cost.spot_usd,
+            cost.ondemand_usd,
             cpt * 1e5,
             p.mean,
         );
-        for pc in &report.cost_breakdown.pools {
+        for pc in &cost.pools {
             println!(
                 "    {:<14} {:<4} spot={:>8.3} USD  on-demand={:>8.3} USD",
                 format!("pool {}", pc.pool),

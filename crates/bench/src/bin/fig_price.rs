@@ -1,26 +1,26 @@
-//! Heterogeneity figure (beyond-paper): recovery across *unlike* GPU SKUs.
+//! Price-dynamics figure (beyond-paper): $/token across acquisition
+//! policies under a spot-market squeeze.
 //!
-//! Three pools, three SKUs: the A100 pool (`p4d.24xlarge`) carries the
-//! fleet until its spot market collapses at t = 300 s, the cheap L4 pool
-//! (`g6.12xlarge`) stays healthy, and the H100 pool (`p5.48xlarge`) has
-//! zero spot capacity — useful only as an on-demand backstop. Recovery
-//! must therefore cross SKUs: Algorithm 1's per-SKU lanes re-decide
-//! `(SKU, C, B)` jointly and the SKU-aware KM mapper prices the
-//! cross-fabric migration. For each policy the figure reports the minimum
-//! live fleet after the collapse settles, request loss, SLO rejections,
-//! the spot vs on-demand cost split with per-pool/SKU attribution, and
-//! USD per generated token.
+//! Two same-SKU pools: the cheap `spiky` pool collapses at t = 300 s
+//! while its clearing price spikes past on-demand parity, then re-opens
+//! at the spiked price; the `calm` pool stays cheap but is too small to
+//! hold the target alone. Re-quotes reach the controller as
+//! `SpotPriceStep` events, so each policy steers the moment the market
+//! moves: `SpotHedge` re-enters the spiked pool and pays its price,
+//! `CostAwareHedge` biases away from it, and `CostPerToken` masks it
+//! past the parity threshold and bridges the shortfall with on-demand —
+//! the $/token frontier this figure reports.
 //!
 //! When `CRITERION_JSON` names a file, the per-policy cost summary is
 //! also appended there as machine-readable records (same growing-array
 //! document the vendored criterion shim writes ns/iter records into), so
-//! CI can jq-gate the heterogeneity cost win.
+//! CI can jq-gate the $/token win.
 
 use std::path::Path;
 
 use simkit::SimTime;
 use spotserve::{RunReport, ServingSystem, SystemOptions};
-use spotserve_bench::{header, hetero_outage_scenario, hetero_policy_ladder};
+use spotserve_bench::{header, price_policy_ladder, price_spike_scenario};
 
 /// Minimum live instances (spot + on-demand) from `t0` to run end, with
 /// the step level at `t0` taken from the last sample at or before it.
@@ -57,12 +57,12 @@ fn append_json_record(path: &Path, record: &str) {
         Err(_) => format!("[\n  {record}\n]\n"),
     };
     if let Err(e) = std::fs::write(path, body) {
-        eprintln!("fig_hetero: cannot write {}: {e}", path.display());
+        eprintln!("fig_price: cannot write {}: {e}", path.display());
     }
 }
 
 fn main() {
-    header("Heterogeneous SKUs: a100 pool dies at t=300s; recovery on l4/h100, OPT-6.7B @ 1 req/s");
+    header("Spot-market squeeze: spiky pool collapses at t=300s and re-opens past parity, OPT-6.7B @ 1 req/s");
     let seed = 1;
     // Collapse + grace + grant delay + scheduling slack.
     let settled = SimTime::from_secs(300 + 30 + 40 + 30);
@@ -72,20 +72,19 @@ fn main() {
         "{:<18} {:>9} {:>7} {:>8} {:>10} {:>10} {:>14} {:>10}",
         "Policy", "min live", "unfin", "slo rej", "spot USD", "od USD", "USD/token", "avg lat"
     );
-    for (name, policy) in hetero_policy_ladder() {
+    for (name, policy) in price_policy_ladder() {
         let opts = SystemOptions::spotserve().with_fleet_policy(policy);
-        let mut report = ServingSystem::new(opts, hetero_outage_scenario(seed)).run();
+        let mut report = ServingSystem::new(opts, price_spike_scenario(seed)).run();
         let p = report.latency.percentiles();
         let cost = report.cost();
         let cpt = cost.usd_per_token.unwrap_or(f64::NAN);
-        let (spot_usd, od_usd) = (cost.spot_usd, cost.ondemand_usd);
         println!(
             "{name:<18} {:>9} {:>7} {:>8} {:>10.3} {:>10.3} {:>11.2}e-5 {:>10.1}",
             min_live_after(&report, settled),
             report.unfinished,
             report.slo_rejections.len(),
-            spot_usd,
-            od_usd,
+            cost.spot_usd,
+            cost.ondemand_usd,
             cpt * 1e5,
             p.mean,
         );
@@ -100,24 +99,25 @@ fn main() {
                 path,
                 &format!(
                     concat!(
-                        r#"{{"group":"fig_hetero","bench":"{name}","total_usd":{total:.6},"#,
-                        r#""spot_usd":{spot:.6},"ondemand_usd":{od:.6},"unfinished":{unfin},"#,
-                        r#""min_live_after_collapse":{live}}}"#
+                        r#"{{"group":"fig_price","bench":"{name}","usd_per_token":{cpt:.9},"#,
+                        r#""total_usd":{total:.6},"spot_usd":{spot:.6},"ondemand_usd":{od:.6},"#,
+                        r#""unfinished":{unfin},"slo_rejections":{rej}}}"#
                     ),
                     name = name,
-                    total = spot_usd + od_usd,
-                    spot = spot_usd,
-                    od = od_usd,
+                    cpt = cpt,
+                    total = cost.total_usd,
+                    spot = cost.spot_usd,
+                    od = cost.ondemand_usd,
                     unfin = report.unfinished,
-                    live = min_live_after(&report, settled),
+                    rej = report.slo_rejections.len(),
                 ),
             );
         }
     }
     println!();
-    println!("OnDemandFallback never leaves the dead A100 market for spot and bridges");
-    println!("the collapse with premium on-demand capacity; SpotHedge spreads across");
-    println!("pools but prices every SKU alike; CostAwareHedge masks pools that cannot");
-    println!("fit the model, biases the spread toward cheap capable SKUs (L4), and");
-    println!("routes its on-demand backstop to the cheapest capable pool.");
+    println!("SpotHedge is price-blind: when the spiky pool re-opens it re-spreads");
+    println!("into it and pays the spiked price for the rest of the run.");
+    println!("CostPerToken masks pools quoted past its parity threshold and bridges");
+    println!("the shortfall with on-demand below the spiked spot price, so its");
+    println!("$/token stays strictly lower at equal-or-better SLO attainment.");
 }

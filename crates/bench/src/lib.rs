@@ -17,7 +17,7 @@
 //! the online optimizer runs in well under a second (§3.2), KM mapping is
 //! fast at fleet scale (§3.3), and migration planning is cheap (§3.4).
 
-use cloudsim::{AvailabilityTrace, InstanceType, PoolSpec};
+use cloudsim::{AvailabilityTrace, InstanceType, PoolSpec, PriceModel, PriceTrace};
 use llmsim::ModelSpec;
 use simkit::metrics::Percentiles;
 use simkit::{SimDuration, SimTime};
@@ -154,6 +154,68 @@ pub fn hetero_outage_scenario(seed: u64) -> Scenario {
     scenario
 }
 
+/// The acquisition policies compared on the price-spike scenario: the
+/// price-blind hedge, the price-biased hedge, and the $/token optimizer
+/// that masks spiked pools and bridges with on-demand past parity.
+pub fn price_policy_ladder() -> Vec<(&'static str, FleetPolicy)> {
+    vec![
+        ("SpotHedge", FleetPolicy::spot_hedge()),
+        ("CostAwareHedge", FleetPolicy::cost_aware_hedge()),
+        ("CostPerToken", FleetPolicy::cost_per_token()),
+    ]
+}
+
+/// The spot-market squeeze behind `fig_price`: two same-SKU pools where
+/// the cheap pool's market *tightens* mid-run — capacity collapses at
+/// t = 300 s while the clearing price spikes from \$1.9/h to \$6.0/h
+/// (well past on-demand parity: the SKU lists at \$3.9/h on-demand),
+/// capacity returns at t = 450 s *at the spiked price* (re-quoted at
+/// \$6.3/h at t = 480 s), and the market only cools long after the run.
+/// The calm pool stays at \$2.1/h but is too small to hold the target
+/// alone, so every policy must find capacity somewhere:
+///
+/// * `SpotHedge` is price-blind — once `spiky` re-opens it re-spreads
+///   into it and pays the spiked price for the rest of the run;
+/// * `CostPerToken` masks the pool past its parity threshold and bridges
+///   the shortfall with on-demand at \$3.9/h — strictly cheaper than
+///   spiked spot, and acquired sooner (it never waits for `spiky` to
+///   re-open).
+///
+/// OPT-6.7B at 1 req/s for 900 s of arrivals, every request carrying a
+/// 900 s SLO. Price re-quotes reach the controller as
+/// [`SpotPriceStep`](cloudsim::CloudEvent::SpotPriceStep) events.
+pub fn price_spike_scenario(seed: u64) -> Scenario {
+    let pools = vec![
+        PoolSpec::new(
+            "spiky",
+            AvailabilityTrace::from_steps(vec![
+                (SimTime::ZERO, 6),
+                (SimTime::from_secs(300), 0),
+                (SimTime::from_secs(450), 6),
+            ]),
+        )
+        .with_price(PriceModel::Trace(PriceTrace::from_steps(vec![
+            (SimTime::ZERO, 1.9),
+            (SimTime::from_secs(300), 6.0),
+            (SimTime::from_secs(480), 6.3),
+            (SimTime::from_secs(3600), 1.9),
+        ]))),
+        PoolSpec::new("calm", AvailabilityTrace::constant(3)).with_spot_price(2.1),
+    ];
+    let mut scenario = Scenario::paper_stable(
+        ModelSpec::opt_6_7b(),
+        AvailabilityTrace::constant(0), // unused once pools are set
+        1.0,
+        seed,
+    )
+    .with_pools(pools);
+    scenario
+        .requests
+        .retain(|r| r.arrival < SimTime::from_secs(900));
+    workload::apply_slo(&mut scenario.requests, SimDuration::from_secs(900));
+    scenario
+}
+
 /// The Figure 9 ablation ladder: components disabled cumulatively, in the
 /// paper's order.
 pub fn ablation_ladder() -> Vec<(&'static str, AblationFlags)> {
@@ -231,6 +293,19 @@ mod tests {
         assert_eq!(skus, ["p4d.24xlarge", "g6.12xlarge", "p5.48xlarge"]);
         assert_eq!(s.pools[0].trace.min_capacity(), 0, "a100 pool collapses");
         assert_eq!(s.pools[2].trace.min_capacity(), 0, "h100 is on-demand only");
+        assert!(s.requests.iter().all(|r| r.deadline.is_some()));
+    }
+
+    #[test]
+    fn price_ladder_and_spike_scenario_are_well_formed() {
+        let ladder = price_policy_ladder();
+        assert_eq!(ladder.len(), 3);
+        assert!(matches!(ladder[2].1, FleetPolicy::CostPerToken { .. }));
+        let s = price_spike_scenario(1);
+        assert_eq!(s.pools.len(), 2);
+        let spiky = s.pools[0].price.as_ref().expect("spiky pool is priced");
+        assert!(spiky.is_dynamic(), "the squeeze needs a moving price");
+        assert_eq!(s.pools[0].trace.min_capacity(), 0, "spiky pool collapses");
         assert!(s.requests.iter().all(|r| r.deadline.is_some()));
     }
 

@@ -3,12 +3,15 @@
 use simkit::SimTime;
 
 use crate::instance::InstanceId;
+use crate::pool::PoolId;
 
 /// Notifications produced by [`CloudSim`](crate::CloudSim).
 ///
 /// The event kinds mirror the real cloud APIs the paper builds on: grants
 /// for earlier capacity requests, ahead-of-time preemption *notices*
-/// (the grace-period mechanism, §3.2), and the final forced termination.
+/// (the grace-period mechanism, §3.2), the final forced termination, and
+/// spot-market re-quotes (the price feed a cost-aware controller trades
+/// against).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CloudEvent {
     /// A previously requested spot instance is now leased to us.
@@ -33,16 +36,31 @@ pub enum CloudEvent {
         /// The terminated instance.
         id: InstanceId,
     },
+    /// The pool's spot market re-quoted: a new price is in force from
+    /// now on. Constant-priced pools never emit this; a dynamic
+    /// [`PriceModel`](crate::PriceModel) emits one per path step, so a
+    /// price-aware controller gets a steering point at every re-quote.
+    SpotPriceStep {
+        /// The pool whose market re-priced.
+        pool: PoolId,
+        /// The new spot price, in cents per instance-hour (the same
+        /// integer quote a controller's pool capability card carries).
+        cents_per_hour: u32,
+    },
 }
 
 impl CloudEvent {
-    /// The instance this event concerns.
-    pub fn instance(&self) -> InstanceId {
+    /// The instance this event concerns, if any ([`SpotPriceStep`]
+    /// events concern a whole pool, not one lease).
+    ///
+    /// [`SpotPriceStep`]: CloudEvent::SpotPriceStep
+    pub fn instance(&self) -> Option<InstanceId> {
         match *self {
             CloudEvent::SpotGranted { id }
             | CloudEvent::OnDemandGranted { id }
             | CloudEvent::PreemptionNotice { id, .. }
-            | CloudEvent::Preempted { id } => id,
+            | CloudEvent::Preempted { id } => Some(id),
+            CloudEvent::SpotPriceStep { .. } => None,
         }
     }
 }
@@ -63,6 +81,11 @@ mod tests {
             },
             CloudEvent::Preempted { id },
         ];
-        assert!(evs.iter().all(|e| e.instance() == id));
+        assert!(evs.iter().all(|e| e.instance() == Some(id)));
+        let quote = CloudEvent::SpotPriceStep {
+            pool: PoolId(2),
+            cents_per_hour: 630,
+        };
+        assert_eq!(quote.instance(), None, "a re-quote names no lease");
     }
 }

@@ -36,6 +36,7 @@ pub mod instance;
 pub mod market;
 pub mod network;
 pub mod pool;
+pub mod price;
 pub mod pricing;
 pub mod provider;
 pub mod storage;
@@ -47,6 +48,7 @@ pub use instance::{GpuRef, InstanceId, InstanceKind, InstanceType};
 pub use market::{CloudMarket, CostBreakdown, PoolCost};
 pub use network::NetFabric;
 pub use pool::{PoolId, PoolSpec, POOL_ID_STRIDE};
+pub use price::{OuParams, PriceModel, PriceTrace};
 pub use pricing::BillingMeter;
 pub use provider::{CloudConfig, CloudSim, InstanceInfo};
 pub use storage::ColdStorage;

@@ -26,7 +26,7 @@
 //! let mut market = CloudMarket::new(&CloudConfig::default(), &pools, 7);
 //! market.request_spot_in(SimTime::ZERO, PoolId(1), 1);
 //! let (_, ev) = market.pop_next().expect("grant");
-//! assert_eq!(PoolId::of_instance(ev.instance()), PoolId(1));
+//! assert_eq!(PoolId::of_instance(ev.instance().unwrap()), PoolId(1));
 //! ```
 
 use simkit::SimTime;
@@ -34,6 +34,7 @@ use simkit::SimTime;
 use crate::events::CloudEvent;
 use crate::instance::{InstanceId, InstanceKind, InstanceType};
 use crate::pool::{PoolId, PoolSpec};
+use crate::price::PriceModel;
 use crate::provider::{CloudConfig, CloudSim, InstanceInfo};
 use crate::trace::AvailabilityTrace;
 
@@ -123,10 +124,19 @@ impl CloudMarket {
                 if let Some(d) = spec.spot_grant_delay {
                     cfg.spot_grant_delay = d;
                 }
-                if let Some(p) = spec.spot_price_per_hour {
+                // A constant price model takes the legacy list-price
+                // override path (bit-exact with the pre-dynamics market);
+                // dynamic models ride into the provider whole.
+                if let Some(p) = spec.price.as_ref().and_then(PriceModel::constant_price) {
                     cfg.instance_type.spot_price_per_hour = p;
                 }
-                CloudSim::for_pool(cfg, spec.trace.clone(), seed, PoolId(i as u32))
+                CloudSim::for_pool_priced(
+                    cfg,
+                    spec.trace.clone(),
+                    seed,
+                    PoolId(i as u32),
+                    spec.price.as_ref(),
+                )
             })
             .collect();
         CloudMarket {
@@ -191,6 +201,13 @@ impl CloudMarket {
     /// The instance type `pool` leases.
     pub fn instance_type_in(&self, pool: PoolId) -> &InstanceType {
         &self.pool(pool).config().instance_type
+    }
+
+    /// The spot price in force in `pool` at `t` (USD per instance-hour).
+    /// For pools without a [`PriceModel`](crate::PriceModel) this is the
+    /// SKU's list price; for priced pools it reads the pre-drawn path.
+    pub fn spot_price_in(&self, pool: PoolId, t: SimTime) -> f64 {
+        self.pool(pool).spot_price_at(t)
     }
 
     /// Requests `n` on-demand instances *of `pool`'s SKU* at `now` (billed
@@ -386,8 +403,14 @@ mod tests {
         let (t0, e0) = m.pop_next().unwrap();
         let (t1, e1) = m.pop_next().unwrap();
         assert_eq!(t0, t1);
-        assert_eq!(PoolId::of_instance(e0.instance()), PoolId(0));
-        assert_eq!(PoolId::of_instance(e1.instance()), PoolId(1));
+        assert_eq!(
+            PoolId::of_instance(e0.instance().expect("grant")),
+            PoolId(0)
+        );
+        assert_eq!(
+            PoolId::of_instance(e1.instance().expect("grant")),
+            PoolId(1)
+        );
     }
 
     #[test]
@@ -477,6 +500,38 @@ mod tests {
         m.release(SimTime::from_secs(3600), ids[0]);
         let bd = m.cost_breakdown(SimTime::from_secs(3600));
         assert!((bd.pools[0].spot_usd - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priced_pool_path_flows_into_billing_and_price_view() {
+        use crate::price::PriceTrace;
+        // Pool 1 spikes from $1.9 to $5 at t=1840 (1800 s into the lease);
+        // pool 0 stays at list price.
+        let pools = vec![
+            PoolSpec::new("flat", AvailabilityTrace::constant(1)),
+            PoolSpec::new("spiky", AvailabilityTrace::constant(1)).with_price(PriceModel::Trace(
+                PriceTrace::from_steps(vec![(SimTime::ZERO, 1.9), (SimTime::from_secs(1840), 5.0)]),
+            )),
+        ];
+        let mut m = CloudMarket::new(&CloudConfig::default(), &pools, 7);
+        assert_eq!(m.spot_price_in(PoolId(0), SimTime::from_secs(5000)), 1.9);
+        assert_eq!(m.spot_price_in(PoolId(1), SimTime::ZERO), 1.9);
+        assert_eq!(m.spot_price_in(PoolId(1), SimTime::from_secs(5000)), 5.0);
+        m.request_spot_in(SimTime::ZERO, PoolId(0), 1);
+        m.request_spot_in(SimTime::ZERO, PoolId(1), 1);
+        while m.pop_next().is_some() {}
+        let ids: Vec<InstanceId> = m.fleet().map(|i| i.id).collect();
+        for id in ids {
+            m.release(SimTime::from_secs(40 + 3600), id);
+        }
+        let bd = m.cost_breakdown(SimTime::from_secs(10_000));
+        assert!((bd.pools[0].spot_usd - 1.9).abs() < 1e-9);
+        let want = 1.9 * 0.5 + 5.0 * 0.5;
+        assert!(
+            (bd.pools[1].spot_usd - want).abs() < 1e-9,
+            "the bill integrates the path: {}",
+            bd.pools[1].spot_usd
+        );
     }
 
     #[test]

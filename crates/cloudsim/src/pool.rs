@@ -13,6 +13,7 @@
 use simkit::SimDuration;
 
 use crate::instance::{InstanceId, InstanceType};
+use crate::price::PriceModel;
 use crate::trace::AvailabilityTrace;
 
 /// Identifier of one spot pool (e.g. one availability zone).
@@ -40,19 +41,20 @@ impl PoolId {
 }
 
 /// One spot pool of a multi-pool scenario: its own availability trace and,
-/// optionally, its own provisioning delay and spot price (pools left at
-/// `None` inherit the scenario's [`CloudConfig`](crate::CloudConfig)).
+/// optionally, its own provisioning delay, spot-price process, and
+/// instance type (pools left at `None` inherit the scenario's
+/// [`CloudConfig`](crate::CloudConfig)).
 ///
 /// # Example
 ///
 /// ```
-/// use cloudsim::{AvailabilityTrace, PoolSpec};
+/// use cloudsim::{AvailabilityTrace, PoolSpec, PriceModel};
 /// use simkit::SimDuration;
 ///
 /// let pool = PoolSpec::new("us-east-1b", AvailabilityTrace::constant(6))
 ///     .with_spot_price(1.4)
 ///     .with_grant_delay(SimDuration::from_secs(55));
-/// assert_eq!(pool.spot_price_per_hour, Some(1.4));
+/// assert_eq!(pool.price, Some(PriceModel::Constant(1.4)));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct PoolSpec {
@@ -62,9 +64,10 @@ pub struct PoolSpec {
     pub trace: AvailabilityTrace,
     /// Provisioning delay override for this pool (`None` = cloud default).
     pub spot_grant_delay: Option<SimDuration>,
-    /// Spot price override in USD per instance-hour (`None` = the instance
-    /// type's list spot price). Pools price independently in real markets.
-    pub spot_price_per_hour: Option<f64>,
+    /// Spot-price process of this pool (`None` = the instance type's list
+    /// spot price, forever). Pools price independently in real markets;
+    /// see [`PriceModel`] for the dynamics on offer.
+    pub price: Option<PriceModel>,
     /// Instance type this pool leases (`None` = the scenario's default
     /// type). Real spot markets are heterogeneous: the pool where capacity
     /// reappears after a preemption is rarely the SKU that was lost.
@@ -79,7 +82,7 @@ impl PoolSpec {
             name: name.into(),
             trace,
             spot_grant_delay: None,
-            spot_price_per_hour: None,
+            price: None,
             instance_type: None,
         }
     }
@@ -90,10 +93,18 @@ impl PoolSpec {
         self
     }
 
-    /// Overrides this pool's spot price (USD per instance-hour).
-    pub fn with_spot_price(mut self, usd_per_hour: f64) -> Self {
-        self.spot_price_per_hour = Some(usd_per_hour);
+    /// Gives this pool a spot-price process (see [`PriceModel`]).
+    pub fn with_price(mut self, price: PriceModel) -> Self {
+        self.price = Some(price);
         self
+    }
+
+    /// Overrides this pool's spot price with a fixed value (USD per
+    /// instance-hour) — a thin wrapper over
+    /// [`PriceModel::Constant`], kept for the pre-dynamics call sites and
+    /// pinned bit-identical to them in the determinism suite.
+    pub fn with_spot_price(self, usd_per_hour: f64) -> Self {
+        self.with_price(PriceModel::Constant(usd_per_hour))
     }
 
     /// Makes this pool lease `ty` instead of the scenario's default type.
@@ -136,7 +147,13 @@ mod tests {
     fn overrides_default_to_inherit() {
         let p = PoolSpec::new("z", AvailabilityTrace::constant(1));
         assert_eq!(p.spot_grant_delay, None);
-        assert_eq!(p.spot_price_per_hour, None);
+        assert_eq!(p.price, None);
         assert_eq!(p.instance_type, None);
+    }
+
+    #[test]
+    fn with_spot_price_is_the_constant_model() {
+        let p = PoolSpec::new("z", AvailabilityTrace::constant(1)).with_spot_price(1.4);
+        assert_eq!(p.price, Some(PriceModel::Constant(1.4)));
     }
 }

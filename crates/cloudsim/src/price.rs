@@ -1,0 +1,306 @@
+//! Deterministic per-pool spot-price processes.
+//!
+//! Availability traces move *capacity*; a [`PriceModel`] moves the spot
+//! *price* of a pool over simulated time. Real spot markets do both at
+//! once, and they co-move: when a pool gets expensive it is because
+//! capacity is scarce, which is exactly when preemptions cluster. The
+//! [`Ou`](PriceModel::Ou) variant models this with an Ornstein–Uhlenbeck
+//! mean-reverting process (volatility + reversion toward a daily-periodic
+//! baseline) whose preemption probability rises with the price excursion.
+//!
+//! Every model is deterministic: the OU path is drawn once, up front, from
+//! a dedicated named [`simkit::SimRng`] stream (`"price"` for pool 0,
+//! `"price/pool{i}"` otherwise), so it is a pure function of the scenario
+//! seed — independent of command order, event interleaving, and every
+//! other random stream. Billing integrates the resulting step function
+//! exactly (see [`BillingMeter`](crate::BillingMeter)); a
+//! [`Constant`](PriceModel::Constant) model compiles down to the legacy
+//! fixed-price arithmetic bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use cloudsim::{OuParams, PriceModel};
+//! use simkit::{SimRng, SimTime};
+//!
+//! let model = PriceModel::Ou(OuParams::around(1.9));
+//! let mut rng = SimRng::new(42).stream("price");
+//! let path = model.path(1.9, &mut rng);
+//! assert_eq!(path[0].0, SimTime::ZERO);
+//! assert!(path.iter().all(|&(_, p)| p > 0.0));
+//! ```
+
+use simkit::{SimDuration, SimRng, SimTime};
+
+/// A validated spot-price step function: `(time, usd_per_hour)` pairs.
+///
+/// # Example
+///
+/// ```
+/// use cloudsim::PriceTrace;
+/// use simkit::SimTime;
+///
+/// let tr = PriceTrace::from_steps(vec![
+///     (SimTime::ZERO, 1.9),
+///     (SimTime::from_secs(300), 5.0),
+///     (SimTime::from_secs(600), 1.9),
+/// ]);
+/// assert_eq!(tr.price_at(SimTime::from_secs(450)), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceTrace {
+    /// `(time, price)` steps; strictly increasing in time, first at t=0.
+    steps: Vec<(SimTime, f64)>,
+}
+
+impl PriceTrace {
+    /// Builds a price trace from `(time, usd_per_hour)` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty, does not start at `t = 0`, is not
+    /// strictly increasing in time, or names a non-finite / non-positive
+    /// price.
+    pub fn from_steps(steps: Vec<(SimTime, f64)>) -> Self {
+        assert!(!steps.is_empty(), "price trace must have at least one step");
+        assert_eq!(steps[0].0, SimTime::ZERO, "price trace must start at t=0");
+        for w in steps.windows(2) {
+            assert!(w[0].0 < w[1].0, "price steps must be strictly increasing");
+        }
+        for &(_, p) in &steps {
+            assert!(p.is_finite() && p > 0.0, "prices must be finite and > 0");
+        }
+        PriceTrace { steps }
+    }
+
+    /// Price at time `t` (constant after the last step).
+    pub fn price_at(&self, t: SimTime) -> f64 {
+        price_at(&self.steps, t).expect("trace is non-empty and starts at t=0")
+    }
+
+    /// The raw `(time, price)` steps.
+    pub fn steps(&self) -> &[(SimTime, f64)] {
+        &self.steps
+    }
+}
+
+/// Looks up a step-function price at `t`; `None` before the first step or
+/// on an empty path.
+pub(crate) fn price_at(steps: &[(SimTime, f64)], t: SimTime) -> Option<f64> {
+    match steps.binary_search_by_key(&t, |&(st, _)| st) {
+        Ok(i) => Some(steps[i].1),
+        Err(0) => None,
+        Err(i) => Some(steps[i - 1].1),
+    }
+}
+
+/// Parameters of the Ornstein–Uhlenbeck spot-price process.
+///
+/// Discretized Euler–Maruyama at [`step`](OuParams::step) granularity:
+///
+/// `x += reversion_per_hour · (baseline(t) − x) · dt + volatility · √dt · N(0,1)`
+///
+/// where `baseline(t) = mean · (1 + daily_amplitude · sin(2πt / 24h))` —
+/// the business-hours cycle — and the result is clamped to
+/// [`floor`](OuParams::floor). The path stops stepping after
+/// [`horizon`](OuParams::horizon) and holds its last value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OuParams {
+    /// Long-run mean spot price, USD per instance-hour.
+    pub mean: f64,
+    /// Mean-reversion rate θ, per hour.
+    pub reversion_per_hour: f64,
+    /// Volatility σ, USD per instance-hour per √hour.
+    pub volatility: f64,
+    /// Relative amplitude of the daily (24 h) baseline cycle.
+    pub daily_amplitude: f64,
+    /// Discretization step of the price path.
+    pub step: SimDuration,
+    /// Path length; the price holds its last value afterwards.
+    pub horizon: SimDuration,
+    /// Price floor, USD per instance-hour.
+    pub floor: f64,
+    /// Price–preemption coupling: at each step the per-step probability
+    /// of one extra preemption is `kill_coupling · max(0, price/mean − 1)`
+    /// (clamped to 1). Zero decouples preemptions from price entirely.
+    pub kill_coupling: f64,
+}
+
+impl OuParams {
+    /// Sensible defaults around a mean price: moderate reversion (2/h),
+    /// ~10%-of-mean volatility per √hour, a 15% daily swing, one-minute
+    /// steps over a 24 h horizon, and preemption risk coupled to spikes.
+    pub fn around(mean: f64) -> Self {
+        OuParams {
+            mean,
+            reversion_per_hour: 2.0,
+            volatility: mean * 0.1,
+            daily_amplitude: 0.15,
+            step: SimDuration::from_secs(60),
+            horizon: SimDuration::from_secs(24 * 3600),
+            floor: mean * 0.25,
+            kill_coupling: 0.2,
+        }
+    }
+}
+
+/// How a pool's spot price evolves over simulated time.
+///
+/// Set per pool via [`PoolSpec::with_price`](crate::PoolSpec::with_price).
+/// [`Constant`](PriceModel::Constant) takes the legacy fixed-price billing
+/// path bit-for-bit; the dynamic variants pre-draw a step-function path
+/// that billing integrates exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PriceModel {
+    /// Fixed price forever — the pre-dynamics behaviour,
+    /// byte-identical to `PoolSpec::with_spot_price`.
+    Constant(f64),
+    /// A scripted price path (e.g. a reproducible price spike).
+    Trace(PriceTrace),
+    /// Ornstein–Uhlenbeck dynamics with daily periodicity and
+    /// price-correlated preemption probability.
+    Ou(OuParams),
+}
+
+impl PriceModel {
+    /// The fixed price, if this model is static.
+    pub fn constant_price(&self) -> Option<f64> {
+        match self {
+            PriceModel::Constant(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Whether the price actually moves (and hence needs a path).
+    pub fn is_dynamic(&self) -> bool {
+        !matches!(self, PriceModel::Constant(_))
+    }
+
+    /// Materializes the price path as `(time, usd_per_hour)` steps.
+    ///
+    /// `base` is the pool's list price (the OU start value); `rng` must be
+    /// this pool's dedicated price stream. Constant models return a single
+    /// step and draw nothing.
+    pub fn path(&self, base: f64, rng: &mut SimRng) -> Vec<(SimTime, f64)> {
+        match self {
+            PriceModel::Constant(p) => vec![(SimTime::ZERO, *p)],
+            PriceModel::Trace(tr) => tr.steps().to_vec(),
+            PriceModel::Ou(ou) => {
+                assert!(ou.step > SimDuration::ZERO, "OU step must be positive");
+                let dt = ou.step.as_secs_f64() / 3600.0;
+                let sqrt_dt = dt.sqrt();
+                let mut x = base.max(ou.floor);
+                let mut steps = vec![(SimTime::ZERO, x)];
+                let mut t = SimTime::ZERO;
+                loop {
+                    t += ou.step;
+                    let elapsed = t.saturating_since(SimTime::ZERO);
+                    if elapsed >= ou.horizon {
+                        break;
+                    }
+                    let hours = elapsed.as_secs_f64() / 3600.0;
+                    let baseline = ou.mean
+                        * (1.0
+                            + ou.daily_amplitude
+                                * (2.0 * std::f64::consts::PI * hours / 24.0).sin());
+                    x += ou.reversion_per_hour * (baseline - x) * dt
+                        + ou.volatility * sqrt_dt * rng.normal();
+                    x = x.max(ou.floor);
+                    steps.push((t, x));
+                }
+                steps
+            }
+        }
+    }
+
+    /// Per-step probability that the current price triggers one extra
+    /// preemption (the price–preemption coupling; zero for models without
+    /// one).
+    pub fn kill_probability(&self, price: f64) -> f64 {
+        match self {
+            PriceModel::Ou(ou) if ou.kill_coupling > 0.0 && ou.mean > 0.0 => {
+                (ou.kill_coupling * (price / ou.mean - 1.0).max(0.0)).min(1.0)
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model_is_static() {
+        let m = PriceModel::Constant(1.4);
+        assert!(!m.is_dynamic());
+        assert_eq!(m.constant_price(), Some(1.4));
+        assert_eq!(m.kill_probability(99.0), 0.0);
+        let mut rng = SimRng::new(1).stream("price");
+        assert_eq!(m.path(1.9, &mut rng), vec![(SimTime::ZERO, 1.4)]);
+    }
+
+    #[test]
+    fn trace_lookup_between_steps() {
+        let tr = PriceTrace::from_steps(vec![
+            (SimTime::ZERO, 1.9),
+            (SimTime::from_secs(100), 6.0),
+            (SimTime::from_secs(200), 2.0),
+        ]);
+        assert_eq!(tr.price_at(SimTime::ZERO), 1.9);
+        assert_eq!(tr.price_at(SimTime::from_secs(99)), 1.9);
+        assert_eq!(tr.price_at(SimTime::from_secs(100)), 6.0);
+        assert_eq!(tr.price_at(SimTime::from_secs(10_000)), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at t=0")]
+    fn trace_must_start_at_zero() {
+        PriceTrace::from_steps(vec![(SimTime::from_secs(1), 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and > 0")]
+    fn trace_rejects_free_gpus() {
+        PriceTrace::from_steps(vec![(SimTime::ZERO, 0.0)]);
+    }
+
+    #[test]
+    fn ou_path_is_deterministic_and_floored() {
+        let m = PriceModel::Ou(OuParams {
+            horizon: SimDuration::from_secs(3600),
+            ..OuParams::around(1.9)
+        });
+        let draw = || m.path(1.9, &mut SimRng::new(7).stream("price"));
+        let p1 = draw();
+        assert_eq!(p1, draw(), "same seed, same path");
+        assert_eq!(p1.len(), 60, "one step per minute over one hour");
+        assert!(p1.iter().all(|&(_, p)| p >= 1.9 * 0.25));
+    }
+
+    #[test]
+    fn ou_reverts_toward_the_mean() {
+        // Start far above the mean: strong reversion pulls the tail of the
+        // path well below the start even with volatility on.
+        let m = PriceModel::Ou(OuParams {
+            reversion_per_hour: 8.0,
+            horizon: SimDuration::from_secs(4 * 3600),
+            ..OuParams::around(2.0)
+        });
+        let path = m.path(10.0, &mut SimRng::new(3).stream("price"));
+        let tail_avg: f64 = path[path.len() - 30..].iter().map(|&(_, p)| p).sum::<f64>() / 30.0;
+        assert!(tail_avg < 4.0, "tail average {tail_avg} should revert");
+    }
+
+    #[test]
+    fn kill_probability_rises_with_price() {
+        let m = PriceModel::Ou(OuParams::around(2.0));
+        assert_eq!(m.kill_probability(1.0), 0.0, "below mean: no coupling");
+        assert_eq!(m.kill_probability(2.0), 0.0, "at mean: no coupling");
+        let p_high = m.kill_probability(4.0);
+        let p_higher = m.kill_probability(6.0);
+        assert!(p_high > 0.0);
+        assert!(p_higher > p_high);
+        assert!(m.kill_probability(1e9) <= 1.0);
+    }
+}

@@ -12,6 +12,13 @@ use crate::instance::{InstanceId, InstanceKind, InstanceType};
 /// released or preempted, at the per-hour price of its billing kind.
 /// Per-second granularity (like real clouds since 2017).
 ///
+/// When the pool's spot price moves (see
+/// [`PriceModel`](crate::PriceModel)), the meter holds the price *path* —
+/// a step function — and integrates each spot lease over it exactly, so
+/// the bill reflects the price actually paid during every segment of the
+/// lease, not a constant. Without a path (the default), the arithmetic is
+/// the original fixed-price expression, bit-for-bit.
+///
 /// # Example
 ///
 /// ```
@@ -39,6 +46,10 @@ pub struct BillingMeter {
     closed_usd_spot: f64,
     closed_usd_on_demand: f64,
     closed_time: BTreeMap<&'static str, SimDuration>,
+    // The spot-price path as `(time, usd_per_hour)` steps. Empty means the
+    // price never moves and spot bills at the instance type's list price
+    // through the exact legacy expression.
+    spot_path: Vec<(SimTime, f64)>,
 }
 
 impl BillingMeter {
@@ -51,7 +62,37 @@ impl BillingMeter {
             closed_usd_spot: 0.0,
             closed_usd_on_demand: 0.0,
             closed_time: BTreeMap::new(),
+            spot_path: Vec::new(),
         }
+    }
+
+    /// Installs a dynamic spot-price path: spot leases integrate this step
+    /// function instead of charging the list price. Steps must start at
+    /// `t = 0` and be strictly increasing (see
+    /// [`PriceModel::path`](crate::PriceModel::path)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if leases are already open (re-pricing mid-lease would
+    /// rewrite spend already accrued) or the path is malformed.
+    pub fn set_spot_path(&mut self, path: Vec<(SimTime, f64)>) {
+        assert!(
+            self.open.is_empty(),
+            "the price path must be installed before any lease opens"
+        );
+        if !path.is_empty() {
+            assert_eq!(path[0].0, SimTime::ZERO, "price path must start at t=0");
+            for w in path.windows(2) {
+                assert!(w[0].0 < w[1].0, "price path must be strictly increasing");
+            }
+        }
+        self.spot_path = path;
+    }
+
+    /// The spot price in force at `t` (the path's step, or the instance
+    /// type's list price when no path is installed).
+    pub fn spot_price_at(&self, t: SimTime) -> f64 {
+        crate::price::price_at(&self.spot_path, t).unwrap_or(self.instance_type.spot_price_per_hour)
     }
 
     /// Records the start of a lease.
@@ -69,7 +110,7 @@ impl BillingMeter {
     pub fn lease_ended(&mut self, id: InstanceId, at: SimTime) {
         if let Some((kind, start)) = self.open.remove(&id) {
             let dur = at.saturating_since(start);
-            let usd = self.cost_of(kind, dur);
+            let usd = self.lease_usd(kind, start, at);
             self.closed_usd += usd;
             match kind {
                 InstanceKind::Spot => self.closed_usd_spot += usd,
@@ -87,12 +128,44 @@ impl BillingMeter {
         self.instance_type.price_per_hour(kind) * dur.as_secs_f64() / 3600.0
     }
 
+    /// Spend of one lease over `[start, end)`. On-demand leases and spot
+    /// leases without a price path take the legacy fixed-price expression
+    /// (bit-for-bit); spot leases with a path integrate it segment by
+    /// segment.
+    fn lease_usd(&self, kind: InstanceKind, start: SimTime, end: SimTime) -> f64 {
+        if kind == InstanceKind::OnDemand || self.spot_path.is_empty() {
+            return self.cost_of(kind, end.saturating_since(start));
+        }
+        let mut usd = 0.0;
+        // First step at or before `start` (the path starts at t=0, so any
+        // lease start is covered).
+        let first = self
+            .spot_path
+            .partition_point(|&(t, _)| t <= start)
+            .saturating_sub(1);
+        for (i, &(seg_start, price)) in self.spot_path.iter().enumerate().skip(first) {
+            if seg_start >= end {
+                break;
+            }
+            let seg_end = self
+                .spot_path
+                .get(i + 1)
+                .map(|&(t, _)| t.min(end))
+                .unwrap_or(end);
+            let from = if seg_start > start { seg_start } else { start };
+            if seg_end > from {
+                usd += price * seg_end.saturating_since(from).as_secs_f64() / 3600.0;
+            }
+        }
+        usd
+    }
+
     /// Total spend in USD as of `now`, counting still-open leases up to `now`.
     pub fn total_usd(&self, now: SimTime) -> f64 {
         let open: f64 = self
             .open
             .values()
-            .map(|&(kind, start)| self.cost_of(kind, now.saturating_since(start)))
+            .map(|&(kind, start)| self.lease_usd(kind, start, now))
             .sum();
         self.closed_usd + open
     }
@@ -110,7 +183,7 @@ impl BillingMeter {
             .open
             .values()
             .filter(|&&(k, _)| k == kind)
-            .map(|&(k, start)| self.cost_of(k, now.saturating_since(start)))
+            .map(|&(k, start)| self.lease_usd(k, start, now))
             .sum();
         closed + open
     }
@@ -186,5 +259,78 @@ mod tests {
         let mut m = meter();
         m.lease_started(InstanceId(1), InstanceKind::Spot, SimTime::ZERO);
         m.lease_started(InstanceId(1), InstanceKind::Spot, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn path_bill_integrates_the_path_not_a_constant() {
+        // 1.9 for the first half hour, 4.0 for the second: the hour-long
+        // lease pays the time-weighted sum, not either endpoint.
+        let mut m = meter();
+        m.set_spot_path(vec![(SimTime::ZERO, 1.9), (SimTime::from_secs(1800), 4.0)]);
+        m.lease_started(InstanceId(1), InstanceKind::Spot, SimTime::ZERO);
+        m.lease_ended(InstanceId(1), SimTime::from_secs(3600));
+        let want = 1.9 * 0.5 + 4.0 * 0.5;
+        assert!((m.total_usd(SimTime::from_secs(3600)) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_bill_covers_leases_starting_mid_segment_and_open_accrual() {
+        let mut m = meter();
+        m.set_spot_path(vec![
+            (SimTime::ZERO, 2.0),
+            (SimTime::from_secs(600), 6.0),
+            (SimTime::from_secs(1200), 1.0),
+        ]);
+        // Lease spans the tail of segment 1, all of segment 2, and the
+        // open accrual reads the last step's price.
+        m.lease_started(InstanceId(1), InstanceKind::Spot, SimTime::from_secs(300));
+        let now = SimTime::from_secs(1800);
+        let want = 2.0 * 300.0 / 3600.0 + 6.0 * 600.0 / 3600.0 + 1.0 * 600.0 / 3600.0;
+        assert!((m.total_usd(now) - want).abs() < 1e-9);
+        assert!((m.usd_of_kind(InstanceKind::Spot, now) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_leaves_on_demand_at_list_price() {
+        let mut m = meter();
+        m.set_spot_path(vec![(SimTime::ZERO, 100.0)]);
+        m.lease_started(InstanceId(1), InstanceKind::OnDemand, SimTime::ZERO);
+        m.lease_ended(InstanceId(1), SimTime::from_secs(3600));
+        assert!((m.total_usd(SimTime::from_secs(3600)) - 3.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_path_is_bit_exact_with_no_path() {
+        let run = |with_path: bool| {
+            let mut m = meter();
+            if with_path {
+                // A single-step path at the list price is the same math.
+                m.set_spot_path(vec![(SimTime::ZERO, 1.9)]);
+            }
+            m.lease_started(InstanceId(1), InstanceKind::Spot, SimTime::from_secs(7));
+            m.lease_ended(InstanceId(1), SimTime::from_secs(12_345));
+            m.total_usd(SimTime::from_secs(20_000))
+        };
+        // Not bit-exact by construction (the integral multiplies segment
+        // seconds, the legacy path multiplies total seconds) but the
+        // single-segment case collapses to the same product.
+        assert_eq!(run(false).to_bits(), run(true).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "before any lease")]
+    fn path_after_open_lease_panics() {
+        let mut m = meter();
+        m.lease_started(InstanceId(1), InstanceKind::Spot, SimTime::ZERO);
+        m.set_spot_path(vec![(SimTime::ZERO, 1.0)]);
+    }
+
+    #[test]
+    fn spot_price_at_reads_the_path() {
+        let mut m = meter();
+        assert_eq!(m.spot_price_at(SimTime::from_secs(999)), 1.9);
+        m.set_spot_path(vec![(SimTime::ZERO, 1.5), (SimTime::from_secs(60), 9.0)]);
+        assert_eq!(m.spot_price_at(SimTime::ZERO), 1.5);
+        assert_eq!(m.spot_price_at(SimTime::from_secs(61)), 9.0);
     }
 }

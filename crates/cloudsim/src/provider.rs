@@ -14,6 +14,7 @@ use simkit::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::events::CloudEvent;
 use crate::instance::{InstanceId, InstanceKind, InstanceType};
+use crate::price::PriceModel;
 use crate::pricing::BillingMeter;
 use crate::trace::AvailabilityTrace;
 
@@ -66,6 +67,7 @@ pub struct InstanceInfo {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Internal {
     TraceStep(usize),
+    PriceStep(usize),
     GrantSpot,
     GrantOnDemand,
     Kill(InstanceId),
@@ -96,6 +98,19 @@ pub struct CloudSim {
     capacity: u32,
     meter: BillingMeter,
     started: bool,
+    /// The pre-drawn spot-price path (empty = constant list price). A pure
+    /// function of the seed, so lookups never depend on event-processing
+    /// progress.
+    price_path: Vec<(SimTime, f64)>,
+    /// Per-step probability of one price-correlated preemption, aligned
+    /// with `price_path`.
+    price_kill_probs: Vec<f64>,
+    /// Dedicated stream for price-correlated preemption draws; `None` when
+    /// the price never moves, so constant-price pools draw nothing extra.
+    price_rng: Option<SimRng>,
+    /// Which pool of a multi-pool market this provider is (pool 0 for the
+    /// single-market form); stamped on pool-scoped events like re-quotes.
+    pool: crate::PoolId,
 }
 
 impl CloudSim {
@@ -116,7 +131,22 @@ impl CloudSim {
         seed: u64,
         pool: crate::PoolId,
     ) -> Self {
-        let meter = BillingMeter::new(cfg.instance_type.clone());
+        CloudSim::for_pool_priced(cfg, trace, seed, pool, None)
+    }
+
+    /// [`CloudSim::for_pool`] with a spot-price process. `None` and
+    /// [`PriceModel::Constant`] keep the constant-price machinery (no path,
+    /// no extra random draws, no extra events) — byte-identical to the
+    /// pre-dynamics provider; a dynamic model pre-draws its path from the
+    /// pool's own `"price"` stream and installs it into billing.
+    pub fn for_pool_priced(
+        cfg: CloudConfig,
+        trace: AvailabilityTrace,
+        seed: u64,
+        pool: crate::PoolId,
+        price: Option<&PriceModel>,
+    ) -> Self {
+        let mut meter = BillingMeter::new(cfg.instance_type.clone());
         let mut internal = EventQueue::new();
         for (i, &(t, _)) in trace.steps().iter().enumerate() {
             internal.schedule(t, Internal::TraceStep(i));
@@ -126,6 +156,35 @@ impl CloudSim {
             SimRng::new(seed).stream("cloudsim")
         } else {
             SimRng::new(seed).stream(&format!("cloudsim/pool{}", pool.0))
+        };
+        let (price_path, price_kill_probs, price_rng) = match price {
+            Some(model) if model.is_dynamic() => {
+                let label = if pool.0 == 0 {
+                    "price".to_string()
+                } else {
+                    format!("price/pool{}", pool.0)
+                };
+                let mut path_rng = SimRng::new(seed).stream(&label);
+                let path = model.path(cfg.instance_type.spot_price_per_hour, &mut path_rng);
+                let probs: Vec<f64> = path
+                    .iter()
+                    .map(|&(_, p)| model.kill_probability(p))
+                    .collect();
+                // Every mid-run step is an event: the re-quote surfaces as
+                // a `SpotPriceStep` so consumers can steer on it (and the
+                // step may additionally preempt when the model couples
+                // price to kills). The `t = 0` step is the initial quote,
+                // already visible before any event fires.
+                for (i, &(t, _)) in path.iter().enumerate() {
+                    if t > SimTime::ZERO {
+                        internal.schedule(t, Internal::PriceStep(i));
+                    }
+                }
+                meter.set_spot_path(path.clone());
+                let kill_rng = SimRng::new(seed).stream(&format!("{label}/kill"));
+                (path, probs, Some(kill_rng))
+            }
+            _ => (Vec::new(), Vec::new(), None),
         };
         CloudSim {
             cfg,
@@ -141,7 +200,19 @@ impl CloudSim {
             capacity,
             meter,
             started: false,
+            price_path,
+            price_kill_probs,
+            price_rng,
+            pool,
         }
+    }
+
+    /// The spot price in force at `t` (USD per instance-hour). A pure
+    /// lookup into the pre-drawn path: the answer never depends on how far
+    /// event processing has advanced.
+    pub fn spot_price_at(&self, t: SimTime) -> f64 {
+        crate::price::price_at(&self.price_path, t)
+            .unwrap_or(self.cfg.instance_type.spot_price_per_hour)
     }
 
     /// The provider configuration.
@@ -227,7 +298,7 @@ impl CloudSim {
             .map(|_| {
                 self.grant(SimTime::ZERO, InstanceKind::Spot);
                 let (_, ev) = self.out.pop_back().expect("grant pushed an event");
-                ev.instance()
+                ev.instance().expect("grants carry an instance")
             })
             .collect()
     }
@@ -244,7 +315,7 @@ impl CloudSim {
             .map(|_| {
                 self.grant(SimTime::ZERO, InstanceKind::OnDemand);
                 let (_, ev) = self.out.pop_back().expect("grant pushed an event");
-                ev.instance()
+                ev.instance().expect("grants carry an instance")
             })
             .collect()
     }
@@ -321,6 +392,57 @@ impl CloudSim {
         self.try_start_spot_grants(t);
     }
 
+    /// One step of the price path: surface the re-quote as an event, and
+    /// — when the model couples price to preemption — with the step's
+    /// probability reclaim one live spot instance (grace period and
+    /// notice exactly like a capacity drop). Kill draws come from the
+    /// pool's dedicated kill stream and only happen on steps with a
+    /// nonzero coupling, so a coupling-free model draws nothing.
+    fn apply_price_step(&mut self, t: SimTime, idx: usize) {
+        let price = self.price_path[idx].1;
+        self.out.push_back((
+            t,
+            CloudEvent::SpotPriceStep {
+                pool: self.pool,
+                cents_per_hour: (price * 100.0).round() as u32,
+            },
+        ));
+        let p = self.price_kill_probs[idx];
+        if p <= 0.0 {
+            return;
+        }
+        let rng = self
+            .price_rng
+            .as_mut()
+            .expect("price events imply a price stream");
+        if !rng.chance(p) {
+            return;
+        }
+        let mut candidates: Vec<InstanceId> = self
+            .active
+            .values()
+            .filter(|i| i.kind == InstanceKind::Spot && i.kill_at.is_none())
+            .map(|i| i.id)
+            .collect();
+        candidates.sort_unstable();
+        let Some(&victim) = rng.choose(&candidates) else {
+            return;
+        };
+        let kill_at = t + self.cfg.grace_period;
+        self.active
+            .get_mut(&victim)
+            .expect("victim is active")
+            .kill_at = Some(kill_at);
+        self.internal.schedule(kill_at, Internal::Kill(victim));
+        self.out.push_back((
+            t,
+            CloudEvent::PreemptionNotice {
+                id: victim,
+                kill_at,
+            },
+        ));
+    }
+
     fn grant(&mut self, t: SimTime, kind: InstanceKind) {
         let id = InstanceId(self.next_id);
         self.next_id += 1;
@@ -344,6 +466,7 @@ impl CloudSim {
     fn process_internal(&mut self, t: SimTime, ev: Internal) {
         match ev {
             Internal::TraceStep(idx) => self.apply_trace_step(t, idx),
+            Internal::PriceStep(idx) => self.apply_price_step(t, idx),
             Internal::GrantSpot => {
                 self.inflight_spot.pop_front();
                 self.grant(t, InstanceKind::Spot);
@@ -414,7 +537,7 @@ mod tests {
         assert_eq!(evs.len(), 2, "only capacity-many grants fire");
         assert_eq!(cloud.pending_spot(), 3);
         // Releasing one lease admits one queued request.
-        let id = evs[0].1.instance();
+        let id = evs[0].1.instance().expect("grant");
         cloud.release(SimTime::from_secs(100), id);
         let evs = drain(&mut cloud);
         assert_eq!(evs.len(), 1);
@@ -452,7 +575,7 @@ mod tests {
         let mut cloud = sim(trace);
         cloud.request_spot(SimTime::ZERO, 1);
         let (_, grant) = cloud.pop_next().unwrap();
-        let id = grant.instance();
+        let id = grant.instance().expect("grant");
 
         // Pop the notice, then voluntarily release before the kill fires.
         let (t, ev) = cloud.pop_next().unwrap();
@@ -552,9 +675,154 @@ mod tests {
         let mut cloud = sim(AvailabilityTrace::constant(1));
         cloud.request_spot(SimTime::ZERO, 1);
         let evs = drain(&mut cloud);
-        let id = evs[0].1.instance();
+        let id = evs[0].1.instance().expect("grant");
         let end = SimTime::from_secs(40 + 3600);
         cloud.release(end, id);
         assert!((cloud.meter().total_usd(end) - 1.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_price_model_is_bit_exact_with_no_model() {
+        // `Constant` must not perturb a single draw, event, or cent.
+        let run = |price: Option<&PriceModel>| {
+            let trace = AvailabilityTrace::paper_bs();
+            let mut cloud = CloudSim::for_pool_priced(
+                CloudConfig::default(),
+                trace,
+                99,
+                crate::PoolId(0),
+                price,
+            );
+            cloud.request_spot(SimTime::ZERO, 10);
+            let evs: Vec<String> = drain(&mut cloud)
+                .iter()
+                .map(|(t, e)| format!("{t} {e:?}"))
+                .collect();
+            (
+                evs,
+                cloud.meter().total_usd(SimTime::from_secs(1200)).to_bits(),
+            )
+        };
+        assert_eq!(run(None), run(Some(&PriceModel::Constant(1.9))));
+    }
+
+    #[test]
+    fn priced_pool_bills_the_path_and_reports_current_price() {
+        use crate::price::PriceTrace;
+        let model = PriceModel::Trace(PriceTrace::from_steps(vec![
+            (SimTime::ZERO, 2.0),
+            (SimTime::from_secs(1840), 6.0),
+        ]));
+        let mut cloud = CloudSim::for_pool_priced(
+            CloudConfig::default(),
+            AvailabilityTrace::constant(1),
+            7,
+            crate::PoolId(0),
+            Some(&model),
+        );
+        assert_eq!(cloud.spot_price_at(SimTime::ZERO), 2.0);
+        assert_eq!(cloud.spot_price_at(SimTime::from_secs(2000)), 6.0);
+        cloud.request_spot(SimTime::ZERO, 1);
+        let evs = drain(&mut cloud);
+        let id = evs[0].1.instance().expect("grant");
+        // Granted at t=40; 1800 s at $2/h then 1800 s at $6/h.
+        let end = SimTime::from_secs(40 + 3600);
+        cloud.release(end, id);
+        let want = 2.0 * 0.5 + 6.0 * 0.5;
+        assert!((cloud.meter().total_usd(end) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn price_steps_surface_as_requote_events() {
+        // Every mid-run path step is delivered as a `SpotPriceStep`, so a
+        // controller gets a steering point the moment the market moves.
+        use crate::price::PriceTrace;
+        let model = PriceModel::Trace(PriceTrace::from_steps(vec![
+            (SimTime::ZERO, 2.0),
+            (SimTime::from_secs(600), 6.3),
+        ]));
+        let mut cloud = CloudSim::for_pool_priced(
+            CloudConfig::default(),
+            AvailabilityTrace::constant(2),
+            5,
+            crate::PoolId(3),
+            Some(&model),
+        );
+        let evs = drain(&mut cloud);
+        assert_eq!(
+            evs,
+            vec![(
+                SimTime::from_secs(600),
+                CloudEvent::SpotPriceStep {
+                    pool: crate::PoolId(3),
+                    cents_per_hour: 630,
+                },
+            )],
+            "one re-quote event, stamped with the pool and the cent quote"
+        );
+    }
+
+    #[test]
+    fn price_spikes_preempt_with_grace_and_notice() {
+        // A saturating coupling (probability 1 past the mean) must reclaim
+        // spot instances during the spike, with the usual notice → kill
+        // sequence, while capacity never moved.
+        let model = PriceModel::Ou(crate::price::OuParams {
+            mean: 1.0,
+            reversion_per_hour: 0.0,
+            volatility: 0.0,
+            daily_amplitude: 0.0,
+            step: SimDuration::from_secs(600),
+            horizon: SimDuration::from_secs(3600),
+            floor: 5.0, // floored far above the mean: permanent "spike"
+            kill_coupling: 1e9,
+        });
+        let mut cloud = CloudSim::for_pool_priced(
+            CloudConfig::default(),
+            AvailabilityTrace::constant(4),
+            7,
+            crate::PoolId(0),
+            Some(&model),
+        );
+        cloud.request_spot(SimTime::ZERO, 2);
+        let evs = drain(&mut cloud);
+        let notices: Vec<&(SimTime, CloudEvent)> = evs
+            .iter()
+            .filter(|(_, e)| matches!(e, CloudEvent::PreemptionNotice { .. }))
+            .collect();
+        let kills = evs
+            .iter()
+            .filter(|(_, e)| matches!(e, CloudEvent::Preempted { .. }))
+            .count();
+        assert!(!notices.is_empty(), "spike must preempt: {evs:?}");
+        assert_eq!(notices.len(), kills, "every notice is followed by a kill");
+        for (t, ev) in &notices {
+            if let CloudEvent::PreemptionNotice { kill_at, .. } = ev {
+                assert_eq!(*kill_at, *t + SimDuration::from_secs(30), "grace period");
+            }
+        }
+    }
+
+    #[test]
+    fn priced_replay_is_deterministic() {
+        let run = || {
+            let model = PriceModel::Ou(crate::price::OuParams::around(1.9));
+            let mut cloud = CloudSim::for_pool_priced(
+                CloudConfig::default(),
+                AvailabilityTrace::paper_as(),
+                11,
+                crate::PoolId(2),
+                Some(&model),
+            );
+            cloud.request_spot(SimTime::ZERO, 8);
+            let evs = drain(&mut cloud);
+            (
+                evs.iter()
+                    .map(|(t, e)| (*t, format!("{e:?}")))
+                    .collect::<Vec<_>>(),
+                cloud.meter().total_usd(SimTime::from_secs(1200)).to_bits(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -43,5 +43,5 @@ pub use config::{AblationFlags, EngineMode, Policy, SystemOptions};
 pub use devicemap::{map_devices, map_devices_with_skus, DeviceMapOutcome, SkuTable};
 pub use fleetctl::{FleetController, FleetPolicy, PreemptionEstimator};
 pub use optimizer::{ConfigOptimizer, MultiSkuDecision, OptimizerDecision, MAX_SKU_LANES};
-pub use report::{ConfigChange, RunReport};
+pub use report::{ConfigChange, CostReport, RunReport, SkuCost};
 pub use system::{Scenario, ServingSystem};

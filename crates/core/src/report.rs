@@ -1,6 +1,6 @@
 //! Run results: latency report, monetary cost, configuration history.
 
-use cloudsim::CostBreakdown;
+use cloudsim::{CostBreakdown, PoolCost};
 use parallelism::ParallelConfig;
 use simkit::{SimDuration, SimTime};
 use workload::LatencyReport;
@@ -54,22 +54,90 @@ pub struct RunReport {
     pub slo_rejections: Vec<workload::Request>,
 }
 
+/// Spend aggregated over every pool leasing one SKU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkuCost {
+    /// The instance-type name.
+    pub sku: &'static str,
+    /// Spot spend across this SKU's pools.
+    pub spot_usd: f64,
+    /// On-demand spend across this SKU's pools.
+    pub ondemand_usd: f64,
+}
+
+/// The consolidated cost view of a run: the authoritative total, the
+/// per-kind split, per-pool and per-SKU attribution, and the run's
+/// $-per-committed-token efficiency — one typed struct instead of the
+/// old scatter of ad-hoc [`RunReport`] getters.
+#[derive(Debug, Clone)]
+pub struct CostReport {
+    /// Total fleet spend in USD (the billing meter's authoritative
+    /// integral; the per-kind split below may differ by a float ulp).
+    pub total_usd: f64,
+    /// Spot spend summed over every pool.
+    pub spot_usd: f64,
+    /// On-demand spend summed over every pool.
+    pub ondemand_usd: f64,
+    /// USD per committed (generated) output token, `None` when the run
+    /// produced no tokens. The $/token figure the `CostPerToken` fleet
+    /// policy optimizes.
+    pub usd_per_token: Option<f64>,
+    /// Per-pool attribution, in pool order.
+    pub pools: Vec<PoolCost>,
+}
+
+impl CostReport {
+    /// Per-SKU attribution: pools leasing the same instance type merge,
+    /// in first-seen pool order.
+    pub fn by_sku(&self) -> Vec<SkuCost> {
+        let mut out: Vec<SkuCost> = Vec::new();
+        for p in &self.pools {
+            match out.iter_mut().find(|s| s.sku == p.sku) {
+                Some(s) => {
+                    s.spot_usd += p.spot_usd;
+                    s.ondemand_usd += p.ondemand_usd;
+                }
+                None => out.push(SkuCost {
+                    sku: p.sku,
+                    spot_usd: p.spot_usd,
+                    ondemand_usd: p.ondemand_usd,
+                }),
+            }
+        }
+        out
+    }
+}
+
 impl RunReport {
+    /// The consolidated [`CostReport`] view of this run's spend.
+    pub fn cost(&self) -> CostReport {
+        let tokens = self.latency.tokens_generated();
+        CostReport {
+            total_usd: self.cost_usd,
+            spot_usd: self.cost_breakdown.spot_usd(),
+            ondemand_usd: self.cost_breakdown.ondemand_usd(),
+            usd_per_token: (tokens > 0).then(|| self.cost_usd / tokens as f64),
+            pools: self.cost_breakdown.pools.clone(),
+        }
+    }
+
     /// USD per generated output token (Figure 7's cost metric), `None`
     /// when no tokens were produced.
+    #[deprecated(note = "use cost().usd_per_token")]
     pub fn cost_per_token(&self) -> Option<f64> {
-        let tokens = self.latency.tokens_generated();
-        (tokens > 0).then(|| self.cost_usd / tokens as f64)
+        self.cost().usd_per_token
     }
 
     /// USD spent on spot leases (all pools).
+    #[deprecated(note = "use cost().spot_usd")]
     pub fn spot_usd(&self) -> f64 {
-        self.cost_breakdown.spot_usd()
+        self.cost().spot_usd
     }
 
     /// USD spent on on-demand leases (all pools).
+    #[deprecated(note = "use cost().ondemand_usd")]
     pub fn ondemand_usd(&self) -> f64 {
-        self.cost_breakdown.ondemand_usd()
+        self.cost().ondemand_usd
     }
 
     /// The configurations adopted, in order, without pauses/bytes.
@@ -109,7 +177,64 @@ mod tests {
             fleet_timeline: vec![],
             slo_rejections: vec![],
         };
-        assert!((rep.cost_per_token().unwrap() - 0.01).abs() < 1e-12);
+        assert!((rep.cost().usd_per_token.unwrap() - 0.01).abs() < 1e-12);
+        #[allow(deprecated)]
+        {
+            // The deprecated wrapper is pinned to the typed view.
+            assert_eq!(rep.cost_per_token(), rep.cost().usd_per_token);
+        }
+    }
+
+    #[test]
+    fn cost_report_aggregates_by_sku() {
+        use cloudsim::{PoolCost, PoolId};
+        let rep = RunReport {
+            latency: LatencyReport::new("x"),
+            cost_usd: 10.0,
+            cost_breakdown: CostBreakdown {
+                pools: vec![
+                    PoolCost {
+                        pool: PoolId(0),
+                        name: "z0".into(),
+                        sku: "g4dn.12xlarge",
+                        spot_usd: 3.0,
+                        ondemand_usd: 1.0,
+                    },
+                    PoolCost {
+                        pool: PoolId(1),
+                        name: "z1".into(),
+                        sku: "g6.12xlarge",
+                        spot_usd: 2.0,
+                        ondemand_usd: 0.0,
+                    },
+                    PoolCost {
+                        pool: PoolId(2),
+                        name: "z2".into(),
+                        sku: "g4dn.12xlarge",
+                        spot_usd: 4.0,
+                        ondemand_usd: 0.0,
+                    },
+                ],
+            },
+            unfinished: 0,
+            config_changes: vec![],
+            finished_at: SimTime::ZERO,
+            preemptions: 0,
+            grants: 0,
+            fleet_timeline: vec![],
+            slo_rejections: vec![],
+        };
+        let cost = rep.cost();
+        assert_eq!(cost.spot_usd, 9.0);
+        assert_eq!(cost.ondemand_usd, 1.0);
+        assert_eq!(cost.usd_per_token, None, "no tokens generated");
+        let by_sku = cost.by_sku();
+        assert_eq!(by_sku.len(), 2, "two SKUs across three pools");
+        assert_eq!(by_sku[0].sku, "g4dn.12xlarge");
+        assert_eq!(by_sku[0].spot_usd, 7.0);
+        assert_eq!(by_sku[0].ondemand_usd, 1.0);
+        assert_eq!(by_sku[1].sku, "g6.12xlarge");
+        assert_eq!(by_sku[1].spot_usd, 2.0);
     }
 
     #[test]
@@ -126,6 +251,6 @@ mod tests {
             fleet_timeline: vec![],
             slo_rejections: vec![],
         };
-        assert_eq!(rep.cost_per_token(), None);
+        assert_eq!(rep.cost().usd_per_token, None);
     }
 }

@@ -29,7 +29,8 @@ use enginesim::{
 use kmatch::SkuCaps;
 use llmsim::ModelSpec;
 use migration::{
-    evaluate_plan, plan_migration, DeviceAssignment, MigrationPlan, MigrationTask, PlannerOptions,
+    evaluate_plan, plan_migration, transferable_fraction, triage, DeviceAssignment, MigrationPlan,
+    MigrationTask, PlannerOptions, TriageTier,
 };
 use parallelism::{ParallelConfig, PerfModel};
 use simkit::event::EventKey;
@@ -225,6 +226,25 @@ fn sku_caps(ty: &InstanceType) -> SkuCaps {
 }
 
 /// The discrete-event serving simulation. See the crate-level example.
+/// The grace-period triage decision attached to a migration plan (see
+/// [`migration::triage`]): which tier the transferable-data fraction
+/// graded into, and the fraction itself (what share of the optional
+/// checkpoint data the remaining grace can move).
+#[derive(Debug, Clone, Copy)]
+struct CheckpointTriage {
+    tier: TriageTier,
+    fraction: f64,
+}
+
+impl CheckpointTriage {
+    fn full() -> Self {
+        CheckpointTriage {
+            tier: TriageTier::Full,
+            fraction: 1.0,
+        }
+    }
+}
+
 pub struct ServingSystem {
     opts: SystemOptions,
     scenario: Scenario,
@@ -265,6 +285,10 @@ pub struct ServingSystem {
     /// The bootstrap configuration (the `-Controller` ablation pins this).
     frozen_config: Option<ParallelConfig>,
     initial_fleet_target: u32,
+    /// Last spot price (cents/hour) each pool was seen at, for
+    /// edge-triggered price-pressure feeding under
+    /// [`FleetPolicy::CostPerToken`]. Empty until first consulted.
+    last_spot_cents: Vec<u32>,
     /// Mixed-SKU fleet state; `None` on homogeneous fleets (see
     /// [`HeteroState`]).
     hetero: Option<HeteroState>,
@@ -385,6 +409,7 @@ impl ServingSystem {
             rerouting_shape: None,
             frozen_config: None,
             initial_fleet_target: 0,
+            last_spot_cents: Vec::new(),
             hetero,
             outstanding: scenario.requests.len(),
             arrivals_seen: Vec::new(),
@@ -637,7 +662,9 @@ impl ServingSystem {
                 let want = target + self.opts.spare_instances;
                 let ids = if matches!(
                     self.opts.fleet_policy,
-                    FleetPolicy::SpotHedge { .. } | FleetPolicy::CostAwareHedge { .. }
+                    FleetPolicy::SpotHedge { .. }
+                        | FleetPolicy::CostAwareHedge { .. }
+                        | FleetPolicy::CostPerToken { .. }
                 ) {
                     // Hedged warm start: spread target + spares + hedge
                     // across pools so no zone holds a fleet-killing share.
@@ -740,6 +767,12 @@ impl ServingSystem {
                 self.noticed.remove(&id);
                 self.on_instance_gone(id);
                 self.sample_fleet();
+            }
+            CloudEvent::SpotPriceStep { .. } => {
+                // A market re-quote changes no lease; it is purely a
+                // steering point. The controller re-reads every pool's
+                // price card (and the parity mask / price-pressure feed
+                // under `CostPerToken`) in `steer_fleet` below.
             }
         }
         // Every cloud transition is a steering point for the controller
@@ -1216,6 +1249,11 @@ impl ServingSystem {
             // ignore it; the cost-aware hedge masks and biases by it.
             let ty = self.cloud.instance_type_in(pid);
             pool.caps = PoolCaps::of(ty);
+            // Dynamically priced pools quote their *current* spot price,
+            // not the SKU's list price. Constant pools round to the same
+            // cents as the list price, keeping their views byte-identical.
+            pool.caps.spot_cents_per_hour =
+                (self.cloud.spot_price_in(pid, self.now) * 100.0).round() as u32;
             pool.caps.fits_model = self
                 .optimizer
                 .memory()
@@ -1243,6 +1281,12 @@ impl ServingSystem {
             || self.opts.fleet_policy.is_reactive()
         {
             return;
+        }
+        if let FleetPolicy::CostPerToken {
+            parity_permille, ..
+        } = self.opts.fleet_policy
+        {
+            self.feed_price_pressure(parity_permille);
         }
         let view = self.fleet_view();
         let cmd = self.fleet.command(&view, self.now);
@@ -1274,6 +1318,47 @@ impl ServingSystem {
             // Idle instances only, on-demand first (the Algorithm 1
             // line 10 release priority the controller assumes).
             self.release_surplus(cmd.release);
+        }
+    }
+
+    /// Feeds spot-price spikes into the preemption estimator as an
+    /// anticipatory kill signal (see
+    /// [`FleetController::observe_price_pressure`]). Edge-triggered: a
+    /// pool contributes pressure only when its observed price *changes*
+    /// to a level at or past the parity threshold, weighted by how far
+    /// past parity it landed (one kill's worth per threshold-to-2×-parity
+    /// span, clamped). On clouds where preemption probability correlates
+    /// with price, this widens the hedge before the notices arrive.
+    fn feed_price_pressure(&mut self, parity_permille: u32) {
+        let n = self.cloud.pool_count();
+        if self.last_spot_cents.len() != n {
+            // First consultation: baseline at the SKU list price, so a
+            // scenario that *starts* spiked still registers the spike.
+            self.last_spot_cents = (0..n)
+                .map(|i| {
+                    let ty = self.cloud.instance_type_in(PoolId(i as u32));
+                    (ty.spot_price_per_hour * 100.0).round() as u32
+                })
+                .collect();
+        }
+        for i in 0..n {
+            let pid = PoolId(i as u32);
+            let cents = (self.cloud.spot_price_in(pid, self.now) * 100.0).round() as u32;
+            if cents == self.last_spot_cents[i] {
+                continue;
+            }
+            self.last_spot_cents[i] = cents;
+            let od_cents =
+                (self.cloud.instance_type_in(pid).ondemand_price_per_hour * 100.0).round() as u32;
+            if od_cents == 0 {
+                continue;
+            }
+            let parity = f64::from(parity_permille) / 1000.0;
+            let ratio = f64::from(cents) / f64::from(od_cents);
+            if ratio >= parity {
+                let weight = ((ratio - parity) / parity.max(1e-9)).clamp(0.0, 1.0);
+                self.fleet.observe_price_pressure(i, weight, self.now);
+            }
         }
     }
 
@@ -1477,7 +1562,7 @@ impl ServingSystem {
         if usable.len() < needed {
             return SimDuration::ZERO;
         }
-        let (plan, _) = self.build_plan(cfg, &usable, SimTime::MAX);
+        let (plan, _, _) = self.build_plan(cfg, &usable, SimTime::MAX);
         let tl = evaluate_plan(
             &plan,
             decided_perf(&self.optimizer, &self.hetero)
@@ -1489,14 +1574,21 @@ impl ServingSystem {
     }
 
     /// Builds the migration task + plan toward `cfg` on `instances`,
-    /// dropping cache context when the `deadline` cannot otherwise be met
-    /// (§4.2 fault tolerance). Returns the plan and the device-map outcome.
+    /// triaging the checkpoint when the `deadline` cannot fit the full
+    /// plan (§4.2 fault tolerance, graded by the transferable-data
+    /// fraction — see [`migration::triage`]). Returns the plan, the
+    /// device-map outcome, and the triage decision the commit must apply
+    /// to carried requests.
     fn build_plan(
         &self,
         cfg: ParallelConfig,
         instances: &[InstanceId],
         deadline: SimTime,
-    ) -> (MigrationPlan, crate::devicemap::DeviceMapOutcome) {
+    ) -> (
+        MigrationPlan,
+        crate::devicemap::DeviceMapOutcome,
+        CheckpointTriage,
+    ) {
         let stateful = !self.opts.ablation.no_interruption_arranger;
         let cache_bytes: Vec<u64> = self
             .pipelines
@@ -1570,17 +1662,48 @@ impl ServingSystem {
             .net();
         let plan = plan_migration(&task, &planner_opts);
         let tl = evaluate_plan(&plan, net, &self.scenario.storage);
-        if self.now + tl.total > deadline {
-            // Grace too short for the cache: give it up and move weights
-            // only (§4.2).
-            task.cache_bytes_per_pipeline = vec![0; task.cache_bytes_per_pipeline.len()];
-            task.pipeline_inheritance = vec![None; cfg.data as usize];
-            let plan = plan_migration(&task, &planner_opts);
-            let mut outcome = outcome;
-            outcome.inheritance = vec![None; cfg.data as usize];
-            return (plan, outcome);
+        if self.now + tl.total <= deadline {
+            return (plan, outcome, CheckpointTriage::full());
         }
-        (plan, outcome)
+        // Grace too short for the full checkpoint: grade what the budget
+        // *can* move against the weights-only floor and triage — full
+        // migration, partial checkpoint, or restart (§4.2, refined by the
+        // ≥80% / 30–80% / <30% transferable-fraction rule).
+        let full_cache = task.cache_bytes_per_pipeline.clone();
+        let full_inherit = task.pipeline_inheritance.clone();
+        task.cache_bytes_per_pipeline = vec![0; full_cache.len()];
+        task.pipeline_inheritance = vec![None; cfg.data as usize];
+        let zero_plan = plan_migration(&task, &planner_opts);
+        let t_zero = evaluate_plan(&zero_plan, net, &self.scenario.storage).total;
+        let budget = deadline.saturating_since(self.now);
+        let fraction = transferable_fraction(budget, t_zero, tl.total);
+        let tri = CheckpointTriage {
+            tier: triage(fraction),
+            fraction,
+        };
+        match tri.tier {
+            // Nearly everything fits: accept the small overrun and move
+            // the complete checkpoint (the fault path re-plans if the
+            // kill truly lands first).
+            TriageTier::Full => (plan, outcome, tri),
+            // Move the deepest `fraction` of each pipeline's cache;
+            // inheritance survives, shallow requests recompute.
+            TriageTier::Partial => {
+                task.cache_bytes_per_pipeline = full_cache
+                    .iter()
+                    .map(|&b| (b as f64 * fraction) as u64)
+                    .collect();
+                task.pipeline_inheritance = full_inherit;
+                let plan = plan_migration(&task, &planner_opts);
+                (plan, outcome, tri)
+            }
+            // Not worth the budget: weights only, all context abandoned.
+            TriageTier::Restart => {
+                let mut outcome = outcome;
+                outcome.inheritance = vec![None; cfg.data as usize];
+                (zero_plan, outcome, tri)
+            }
+        }
     }
 
     /// Executes the transition decided earlier: freeze engines, migrate or
@@ -1654,7 +1777,7 @@ impl ServingSystem {
         match self.opts.policy {
             Policy::SpotServe => {
                 let usable = self.placement_instances();
-                let (plan, outcome) =
+                let (plan, outcome, tri) =
                     self.build_plan(cfg, &usable, deadline.unwrap_or(SimTime::MAX));
                 let net = *decided_perf(&self.optimizer, &self.hetero)
                     .cost_model()
@@ -1709,6 +1832,13 @@ impl ServingSystem {
                             }
                             continue;
                         }
+                        // Partial triage moved only `fraction` of the
+                        // cache: the batch resumes from the matching
+                        // (token-exact) shallower depth.
+                        let committed = match tri.tier {
+                            TriageTier::Partial => (f64::from(committed) * tri.fraction) as u32,
+                            _ => committed,
+                        };
                         let worthwhile = recovery_worthwhile(
                             tl.total,
                             run.finish_time().saturating_since(run.started()),
@@ -1761,6 +1891,34 @@ impl ServingSystem {
                         .copied()
                         .filter(RequestRun::has_progress)
                         .collect();
+                    // Partial triage: the plan moves only `fraction` of
+                    // this pipeline's cache, so carry the deepest
+                    // checkpoints that fit that share (ties broken by
+                    // arrival order); the rest recompute via the queue.
+                    let progressed: Vec<RequestRun> = match tri.tier {
+                        TriageTier::Partial => {
+                            let cached = |r: &RequestRun| u64::from(r.prefilled() + r.committed());
+                            let total: u64 = progressed.iter().map(cached).sum();
+                            let budget = (total as f64 * tri.fraction) as u64;
+                            let mut order: Vec<usize> = (0..progressed.len()).collect();
+                            order.sort_by_key(|&i| (std::cmp::Reverse(cached(&progressed[i])), i));
+                            let mut keep_rec = vec![false; progressed.len()];
+                            let mut used = 0u64;
+                            for &i in &order {
+                                let c = cached(&progressed[i]);
+                                if used + c <= budget {
+                                    used += c;
+                                    keep_rec[i] = true;
+                                }
+                            }
+                            progressed
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(i, r)| keep_rec[i].then_some(*r))
+                                .collect()
+                        }
+                        _ => progressed,
+                    };
                     // The paper's recovery guard, applied to the deepest
                     // request: migrating the cache must beat recomputing
                     // the committed tokens under the new configuration.
@@ -1812,9 +1970,16 @@ impl ServingSystem {
                                 && worthwhile
                                 && !self.opts.ablation.no_interruption_arranger =>
                         {
-                            // Carry the cached requests; fresh ones (no KV
-                            // yet) recompute via the queue.
-                            for r in live.iter().rev().filter(|r| !r.has_progress()) {
+                            // Carry the cached requests; fresh ones (no
+                            // KV yet) and triaged-out checkpoints
+                            // recompute via the queue.
+                            let carried_ids: BTreeSet<workload::RequestId> =
+                                progressed.iter().map(|r| r.request().id).collect();
+                            for r in live
+                                .iter()
+                                .rev()
+                                .filter(|r| !carried_ids.contains(&r.request().id))
+                            {
                                 self.pending.push_front(*r.request());
                             }
                             carried[d_new] = Some(Carried::Records(progressed));

@@ -202,11 +202,25 @@ impl FleetController {
             min_hedge,
             max_hedge,
             ..
+        }
+        | FleetPolicy::CostPerToken {
+            min_hedge,
+            max_hedge,
+            ..
         } = policy
         {
             assert!(
                 min_hedge <= max_hedge,
                 "SpotHedge bounds are inverted: min_hedge {min_hedge} > max_hedge {max_hedge}"
+            );
+        }
+        if let FleetPolicy::CostPerToken {
+            parity_permille, ..
+        } = policy
+        {
+            assert!(
+                parity_permille > 0,
+                "a zero parity threshold masks every pool unconditionally"
             );
         }
         let window = SimDuration::from_micros((grant_delay.as_micros()).max(1) * 10);
@@ -232,6 +246,16 @@ impl FleetController {
         self.estimator.record_kill(pool, now);
     }
 
+    /// Feeds an anticipatory, price-correlated kill signal into the rate
+    /// estimator: `weight` kills' worth of pressure in `pool`. The
+    /// serving system calls this when a pool's spot price steps past the
+    /// policy's parity threshold — on clouds where preemption probability
+    /// correlates with price, the spike predicts the kills, so the hedge
+    /// widens *before* the notices arrive.
+    pub fn observe_price_pressure(&mut self, pool: usize, weight: f64, now: SimTime) {
+        self.estimator.record_pressure(pool, weight, now);
+    }
+
     /// The hedge size for `target` over pools with capacities `caps`:
     /// large enough that losing the single biggest even-spread share still
     /// leaves `target` live, inflated to the churn estimate (expected
@@ -245,6 +269,11 @@ impl FleetController {
                 ..
             }
             | FleetPolicy::CostAwareHedge {
+                min_hedge,
+                max_hedge,
+                ..
+            }
+            | FleetPolicy::CostPerToken {
                 min_hedge,
                 max_hedge,
                 ..
@@ -378,6 +407,60 @@ impl FleetController {
                         .min_by_key(|(i, p)| (p.caps.ondemand_cents_per_hour, *i))
                         .map(|(i, _)| i as u32);
                 }
+                let live = view.live_spot() + view.live_ondemand;
+                cmd.release = live.saturating_sub(desired_total);
+            }
+            FleetPolicy::CostPerToken {
+                parity_permille, ..
+            } => {
+                // Parity mask on top of the capability mask: a pool whose
+                // spot price has spiked to `parity_permille`/1000 of its
+                // on-demand price buys tokens no cheaper than guaranteed
+                // capacity would, while still carrying preemption risk —
+                // stop feeding it. Pools with no price card on file
+                // (on-demand price 0) are never considered spiked.
+                let past_parity = |p: &PoolView| {
+                    p.caps.ondemand_cents_per_hour > 0
+                        && u64::from(p.caps.spot_cents_per_hour) * 1000
+                            >= u64::from(parity_permille)
+                                * u64::from(p.caps.ondemand_cents_per_hour)
+                };
+                let caps: Vec<u32> = view
+                    .pools
+                    .iter()
+                    .map(|p| {
+                        if p.caps.fits_model && !past_parity(p) {
+                            p.capacity
+                        } else {
+                            0
+                        }
+                    })
+                    .collect();
+                let hedge = self.hedge(view.target, &caps, now);
+                let desired_total = view.target + view.spares + hedge;
+                let alloc = spread_by_price(desired_total, &caps, |i| {
+                    view.pools[i].caps.spot_cents_per_hour
+                });
+                for (i, (&want, pool)) in alloc.iter().zip(&view.pools).enumerate() {
+                    let have = pool.committed();
+                    cmd.spot[i] = want.saturating_sub(have);
+                    cmd.cancel_spot[i] = have.saturating_sub(want).min(pool.queued_spot);
+                }
+                // On-demand bridges whatever the below-parity pools cannot
+                // reach — including the everything-spiked case, where the
+                // whole target rides guaranteed capacity until spot prices
+                // come back down.
+                let spot_reachable: u32 = alloc.iter().sum();
+                cmd.ondemand = view
+                    .target
+                    .saturating_sub(spot_reachable + view.live_ondemand + view.pending_ondemand);
+                cmd.ondemand_pool = view
+                    .pools
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.caps.fits_model)
+                    .min_by_key(|(i, p)| (p.caps.ondemand_cents_per_hour, *i))
+                    .map(|(i, _)| i as u32);
                 let live = view.live_spot() + view.live_ondemand;
                 cmd.release = live.saturating_sub(desired_total);
             }
@@ -740,6 +823,114 @@ mod tests {
             assert_eq!(priced.iter().sum::<u32>(), even.iter().sum::<u32>());
             assert!(priced.iter().zip(&caps).all(|(x, c)| x <= c));
         }
+    }
+
+    // ---- $/token optimization under dynamic prices -------------------
+
+    #[test]
+    fn cost_per_token_masks_pools_spiked_past_parity() {
+        let c = ctl(FleetPolicy::cost_per_token(), 2);
+        // Pool 0's spot has spiked to $6.00 against $3.90 on-demand —
+        // far past the 90% parity threshold. Everything must land in
+        // pool 1 ($1.80 spot).
+        let view = FleetView {
+            pools: vec![
+                priced_pool(8, 600, 390, true),
+                priced_pool(8, 180, 390, true),
+            ],
+            target: 4,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, SimTime::ZERO);
+        assert_eq!(cmd.spot[0], 0, "spiked pool gets nothing: {cmd:?}");
+        assert!(cmd.spot[1] >= 4, "cheap pool absorbs the fleet: {cmd:?}");
+        assert_eq!(cmd.ondemand, 0, "cheap spot still covers the target");
+    }
+
+    #[test]
+    fn cost_per_token_buys_on_demand_when_every_pool_is_spiked() {
+        let c = ctl(FleetPolicy::cost_per_token(), 2);
+        let view = FleetView {
+            pools: vec![
+                priced_pool(8, 600, 390, true),
+                priced_pool(8, 400, 390, true),
+            ],
+            target: 4,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, SimTime::ZERO);
+        assert_eq!(cmd.spot, vec![0, 0], "no spot at on-demand parity");
+        assert_eq!(
+            cmd.ondemand, 4,
+            "the whole target rides guaranteed capacity"
+        );
+        assert_eq!(cmd.ondemand_pool, Some(0), "cheapest capable on-demand");
+    }
+
+    #[test]
+    fn cost_per_token_matches_cost_aware_below_parity() {
+        // With every spot price well below parity the mask is inert and
+        // the spread is the cost-aware one.
+        let view = FleetView {
+            pools: vec![
+                priced_pool(8, 190, 390, true),
+                priced_pool(8, 300, 390, true),
+                priced_pool(8, 45, 460, true),
+            ],
+            target: 5,
+            spares: 0,
+            ..Default::default()
+        };
+        let aware = ctl(FleetPolicy::cost_aware_hedge(), 3).command(&view, SimTime::ZERO);
+        let per_token = ctl(FleetPolicy::cost_per_token(), 3).command(&view, SimTime::ZERO);
+        assert_eq!(per_token.spot, aware.spot);
+        assert_eq!(per_token.release, aware.release);
+    }
+
+    #[test]
+    fn cost_per_token_ignores_parity_without_a_price_card() {
+        // Pools with no price card on file (on-demand 0 cents) must never
+        // count as spiked — price-blind views keep working.
+        let c = ctl(FleetPolicy::cost_per_token(), 2);
+        let view = FleetView {
+            pools: vec![pool(0, 8), pool(0, 8)],
+            target: 4,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, SimTime::ZERO);
+        assert!(cmd.spot.iter().sum::<u32>() >= 4, "{cmd:?}");
+    }
+
+    #[test]
+    fn price_pressure_widens_the_hedge_before_any_kill() {
+        let mut c = ctl(FleetPolicy::cost_per_token(), 2);
+        let caps = [8, 8];
+        let calm = c.hedge(4, &caps, SimTime::ZERO);
+        for k in 0..80 {
+            c.observe_price_pressure(k % 2, 1.0, SimTime::from_secs(k as u64));
+        }
+        let spiked = c.hedge(4, &caps, SimTime::from_secs(80));
+        assert!(
+            spiked > calm,
+            "pressure must widen the hedge: {spiked} vs {calm}"
+        );
+        assert!(spiked <= 8, "max_hedge still caps it");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parity threshold")]
+    fn zero_parity_threshold_fails_fast() {
+        ctl(
+            FleetPolicy::CostPerToken {
+                min_hedge: 1,
+                max_hedge: 8,
+                parity_permille: 0,
+            },
+            2,
+        );
     }
 
     #[test]

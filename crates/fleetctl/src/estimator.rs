@@ -61,7 +61,26 @@ impl PreemptionEstimator {
     ///
     /// Panics if `pool` is out of range.
     pub fn record_kill(&mut self, pool: usize, now: SimTime) {
-        let fresh = self.decayed(pool, now) + 1.0;
+        self.record_pressure(pool, 1.0, now);
+    }
+
+    /// Records a fractional, *anticipatory* kill signal: `weight` kills'
+    /// worth of pressure in `pool` at `now`. Price-aware policies feed
+    /// spot-price spikes through this — on clouds where preemption
+    /// probability correlates with price, a spike predicts kills before
+    /// any notice arrives, and the hedge should widen ahead of them.
+    /// Pressure decays exactly like observed kills.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is out of range or `weight` is negative or
+    /// non-finite.
+    pub fn record_pressure(&mut self, pool: usize, weight: f64, now: SimTime) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "pressure weight must be finite and non-negative, got {weight}"
+        );
+        let fresh = self.decayed(pool, now) + weight;
         self.pools[pool] = (fresh, now);
     }
 
@@ -138,6 +157,23 @@ mod tests {
         let one = est.expected_kills(t(0), SimDuration::from_secs(40));
         let two = est.expected_kills(t(0), SimDuration::from_secs(80));
         assert!((two - 2.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pressure_is_a_fractional_kill() {
+        let mut by_kill = PreemptionEstimator::new(1, SimDuration::from_secs(100));
+        by_kill.record_kill(0, t(10));
+        let mut by_pressure = PreemptionEstimator::new(1, SimDuration::from_secs(100));
+        by_pressure.record_pressure(0, 0.5, t(10));
+        by_pressure.record_pressure(0, 0.5, t(10));
+        assert!((by_pressure.rate(0, t(50)) - by_kill.rate(0, t(50))).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_pressure_panics() {
+        let mut est = PreemptionEstimator::new(1, SimDuration::from_secs(100));
+        est.record_pressure(0, -0.1, t(0));
     }
 
     #[test]

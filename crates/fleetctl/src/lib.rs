@@ -9,7 +9,7 @@
 //! and the [`cloudsim::CloudMarket`], observes grants and preemptions, and
 //! decides *where* and *what kind* of capacity to acquire.
 //!
-//! Three [`FleetPolicy`]s are provided:
+//! Five [`FleetPolicy`]s are provided:
 //!
 //! * [`FleetPolicy::ReactiveSpot`] — the paper baseline: top the single
 //!   market (pool 0) back up after losses, never mix in on-demand. The
@@ -28,6 +28,11 @@
 //!   fleets: each pool carries a [`PoolCaps`] capability/price card,
 //!   incapable SKUs are excluded, the spread biases toward cheap spot,
 //!   and the on-demand backstop lands in the cheapest capable pool.
+//! * [`FleetPolicy::CostPerToken`] — the cost-aware hedge under *dynamic*
+//!   spot prices: pools whose spot price spikes to parity with on-demand
+//!   are masked from the spread, on-demand bridges the gap, and price
+//!   spikes feed the [`PreemptionEstimator`] as an anticipatory
+//!   (price-correlated) kill signal.
 //!
 //! The controller is pure decision logic over a [`FleetView`] snapshot —
 //! it holds no cloud handles — which keeps it deterministic, replayable,

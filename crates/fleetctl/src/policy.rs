@@ -47,6 +47,26 @@ pub enum FleetPolicy {
         /// hedged spread cannot reach `target`.
         ondemand_backstop: bool,
     },
+    /// [`FleetPolicy::CostAwareHedge`] optimizing $ per token under
+    /// *dynamic* spot prices: pools whose current spot price has spiked
+    /// to at or past `parity_permille`/1000 of their on-demand price are
+    /// masked out of the spot spread entirely — preemptible capacity at
+    /// on-demand parity buys nothing but risk — and on-demand (in the
+    /// cheapest capable pool) bridges whatever the cheap pools cannot
+    /// reach. Price spikes also feed the preemption estimator as an
+    /// anticipatory kill signal, widening the hedge *before* the
+    /// price-correlated kills land.
+    CostPerToken {
+        /// Floor on the hedge, as in [`FleetPolicy::SpotHedge`].
+        min_hedge: u32,
+        /// Ceiling on the hedge, as in [`FleetPolicy::SpotHedge`].
+        max_hedge: u32,
+        /// Spot/on-demand parity threshold, in permille: spot at or above
+        /// `parity_permille`/1000 of on-demand masks the pool. `900`
+        /// means "stop riding spot once it costs 90% of guaranteed
+        /// capacity".
+        parity_permille: u32,
+    },
 }
 
 impl FleetPolicy {
@@ -71,6 +91,17 @@ impl FleetPolicy {
         }
     }
 
+    /// The default [`FleetPolicy::CostPerToken`] tuning: the
+    /// [`FleetPolicy::spot_hedge`] bounds with a 90% price-parity
+    /// threshold.
+    pub fn cost_per_token() -> Self {
+        FleetPolicy::CostPerToken {
+            min_hedge: 1,
+            max_hedge: 8,
+            parity_permille: 900,
+        }
+    }
+
     /// Whether the serving system should keep its legacy (paper-exact)
     /// acquisition path instead of consulting the controller.
     pub fn is_reactive(&self) -> bool {
@@ -87,6 +118,23 @@ mod tests {
         assert_eq!(FleetPolicy::default(), FleetPolicy::ReactiveSpot);
         assert!(FleetPolicy::default().is_reactive());
         assert!(!FleetPolicy::spot_hedge().is_reactive());
+    }
+
+    #[test]
+    fn cost_per_token_defaults_stop_short_of_parity() {
+        let FleetPolicy::CostPerToken {
+            min_hedge,
+            max_hedge,
+            parity_permille,
+        } = FleetPolicy::cost_per_token()
+        else {
+            panic!("cost_per_token() must build a CostPerToken");
+        };
+        assert!(min_hedge <= max_hedge);
+        assert!(
+            parity_permille < 1000,
+            "the default must bail out strictly below on-demand parity"
+        );
     }
 
     #[test]

@@ -37,8 +37,10 @@ pub mod cost;
 pub mod planner;
 pub mod task;
 pub mod transfers;
+pub mod triage;
 
 pub use cost::{evaluate_plan, MigrationTimeline};
 pub use planner::{plan_migration, MigrationPlan, PlanStep, PlannerOptions};
 pub use task::{DeviceAssignment, MigrationTask};
 pub use transfers::{LayerTransfers, Transfer, TransferSource};
+pub use triage::{transferable_fraction, triage, TriageTier, FULL_THRESHOLD, PARTIAL_THRESHOLD};

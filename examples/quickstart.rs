@@ -32,7 +32,7 @@ fn main() {
     );
     println!("preemptions survived: {}", report.preemptions);
     println!("fleet cost: ${:.2}", report.cost_usd);
-    if let Some(cpt) = report.cost_per_token() {
+    if let Some(cpt) = report.cost().usd_per_token {
         println!("cost per generated token: {:.2}e-5 USD", cpt * 1e5);
     }
     println!("\nconfiguration history:");

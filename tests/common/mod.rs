@@ -13,11 +13,12 @@ use spotserve::RunReport;
 /// via their IEEE-754 bit patterns (so "close enough" can never pass),
 /// including the per-kind / per-pool cost breakdown and SLO rejections.
 pub fn canonical(report: &RunReport) -> String {
+    let cost = report.cost();
     let mut out = String::new();
-    writeln!(out, "cost_usd_bits={:016x}", report.cost_usd.to_bits()).unwrap();
-    writeln!(out, "spot_usd_bits={:016x}", report.spot_usd().to_bits()).unwrap();
-    writeln!(out, "od_usd_bits={:016x}", report.ondemand_usd().to_bits()).unwrap();
-    for pc in &report.cost_breakdown.pools {
+    writeln!(out, "cost_usd_bits={:016x}", cost.total_usd.to_bits()).unwrap();
+    writeln!(out, "spot_usd_bits={:016x}", cost.spot_usd.to_bits()).unwrap();
+    writeln!(out, "od_usd_bits={:016x}", cost.ondemand_usd.to_bits()).unwrap();
+    for pc in &cost.pools {
         writeln!(
             out,
             "pool {} name={} sku={} spot_bits={:016x} od_bits={:016x}",

@@ -263,6 +263,98 @@ fn explicit_base_sku_is_bit_exact_with_the_inherited_default() {
     );
 }
 
+/// Replay of the price-dynamics paths: two pools whose spot prices follow
+/// Ornstein–Uhlenbeck processes (one with a price–preemption coupling),
+/// served under `CostPerToken` — parity masking, price-pressure feeding,
+/// on-demand bridging, and path-integrated billing all in one run. The
+/// canonical form carries every cost bit, so a nondeterministic price
+/// path, kill draw, or steering order fails the gate.
+fn replay_ou_priced(seed: u64) -> String {
+    use cloudsim::{AvailabilityTrace as Tr, OuParams, PoolSpec, PriceModel};
+    use spotserve::FleetPolicy;
+
+    let volatile = OuParams {
+        kill_coupling: 3.0,
+        ..OuParams::around(1.9)
+    };
+    let pools = vec![
+        PoolSpec::new("ou0", Tr::constant(6)).with_price(PriceModel::Ou(volatile)),
+        PoolSpec::new("ou1", Tr::constant(4)).with_price(PriceModel::Ou(OuParams::around(2.1))),
+    ];
+    let mut scenario = Scenario::paper_stable(
+        ModelSpec::opt_6_7b(),
+        Tr::constant(0), // unused once pools are set
+        1.0,
+        seed,
+    )
+    .with_pools(pools);
+    scenario
+        .requests
+        .retain(|r| r.arrival < SimTime::from_secs(420));
+    let opts = SystemOptions::spotserve().with_fleet_policy(FleetPolicy::cost_per_token());
+    let report = ServingSystem::new(opts, scenario).run();
+    canonical(&report)
+}
+
+#[test]
+fn ou_priced_cost_per_token_replays_byte_identical() {
+    let a = replay_ou_priced(43);
+    let b = replay_ou_priced(43);
+    assert!(!a.is_empty());
+    assert_eq!(
+        a, b,
+        "OU-priced CostPerToken replays must be byte-identical"
+    );
+    assert!(
+        a.contains("name=ou1"),
+        "the canonical form must carry the per-pool breakdown"
+    );
+}
+
+#[test]
+fn constant_price_model_is_bit_exact_with_the_legacy_setter() {
+    // The price axis must be purely additive: `with_price(Constant(p))`
+    // and the deprecated-in-spirit `with_spot_price(p)` shorthand take the
+    // exact same code path — no path, no extra random draws, no re-quote
+    // events — down to the last cost bit. This pins pre-dynamics replays.
+    use cloudsim::{AvailabilityTrace as Tr, PoolSpec, PriceModel};
+    use spotserve::FleetPolicy;
+
+    let replay = |modeled: bool| {
+        let cheap = PoolSpec::new("z1", Tr::constant(4));
+        let pools = vec![
+            PoolSpec::new(
+                "z0",
+                Tr::from_steps(vec![(SimTime::ZERO, 6), (SimTime::from_secs(240), 0)]),
+            ),
+            if modeled {
+                cheap.with_price(PriceModel::Constant(1.4))
+            } else {
+                cheap.with_spot_price(1.4)
+            },
+        ];
+        let mut scenario = Scenario::paper_stable(
+            ModelSpec::opt_6_7b(),
+            Tr::constant(0), // unused once pools are set
+            1.0,
+            47,
+        )
+        .with_pools(pools);
+        scenario
+            .requests
+            .retain(|r| r.arrival < SimTime::from_secs(420));
+        let opts = SystemOptions::spotserve().with_fleet_policy(FleetPolicy::spot_hedge());
+        canonical(&ServingSystem::new(opts, scenario).run())
+    };
+    let legacy = replay(false);
+    let modeled = replay(true);
+    assert!(!legacy.is_empty());
+    assert_eq!(
+        legacy, modeled,
+        "a Constant price model must not perturb a single bit"
+    );
+}
+
 #[test]
 fn cached_optimizer_replays_byte_identical_at_a_large_ceiling() {
     // PR 5: Algorithm 1 runs over a memoized candidate frontier with a

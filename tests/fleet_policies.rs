@@ -139,10 +139,10 @@ fn on_demand_fallback_holds_target_after_the_grant_delay() {
         "live fleet {min_live} must hold target {n} after the grant delay"
     );
     assert!(
-        report.ondemand_usd() > 0.0,
+        report.cost().ondemand_usd > 0.0,
         "the bridge must show up in the cost split"
     );
-    assert!(report.spot_usd() > 0.0);
+    assert!(report.cost().spot_usd > 0.0);
 }
 
 #[test]
@@ -169,8 +169,9 @@ fn spot_hedge_survives_a_full_single_pool_outage() {
     );
     // The cost split is reported; the hedge may bridge with on-demand
     // during the re-spread, but spot dominates.
-    assert!(hedge.spot_usd() > 0.0);
-    assert!(hedge.spot_usd() > hedge.ondemand_usd());
+    let cost = hedge.cost();
+    assert!(cost.spot_usd > 0.0);
+    assert!(cost.spot_usd > cost.ondemand_usd);
 
     // The reactive baseline is bound to z0 and stalls when it dies.
     let reactive = ServingSystem::new(
@@ -183,9 +184,67 @@ fn spot_hedge_survives_a_full_single_pool_outage() {
         "single-market reactive must stall on a z0 collapse"
     );
     assert_eq!(
-        reactive.ondemand_usd(),
+        reactive.cost().ondemand_usd,
         0.0,
         "reactive never mixes in on-demand"
+    );
+}
+
+#[test]
+fn cost_per_token_undercuts_the_price_blind_hedge_through_a_squeeze() {
+    // A spot-market squeeze: the cheap pool collapses at t = 300 s while
+    // its price spikes past on-demand parity, then re-opens at the spiked
+    // price (re-quoted mid-spike so controllers get a steering point).
+    // SpotHedge is price-blind and re-enters; CostPerToken masks the pool
+    // and bridges with on-demand below the spiked spot price — strictly
+    // lower $/token at equal-or-better SLO attainment and zero loss.
+    use cloudsim::{PriceModel, PriceTrace};
+    let pools = || {
+        vec![
+            PoolSpec::new(
+                "spiky",
+                AvailabilityTrace::from_steps(vec![
+                    (SimTime::ZERO, 6),
+                    (SimTime::from_secs(300), 0),
+                    (SimTime::from_secs(450), 6),
+                ]),
+            )
+            .with_price(PriceModel::Trace(PriceTrace::from_steps(vec![
+                (SimTime::ZERO, 1.9),
+                (SimTime::from_secs(300), 6.0),
+                (SimTime::from_secs(480), 6.3),
+                (SimTime::from_secs(3600), 1.9),
+            ]))),
+            PoolSpec::new("calm", AvailabilityTrace::constant(3)).with_spot_price(2.1),
+        ]
+    };
+    let slo = Some(SimDuration::from_secs(900));
+    let run = |policy| {
+        ServingSystem::new(
+            SystemOptions::spotserve().with_fleet_policy(policy),
+            scenario(pools(), 900, slo, 61),
+        )
+        .run()
+    };
+    let hedge = run(FleetPolicy::spot_hedge());
+    let cpt = run(FleetPolicy::cost_per_token());
+    assert_eq!(cpt.unfinished, 0, "the optimizer may never lose requests");
+    assert!(
+        cpt.slo_rejections.len() <= hedge.slo_rejections.len(),
+        "cheaper must not mean later: {} > {} rejections",
+        cpt.slo_rejections.len(),
+        hedge.slo_rejections.len()
+    );
+    let (h, c) = (hedge.cost(), cpt.cost());
+    let h_cpt = h.usd_per_token.expect("hedge committed tokens");
+    let c_cpt = c.usd_per_token.expect("optimizer committed tokens");
+    assert!(
+        c_cpt < h_cpt,
+        "CostPerToken must undercut SpotHedge: {c_cpt} vs {h_cpt}"
+    );
+    assert!(
+        c.ondemand_usd > 0.0,
+        "the shortfall bridge must show up as on-demand spend"
     );
 }
 
