@@ -232,6 +232,56 @@ pub fn ablation_ladder() -> Vec<(&'static str, AblationFlags)> {
     out
 }
 
+/// The million-request replay behind `fig_scale`: `pools` stable zones
+/// (one per shard), OPT-6.7B at a per-pool-sustainable aggregate rate,
+/// exactly `requests` Gamma arrivals. Every pool carries a price trace
+/// with a re-quote step every simulated hour, so the sharded run crosses
+/// a `SpotPriceStep` barrier each hour — the epoch machinery is
+/// exercised, not idled, at scale.
+///
+/// # Panics
+///
+/// Panics if the generated stream falls short of `requests` (the
+/// duration carries 3% slack, so this means the workload model changed).
+pub fn scale_replay_scenario(pools: usize, requests: usize, seed: u64) -> Scenario {
+    // ~1.5 req/s per pool: the paper's sustainable OPT-6.7B rate, so
+    // per-shard queues stay bounded over the whole replay.
+    let rate = 1.5 * pools as f64;
+    let mut spec = workload::WorkloadSpec::paper_stable(rate);
+    spec.duration = SimDuration::from_secs_f64(requests as f64 / rate * 1.03);
+    let mut stream = simkit::SimRng::new(seed).stream("arrivals");
+    let mut all = spec.generate(&mut stream);
+    assert!(
+        all.len() >= requests,
+        "workload produced {} < {requests} requests",
+        all.len()
+    );
+    all.truncate(requests);
+    let horizon = spec.duration.as_secs_f64() as u64;
+    let pool_specs = (0..pools)
+        .map(|i| {
+            let steps: Vec<(SimTime, f64)> = (0..=horizon / 3600)
+                .map(|h| {
+                    // Deterministic +/-10% wobble around $1.9/h, staggered
+                    // per pool so the hourly barriers are real re-quotes.
+                    let wobble = ((h + i as u64) % 5) as f64 * 0.05 - 0.1;
+                    (SimTime::from_secs(h * 3600), 1.9 * (1.0 + wobble))
+                })
+                .collect();
+            PoolSpec::new(format!("z{i}"), AvailabilityTrace::constant(4))
+                .with_price(PriceModel::Trace(PriceTrace::from_steps(steps)))
+        })
+        .collect();
+    Scenario::with_requests(
+        ModelSpec::opt_6_7b(),
+        AvailabilityTrace::constant(0), // unused once pools are set
+        all,
+        rate,
+        seed,
+    )
+    .with_pools(pool_specs)
+}
+
 /// Formats a Figure 6 style row: `Avg  P90 P95 P96 P97 P98 P99` (seconds).
 pub fn latency_row(p: &Percentiles) -> String {
     format!(

@@ -37,6 +37,7 @@ pub mod config;
 pub mod devicemap;
 pub mod optimizer;
 pub mod report;
+pub mod scale;
 pub mod system;
 
 pub use config::{AblationFlags, EngineMode, Policy, SystemOptions};
@@ -44,4 +45,5 @@ pub use devicemap::{map_devices, map_devices_with_skus, DeviceMapOutcome, SkuTab
 pub use fleetctl::{FleetController, FleetPolicy, PreemptionEstimator};
 pub use optimizer::{ConfigOptimizer, MultiSkuDecision, OptimizerDecision, MAX_SKU_LANES};
 pub use report::{ConfigChange, CostReport, RunReport, SkuCost};
+pub use scale::{EpochRecord, ScaleReport, ShardedSystem};
 pub use system::{Scenario, ServingSystem};

@@ -53,10 +53,17 @@ pub struct OptimizerDecision {
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum MemoKey {
     /// `decide(n, α)` (α keyed by its IEEE-754 bits: the memo must never
-    /// conflate rates that price differently).
-    Fresh { n: u32, alpha_bits: u64 },
+    /// conflate rates that price differently; keys carry the engine mode
+    /// that priced them, so flipping modes invalidates per-entry instead of
+    /// discarding the other mode's warm entries).
+    Fresh {
+        engine: EngineMode,
+        n: u32,
+        alpha_bits: u64,
+    },
     /// `decide_slo(n, α, slo)`.
     Slo {
+        engine: EngineMode,
         n: u32,
         alpha_bits: u64,
         slo: SimDuration,
@@ -66,8 +73,8 @@ enum MemoKey {
 /// A small decision memo: repeated queries at the same `(N, α)` — the
 /// common case under event churn, where every pool transition re-asks the
 /// same question within one rate-tick window — return without touching the
-/// frontier. Bounded and cleared wholesale on overflow; invalidated on
-/// engine-mode change.
+/// frontier. Bounded and cleared wholesale on overflow; entries are keyed
+/// by engine mode, so an engine-mode flip never evicts anything.
 #[derive(Debug, Clone, Default)]
 struct DecisionMemo {
     entries: Vec<(MemoKey, OptimizerDecision)>,
@@ -118,6 +125,7 @@ pub const MAX_SKU_LANES: usize = 8;
 /// Memo key for [`ConfigOptimizer::decide_multi`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct MultiKey {
+    engine: EngineMode,
     avail: [u32; MAX_SKU_LANES],
     alpha_bits: u64,
 }
@@ -207,12 +215,11 @@ impl ConfigOptimizer {
     /// model the engine that actually serves (the continuous engine has no
     /// batch-fill delay and turns slots over faster, which shifts its
     /// latency-minimizing choices toward larger batch capacities).
-    /// Invalidates the decision memo (the frontier carries both engines'
-    /// pricing tables and survives).
+    /// Memo entries are keyed by engine mode, so flipping modes leaves the
+    /// other mode's warm entries intact (the frontier carries both engines'
+    /// pricing tables and survives too).
     pub fn with_engine_mode(mut self, engine: EngineMode) -> Self {
         self.engine = engine;
-        self.memo.get_mut().entries.clear();
-        self.multi_memo.get_mut().clear();
         self
     }
 
@@ -240,6 +247,13 @@ impl ConfigOptimizer {
         });
         self.multi_memo.get_mut().clear();
         self
+    }
+
+    /// Number of live single-SKU memo entries (test instrumentation for
+    /// the per-entry invalidation guarantee).
+    #[cfg(test)]
+    fn memo_len(&self) -> usize {
+        self.memo.borrow().entries.len()
     }
 
     /// Number of registered SKU lanes.
@@ -464,6 +478,7 @@ impl ConfigOptimizer {
         slo: simkit::SimDuration,
     ) -> OptimizerDecision {
         let key = MemoKey::Slo {
+            engine: self.engine,
             n: n_instances,
             alpha_bits: alpha.to_bits(),
             slo,
@@ -606,6 +621,7 @@ impl ConfigOptimizer {
         assert!(!self.lanes.is_empty(), "no SKU lanes registered");
         assert_eq!(avail.len(), self.lanes.len(), "one entry per lane");
         let mut key = MultiKey {
+            engine: self.engine,
             avail: [0; MAX_SKU_LANES],
             alpha_bits: alpha.to_bits(),
         };
@@ -690,6 +706,7 @@ impl ConfigOptimizer {
     /// Algorithm 1's core decision over the frontier, behind the memo.
     fn decide_fresh(&self, n_instances: u32, alpha: f64) -> OptimizerDecision {
         let key = MemoKey::Fresh {
+            engine: self.engine,
             n: n_instances,
             alpha_bits: alpha.to_bits(),
         };
@@ -1148,6 +1165,30 @@ mod tests {
         let d_cont = cont.decide(12, 0.35);
         assert_ne!(d_fixed.now, d_cont.now, "estimator change changes picks");
         assert_eq!(d_cont, cont.decide_reference(12, 0.35));
+    }
+
+    #[test]
+    fn engine_mode_flip_keeps_the_other_modes_warm_entries() {
+        let mut o = opt(ModelSpec::gpt_20b()); // FixedBatch by default
+        let d_fixed = o.decide(12, 0.35);
+        assert_eq!(o.memo_len(), 1);
+        o = o.with_engine_mode(EngineMode::ContinuousBatching);
+        let d_cont = o.decide(12, 0.35);
+        assert_eq!(
+            o.memo_len(),
+            2,
+            "flip evicted nothing; new entry keyed by mode"
+        );
+        o = o.with_engine_mode(EngineMode::FixedBatch);
+        assert_eq!(
+            o.decide(12, 0.35),
+            d_fixed,
+            "round-trip keeps the warm entry"
+        );
+        assert_eq!(o.memo_len(), 2, "re-query was a memo hit, not a re-insert");
+        o = o.with_engine_mode(EngineMode::ContinuousBatching);
+        assert_eq!(o.decide(12, 0.35), d_cont);
+        assert_eq!(o.memo_len(), 2);
     }
 
     // ---- Heterogeneous lanes -----------------------------------------

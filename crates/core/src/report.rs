@@ -121,25 +121,6 @@ impl RunReport {
         }
     }
 
-    /// USD per generated output token (Figure 7's cost metric), `None`
-    /// when no tokens were produced.
-    #[deprecated(note = "use cost().usd_per_token")]
-    pub fn cost_per_token(&self) -> Option<f64> {
-        self.cost().usd_per_token
-    }
-
-    /// USD spent on spot leases (all pools).
-    #[deprecated(note = "use cost().spot_usd")]
-    pub fn spot_usd(&self) -> f64 {
-        self.cost().spot_usd
-    }
-
-    /// USD spent on on-demand leases (all pools).
-    #[deprecated(note = "use cost().ondemand_usd")]
-    pub fn ondemand_usd(&self) -> f64 {
-        self.cost().ondemand_usd
-    }
-
     /// The configurations adopted, in order, without pauses/bytes.
     pub fn config_sequence(&self) -> Vec<Option<ParallelConfig>> {
         self.config_changes.iter().map(|c| c.config).collect()
@@ -149,6 +130,84 @@ impl RunReport {
     /// outcome (conservation checks add `unfinished` to reach the total).
     pub fn settled(&self) -> usize {
         self.latency.completed() + self.slo_rejections.len()
+    }
+
+    /// Streams THE byte-exact rendering of everything this run produced
+    /// into `out`: floats via their IEEE-754 bit patterns (so "close
+    /// enough" can never pass), including the per-kind / per-pool cost
+    /// breakdown, every request outcome, and SLO rejections. The
+    /// determinism gate, the fleet-policy suite, and the sharded-replay
+    /// digest all consume this one rendering — a field added to
+    /// `RunReport` needs threading into exactly one place to stay under
+    /// the gates.
+    pub fn canonical_into(&self, out: &mut impl std::fmt::Write) {
+        let cost = self.cost();
+        writeln!(out, "cost_usd_bits={:016x}", cost.total_usd.to_bits()).expect("write");
+        writeln!(out, "spot_usd_bits={:016x}", cost.spot_usd.to_bits()).expect("write");
+        writeln!(out, "od_usd_bits={:016x}", cost.ondemand_usd.to_bits()).expect("write");
+        for pc in &cost.pools {
+            writeln!(
+                out,
+                "pool {} name={} sku={} spot_bits={:016x} od_bits={:016x}",
+                pc.pool,
+                pc.name,
+                pc.sku,
+                pc.spot_usd.to_bits(),
+                pc.ondemand_usd.to_bits(),
+            )
+            .expect("write");
+        }
+        writeln!(out, "unfinished={}", self.unfinished).expect("write");
+        writeln!(out, "finished_at_us={}", self.finished_at.as_micros()).expect("write");
+        writeln!(out, "preemptions={}", self.preemptions).expect("write");
+        writeln!(out, "grants={}", self.grants).expect("write");
+        writeln!(out, "latency_name={}", self.latency.name()).expect("write");
+        for o in self.latency.outcomes() {
+            writeln!(
+                out,
+                "outcome id={} arrival_us={} s_in={} s_out={} finished_us={}",
+                o.request.id,
+                o.request.arrival.as_micros(),
+                o.request.s_in,
+                o.request.s_out,
+                o.finished.as_micros(),
+            )
+            .expect("write");
+        }
+        for c in &self.config_changes {
+            writeln!(
+                out,
+                "config at_us={} config={:?} pause_us={} migrated={} reloaded={}",
+                c.at.as_micros(),
+                c.config,
+                c.pause.as_micros(),
+                c.migrated_bytes,
+                c.reloaded_bytes,
+            )
+            .expect("write");
+        }
+        for (t, spot, od) in &self.fleet_timeline {
+            writeln!(out, "fleet t_us={} spot={spot} od={od}", t.as_micros()).expect("write");
+        }
+        for r in &self.slo_rejections {
+            writeln!(
+                out,
+                "slo_reject id={} arrival_us={} s_in={} s_out={} deadline_us={}",
+                r.id,
+                r.arrival.as_micros(),
+                r.s_in,
+                r.s_out,
+                r.deadline.map(|d| d.as_micros()).unwrap_or(0),
+            )
+            .expect("write");
+        }
+    }
+
+    /// [`canonical_into`](Self::canonical_into) rendered to a `String`.
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        self.canonical_into(&mut out);
+        out
     }
 }
 
@@ -178,11 +237,6 @@ mod tests {
             slo_rejections: vec![],
         };
         assert!((rep.cost().usd_per_token.unwrap() - 0.01).abs() < 1e-12);
-        #[allow(deprecated)]
-        {
-            // The deprecated wrapper is pinned to the typed view.
-            assert_eq!(rep.cost_per_token(), rep.cost().usd_per_token);
-        }
     }
 
     #[test]

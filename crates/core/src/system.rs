@@ -303,6 +303,12 @@ pub struct ServingSystem {
     preemptions: u32,
     grants: u32,
     arrivals_end: SimTime,
+    /// Pending migration-transition event instants (commit + resume), the
+    /// non-cloud synchronization points the sharded runner barriers on.
+    /// Values count events sharing an instant.
+    sync_points: BTreeMap<SimTime, u32>,
+    /// Events processed so far (epoch-log instrumentation).
+    events_processed: u64,
 }
 
 impl ServingSystem {
@@ -420,6 +426,8 @@ impl ServingSystem {
             preemptions: 0,
             grants: 0,
             arrivals_end,
+            sync_points: BTreeMap::new(),
+            events_processed: 0,
             scenario,
         }
     }
@@ -559,9 +567,22 @@ impl ServingSystem {
     }
 
     /// Runs the simulation to completion and reports.
+    ///
+    /// Equivalent to [`start`](Self::start), advancing through every event
+    /// up to the drain cap, then [`finish`](Self::finish) — the sharded
+    /// runner drives the same three phases with barriers in between, so
+    /// single-shard runs execute this exact path.
     pub fn run(mut self) -> RunReport {
+        self.start();
+        let hard_stop = self.hard_stop();
+        self.advance_until(hard_stop);
+        self.finish()
+    }
+
+    /// Seeds the event horizon: warm start, the arrival stream, and the
+    /// first rate tick. Called exactly once, before any stepping.
+    pub(crate) fn start(&mut self) {
         self.bootstrap();
-        // Arrivals.
         let arrivals: Vec<(usize, SimTime)> = self
             .scenario
             .requests
@@ -574,11 +595,22 @@ impl ServingSystem {
         }
         self.events
             .schedule(SimTime::ZERO + self.opts.rate_tick, Ev::RateTick);
+    }
 
-        let hard_stop = self.arrivals_end + self.opts.drain_cap;
+    /// The instant past which the drain cap stops the simulation.
+    fn hard_stop(&self) -> SimTime {
+        self.arrivals_end + self.opts.drain_cap
+    }
+
+    /// Processes every event at or before `barrier`, in exactly the order
+    /// the sequential loop would. Returns `false` once the run is over
+    /// (every request settled, the event horizon empty, or the hard stop
+    /// passed) and `true` when only the barrier stopped it.
+    pub(crate) fn advance_until(&mut self, barrier: SimTime) -> bool {
+        let hard_stop = self.hard_stop();
         loop {
             if self.outstanding == 0 {
-                break;
+                return false;
             }
             let next_internal = self.events.peek_time();
             let next_cloud = self.cloud.peek_time();
@@ -586,12 +618,16 @@ impl ServingSystem {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
                 (None, Some(b)) => b,
-                (None, None) => break,
+                (None, None) => return false,
             };
             if next > hard_stop {
-                break;
+                return false;
+            }
+            if next > barrier {
+                return true;
             }
             self.now = next;
+            self.events_processed += 1;
             if next_cloud == Some(next) && next_internal.map(|t| next < t).unwrap_or(true) {
                 let (_, ev) = self.cloud.pop_next().expect("peeked");
                 self.on_cloud_event(ev);
@@ -603,23 +639,65 @@ impl ServingSystem {
                 self.on_cloud_event(ev);
             }
         }
+    }
 
-        // Release the fleet and close the books.
-        let ids: Vec<InstanceId> = self.cloud.fleet().map(|i| i.id).collect();
+    /// The next instant this system must synchronize with its siblings at
+    /// when run as one shard of a partitioned fleet: the next market event
+    /// (grant, preemption notice/kill, spot price re-quote) or pending
+    /// migration-transition commit/resume. `None` when no synchronization
+    /// obligations remain.
+    pub(crate) fn next_sync_time(&mut self) -> Option<SimTime> {
+        let cloud = self.cloud.peek_time();
+        let transition = self.sync_points.keys().next().copied();
+        match (cloud, transition) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Events processed so far (epoch-log instrumentation).
+    pub(crate) fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Registers a scheduled migration-transition event as a sync point.
+    fn note_sync_point(&mut self, t: SimTime) {
+        *self.sync_points.entry(t).or_insert(0) += 1;
+    }
+
+    /// Retires one sync point at `t` once its event has popped.
+    fn clear_sync_point(&mut self, t: SimTime) {
+        if let Some(n) = self.sync_points.get_mut(&t) {
+            *n -= 1;
+            if *n == 0 {
+                self.sync_points.remove(&t);
+            }
+        }
+    }
+
+    /// Completions recorded so far (epoch-log instrumentation).
+    pub(crate) fn completed_so_far(&self) -> usize {
+        self.latency.completed()
+    }
+
+    /// Releases the fleet and closes the books.
+    pub(crate) fn finish(self) -> RunReport {
+        let mut sys = self;
+        let ids: Vec<InstanceId> = sys.cloud.fleet().map(|i| i.id).collect();
         for id in ids {
-            self.cloud.release(self.now, id);
+            sys.cloud.release(sys.now, id);
         }
         RunReport {
-            cost_usd: self.cloud.total_usd(self.now),
-            cost_breakdown: self.cloud.cost_breakdown(self.now),
-            latency: self.latency,
-            unfinished: self.outstanding,
-            config_changes: self.config_changes,
-            finished_at: self.now,
-            preemptions: self.preemptions,
-            grants: self.grants,
-            fleet_timeline: self.fleet_timeline,
-            slo_rejections: self.slo_rejections,
+            cost_usd: sys.cloud.total_usd(sys.now),
+            cost_breakdown: sys.cloud.cost_breakdown(sys.now),
+            latency: sys.latency,
+            unfinished: sys.outstanding,
+            config_changes: sys.config_changes,
+            finished_at: sys.now,
+            preemptions: sys.preemptions,
+            grants: sys.grants,
+            fleet_timeline: sys.fleet_timeline,
+            slo_rejections: sys.slo_rejections,
         }
     }
 
@@ -810,11 +888,13 @@ impl ServingSystem {
                 }
             }
             Ev::TransitionCommit { epoch } => {
+                self.clear_sync_point(self.now);
                 if self.transition.as_ref().map(|t| t.epoch) == Some(epoch) {
                     self.commit_transition();
                 }
             }
             Ev::TransitionDone { epoch } => {
+                self.clear_sync_point(self.now);
                 if epoch == self.epoch {
                     self.complete_transition();
                 }
@@ -1549,6 +1629,7 @@ impl ServingSystem {
         };
         self.events
             .schedule(commit_at, Ev::TransitionCommit { epoch });
+        self.note_sync_point(commit_at);
     }
 
     /// Rough migration-time estimate for JIT arrangement (recomputed
@@ -2172,6 +2253,7 @@ impl ServingSystem {
         self.transition = None;
         self.events
             .schedule(resume_at, Ev::TransitionDone { epoch });
+        self.note_sync_point(resume_at);
         // Give back what the new configuration does not need. Controller
         // policies size the fleet themselves (the hedge deliberately holds
         // more than `used + spares`, and the fallback's on-demand bridge

@@ -33,9 +33,15 @@ use crate::time::SimTime;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    /// Seqs scheduled and neither fired nor cancelled.
-    live: std::collections::HashSet<u64>,
-    cancelled: std::collections::HashSet<u64>,
+    /// Every seq below this is dead and its tombstone has been compacted
+    /// away. Advanced whenever the heap is observed empty (at that point all
+    /// previously issued seqs have fired or been cancelled).
+    base_seq: u64,
+    /// Tombstone bitmap, one bit per seq at or above `base_seq`: set once the
+    /// event has fired or been cancelled. Indexed by `seq - base_seq`.
+    dead: Vec<u64>,
+    /// Number of scheduled events that have neither fired nor been cancelled.
+    live: usize,
 }
 
 /// Handle identifying a scheduled event, used for cancellation.
@@ -83,17 +89,49 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            live: std::collections::HashSet::new(),
-            cancelled: std::collections::HashSet::new(),
+            base_seq: 0,
+            dead: Vec::new(),
+            live: 0,
         }
+    }
+
+    fn is_dead(&self, seq: u64) -> bool {
+        if seq < self.base_seq {
+            return true;
+        }
+        let idx = (seq - self.base_seq) as usize;
+        self.dead
+            .get(idx / 64)
+            .is_some_and(|w| w >> (idx % 64) & 1 == 1)
+    }
+
+    fn mark_dead(&mut self, seq: u64) {
+        let idx = (seq - self.base_seq) as usize;
+        let word = idx / 64;
+        if word >= self.dead.len() {
+            self.dead.resize(word + 1, 0);
+        }
+        self.dead[word] |= 1u64 << (idx % 64);
+    }
+
+    /// Drops all tombstones once the heap is empty (every issued seq is then
+    /// dead), so bitmap memory tracks the heap's high-water mark per drain
+    /// cycle instead of growing with total events scheduled.
+    fn compact(&mut self) {
+        debug_assert_eq!(self.live, 0);
+        self.base_seq = self.next_seq;
+        self.dead.clear();
     }
 
     /// Schedules `event` to fire at `time`, returning a cancellation key.
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventKey {
+        if self.heap.is_empty() && self.base_seq != self.next_seq {
+            self.compact();
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
-        self.live.insert(seq);
+        self.live += 1;
         EventKey(seq)
     }
 
@@ -103,33 +141,36 @@ impl<E> EventQueue<E> {
     /// cancelling an already-fired event is a safe no-op. Cancellation is
     /// lazy: the entry is dropped when it reaches the front.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if self.live.remove(&key.0) {
-            self.cancelled.insert(key.0);
-            true
-        } else {
-            false
+        if key.0 >= self.next_seq || self.is_dead(key.0) {
+            return false;
         }
+        self.mark_dead(key.0);
+        self.live -= 1;
+        true
     }
 
     /// Removes and returns the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            if self.is_dead(entry.seq) {
                 continue;
             }
-            self.live.remove(&entry.seq);
+            self.mark_dead(entry.seq);
+            self.live -= 1;
+            if self.heap.is_empty() {
+                self.compact();
+            }
             return Some((entry.time, entry.event));
         }
+        self.compact();
         None
     }
 
     /// The timestamp of the earliest live event without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
+            if self.is_dead(entry.seq) {
                 self.heap.pop();
-                self.cancelled.remove(&seq);
             } else {
                 return Some(entry.time);
             }
@@ -139,12 +180,12 @@ impl<E> EventQueue<E> {
 
     /// Number of live (scheduled, not fired, not cancelled) events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live
     }
 
     /// Whether there are no live events.
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.live == 0
     }
 }
 
@@ -217,6 +258,32 @@ mod tests {
         q.schedule(t(5), 5);
         assert_eq!(q.pop().unwrap().1, 5);
         assert_eq!(q.pop().unwrap().1, 10);
+    }
+
+    #[test]
+    fn tombstones_compact_across_drain_cycles() {
+        let mut q = EventQueue::new();
+        let mut stale = Vec::new();
+        for cycle in 0..10u64 {
+            let keep = q.schedule(t(cycle + 1), cycle);
+            let drop = q.schedule(t(cycle + 2), cycle + 100);
+            assert!(q.cancel(drop));
+            stale.push(keep);
+            assert_eq!(q.pop(), Some((t(cycle + 1), cycle)));
+            assert!(q.is_empty(), "each cycle fully drains");
+            assert_eq!(q.pop(), None, "draining discards the cancelled entry");
+            assert_eq!(q.dead.len(), 0, "tombstones dropped once drained");
+        }
+        for key in stale {
+            assert!(!q.cancel(key), "fired keys stay dead after compaction");
+        }
+        // Interleave a cancel with a live residual event across a cycle.
+        let a = q.schedule(t(100), 1);
+        q.schedule(t(101), 2);
+        assert!(q.cancel(a));
+        assert_eq!(q.peek_time(), Some(t(101)));
+        assert_eq!(q.pop(), Some((t(101), 2)));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -77,6 +77,29 @@ impl OnlineStats {
         self.variance().sqrt()
     }
 
+    /// Folds another accumulator into this one (pairwise Welford / Chan et
+    /// al. combination), as if every observation recorded into `other` had
+    /// been recorded here. Mean and variance of the merged accumulator match
+    /// a single-accumulator run over the union to floating-point roundoff.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n_a = self.n as f64;
+        let n_b = other.n as f64;
+        let n = n_a + n_b;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n_b / n);
+        self.m2 += other.m2 + delta * delta * (n_a * n_b / n);
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Smallest observation, or `None` if empty.
     pub fn min(&self) -> Option<f64> {
         (self.n > 0).then_some(self.min)
@@ -167,6 +190,20 @@ impl Sampler {
         } else {
             Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
         }
+    }
+
+    /// Folds another sampler's samples into this one.
+    ///
+    /// Because samplers retain every sample, a sharded-then-merged sampler
+    /// holds exactly the same multiset as a single sampler fed the union, so
+    /// every quantile is *bitwise* identical; only `mean()` (a fresh
+    /// summation in storage order) can differ by roundoff.
+    pub fn merge(&mut self, other: &Sampler) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
     }
 
     /// Read-only view of the raw samples (unspecified order).

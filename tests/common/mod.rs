@@ -1,11 +1,10 @@
 //! Shared helpers for the integration suites.
 //!
-//! `canonical` is THE byte-exact rendering of a [`RunReport`] — the
-//! determinism gate and the fleet-policy suite both use it, so a field
-//! added to `RunReport` needs threading into exactly one place to stay
-//! under the gate.
-
-use std::fmt::Write as _;
+//! `canonical` is THE byte-exact rendering of a [`RunReport`]. The
+//! implementation lives on [`RunReport::canonical`] so the determinism
+//! gate, the fleet-policy suite, and the sharded-replay digest all consume
+//! the same bytes; this module keeps the historical free-function shape
+//! the suites call.
 
 use spotserve::RunReport;
 
@@ -13,66 +12,5 @@ use spotserve::RunReport;
 /// via their IEEE-754 bit patterns (so "close enough" can never pass),
 /// including the per-kind / per-pool cost breakdown and SLO rejections.
 pub fn canonical(report: &RunReport) -> String {
-    let cost = report.cost();
-    let mut out = String::new();
-    writeln!(out, "cost_usd_bits={:016x}", cost.total_usd.to_bits()).unwrap();
-    writeln!(out, "spot_usd_bits={:016x}", cost.spot_usd.to_bits()).unwrap();
-    writeln!(out, "od_usd_bits={:016x}", cost.ondemand_usd.to_bits()).unwrap();
-    for pc in &cost.pools {
-        writeln!(
-            out,
-            "pool {} name={} sku={} spot_bits={:016x} od_bits={:016x}",
-            pc.pool,
-            pc.name,
-            pc.sku,
-            pc.spot_usd.to_bits(),
-            pc.ondemand_usd.to_bits(),
-        )
-        .unwrap();
-    }
-    writeln!(out, "unfinished={}", report.unfinished).unwrap();
-    writeln!(out, "finished_at_us={}", report.finished_at.as_micros()).unwrap();
-    writeln!(out, "preemptions={}", report.preemptions).unwrap();
-    writeln!(out, "grants={}", report.grants).unwrap();
-    writeln!(out, "latency_name={}", report.latency.name()).unwrap();
-    for o in report.latency.outcomes() {
-        writeln!(
-            out,
-            "outcome id={} arrival_us={} s_in={} s_out={} finished_us={}",
-            o.request.id,
-            o.request.arrival.as_micros(),
-            o.request.s_in,
-            o.request.s_out,
-            o.finished.as_micros(),
-        )
-        .unwrap();
-    }
-    for c in &report.config_changes {
-        writeln!(
-            out,
-            "config at_us={} config={:?} pause_us={} migrated={} reloaded={}",
-            c.at.as_micros(),
-            c.config,
-            c.pause.as_micros(),
-            c.migrated_bytes,
-            c.reloaded_bytes,
-        )
-        .unwrap();
-    }
-    for (t, spot, od) in &report.fleet_timeline {
-        writeln!(out, "fleet t_us={} spot={spot} od={od}", t.as_micros()).unwrap();
-    }
-    for r in &report.slo_rejections {
-        writeln!(
-            out,
-            "slo_reject id={} arrival_us={} s_in={} s_out={} deadline_us={}",
-            r.id,
-            r.arrival.as_micros(),
-            r.s_in,
-            r.s_out,
-            r.deadline.map(|d| d.as_micros()).unwrap_or(0),
-        )
-        .unwrap();
-    }
-    out
+    report.canonical()
 }

@@ -373,6 +373,77 @@ fn cached_optimizer_replays_byte_identical_at_a_large_ceiling() {
     assert_eq!(a, b, "cached-optimizer replays must be byte-identical");
 }
 
+/// The sharded scenario behind the parallel-core gate: eight pools (two
+/// per shard), every pool re-quoting its spot price mid-run, one pool
+/// collapsing and recovering — so the epoch loop crosses `SpotPriceStep`
+/// barriers *and* migration-transition sync points, not just the final
+/// drain.
+fn sharded_canonical(threads: usize, shards: usize, seed: u64) -> String {
+    use cloudsim::{AvailabilityTrace as Tr, PoolSpec, PriceModel, PriceTrace};
+    use spotserve::ShardedSystem;
+
+    let pools = (0..8)
+        .map(|i| {
+            let trace = if i == 2 {
+                Tr::from_steps(vec![
+                    (SimTime::ZERO, 4),
+                    (SimTime::from_secs(200), 0),
+                    (SimTime::from_secs(320), 4),
+                ])
+            } else {
+                Tr::constant(4)
+            };
+            PoolSpec::new(format!("z{i}"), trace).with_price(PriceModel::Trace(
+                PriceTrace::from_steps(vec![
+                    (SimTime::ZERO, 1.9),
+                    (SimTime::from_secs(150 + 10 * i), 2.1),
+                    (SimTime::from_secs(300 + 10 * i), 1.8),
+                ]),
+            ))
+        })
+        .collect();
+    let mut scenario = Scenario::paper_stable(
+        ModelSpec::opt_6_7b(),
+        AvailabilityTrace::constant(0), // unused once pools are set
+        6.0,
+        seed,
+    )
+    .with_pools(pools);
+    scenario
+        .requests
+        .retain(|r| r.arrival < SimTime::from_secs(420));
+    let report = ShardedSystem::new(SystemOptions::spotserve(), scenario, shards)
+        .with_threads(threads)
+        .run();
+    let mut out = String::new();
+    report.canonical_into(&mut out);
+    out
+}
+
+#[test]
+fn sharded_replay_is_thread_count_invariant() {
+    // The parallel-core gate: the canonical output of a sharded run may
+    // not depend on the worker-thread budget — 1-thread and max-thread
+    // replays must be byte-identical, epoch log and per-shard reports
+    // included.
+    let one = sharded_canonical(1, 4, 53);
+    let many = sharded_canonical(8, 4, 53);
+    assert!(!one.is_empty());
+    assert_eq!(one, many, "thread count may never change the answer");
+    assert!(
+        one.contains("epoch 1 "),
+        "the scenario must cross at least two barriers:\n{}",
+        one.lines().take(3).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn sharded_replay_replays_byte_identical() {
+    let a = sharded_canonical(4, 4, 59);
+    let b = sharded_canonical(4, 4, 59);
+    assert_eq!(a, b, "sharded replays must be byte-identical run to run");
+}
+
 #[test]
 fn different_seeds_actually_differ() {
     // Guards the gate itself: if `canonical` ever collapsed to a constant,
