@@ -4,32 +4,15 @@
 //! Three pools (`z0` dies at t = 300 s; `z1`/`z2` healthy, `z2` cheaper),
 //! OPT-6.7B at 1 req/s with a 900 s SLO on every request. For each
 //! [`FleetPolicy`](spotserve::FleetPolicy) the figure reports the minimum
-//! live fleet after the collapse settles, request loss, SLO rejections,
-//! the spot vs on-demand cost split (and per-pool attribution), and
-//! USD per generated token — the availability-vs-cost frontier the
-//! fleet controller opens.
+//! live fleet after the collapse settles — event-exact, from the
+//! telemetry stream's grant/kill/release records rather than the sampled
+//! fleet timeline — request loss, SLO rejections, the spot vs on-demand
+//! cost split (and per-pool attribution), and USD per generated token —
+//! the availability-vs-cost frontier the fleet controller opens.
 
 use simkit::SimTime;
-use spotserve::{RunReport, ServingSystem, SystemOptions};
+use spotserve::{ServingSystem, SystemOptions};
 use spotserve_bench::{fleet_policy_ladder, header, zone_outage_scenario};
-
-/// Minimum live instances (spot + on-demand) from `t0` to run end, with
-/// the step level at `t0` taken from the last sample at or before it.
-fn min_live_after(report: &RunReport, t0: SimTime) -> u32 {
-    let at_t0 = report
-        .fleet_timeline
-        .iter()
-        .take_while(|(t, _, _)| *t <= t0)
-        .last()
-        .map(|(_, s, o)| s + o)
-        .unwrap_or(0);
-    report
-        .fleet_timeline
-        .iter()
-        .filter(|(t, _, _)| *t > t0)
-        .map(|(_, s, o)| s + o)
-        .fold(at_t0, u32::min)
-}
 
 fn main() {
     header("Fleet policies: single-zone collapse (z0 dies at t=300s), OPT-6.7B @ 1 req/s");
@@ -42,14 +25,17 @@ fn main() {
         "Policy", "min live", "unfin", "slo rej", "spot USD", "od USD", "USD/token", "avg lat"
     );
     for (name, policy) in fleet_policy_ladder() {
-        let opts = SystemOptions::spotserve().with_fleet_policy(policy);
+        let opts = SystemOptions::spotserve()
+            .with_fleet_policy(policy)
+            .with_telemetry();
         let mut report = ServingSystem::new(opts, zone_outage_scenario(seed)).run();
+        let stream = report.telemetry.take().expect("run built with telemetry");
         let p = report.latency.percentiles();
         let cost = report.cost();
         let cpt = cost.usd_per_token.unwrap_or(f64::NAN);
         println!(
             "{name:<18} {:>9} {:>7} {:>8} {:>10.3} {:>10.3} {:>11.2}e-5 {:>10.1}",
-            min_live_after(&report, settled),
+            stream.live_floor_after(settled),
             report.unfinished,
             report.slo_rejections.len(),
             cost.spot_usd,

@@ -9,78 +9,43 @@
 //! moves: `SpotHedge` re-enters the spiked pool and pays its price,
 //! `CostAwareHedge` biases away from it, and `CostPerToken` masks it
 //! past the parity threshold and bridges the shortfall with on-demand —
-//! the $/token frontier this figure reports.
+//! the $/token frontier this figure reports. The "min live" column is
+//! event-exact, derived from the telemetry stream's grant/kill/release
+//! records rather than the sampled fleet timeline.
 //!
 //! When `CRITERION_JSON` names a file, the per-policy cost summary is
 //! also appended there as machine-readable records (same growing-array
 //! document the vendored criterion shim writes ns/iter records into), so
 //! CI can jq-gate the $/token win.
 
-use std::path::Path;
-
 use simkit::SimTime;
-use spotserve::{RunReport, ServingSystem, SystemOptions};
-use spotserve_bench::{header, price_policy_ladder, price_spike_scenario};
-
-/// Minimum live instances (spot + on-demand) from `t0` to run end, with
-/// the step level at `t0` taken from the last sample at or before it.
-fn min_live_after(report: &RunReport, t0: SimTime) -> u32 {
-    let at_t0 = report
-        .fleet_timeline
-        .iter()
-        .take_while(|(t, _, _)| *t <= t0)
-        .last()
-        .map(|(_, s, o)| s + o)
-        .unwrap_or(0);
-    report
-        .fleet_timeline
-        .iter()
-        .filter(|(t, _, _)| *t > t0)
-        .map(|(_, s, o)| s + o)
-        .fold(at_t0, u32::min)
-}
-
-/// Appends one record to the JSON array document at `path`, creating the
-/// array if the file is missing or empty. Mirrors the vendored criterion
-/// shim's format so figure records and ns/iter records share one file.
-fn append_json_record(path: &Path, record: &str) {
-    let body = match std::fs::read_to_string(path) {
-        Ok(existing) => {
-            let trimmed = existing.trim_end();
-            match trimmed.strip_suffix(']') {
-                Some(init) if !init.trim_end().ends_with('[') => {
-                    format!("{init},\n  {record}\n]\n", init = init.trim_end())
-                }
-                _ => format!("[\n  {record}\n]\n"),
-            }
-        }
-        Err(_) => format!("[\n  {record}\n]\n"),
-    };
-    if let Err(e) = std::fs::write(path, body) {
-        eprintln!("fig_price: cannot write {}: {e}", path.display());
-    }
-}
+use spotserve::{ServingSystem, SystemOptions};
+use spotserve_bench::{append_json_record, criterion_json_path, header};
+use spotserve_bench::{price_policy_ladder, price_spike_scenario};
 
 fn main() {
     header("Spot-market squeeze: spiky pool collapses at t=300s and re-opens past parity, OPT-6.7B @ 1 req/s");
     let seed = 1;
     // Collapse + grace + grant delay + scheduling slack.
     let settled = SimTime::from_secs(300 + 30 + 40 + 30);
-    let json_path = std::env::var_os("CRITERION_JSON").map(std::path::PathBuf::from);
+    let json_path = criterion_json_path();
 
     println!(
         "{:<18} {:>9} {:>7} {:>8} {:>10} {:>10} {:>14} {:>10}",
         "Policy", "min live", "unfin", "slo rej", "spot USD", "od USD", "USD/token", "avg lat"
     );
     for (name, policy) in price_policy_ladder() {
-        let opts = SystemOptions::spotserve().with_fleet_policy(policy);
+        let opts = SystemOptions::spotserve()
+            .with_fleet_policy(policy)
+            .with_telemetry();
         let mut report = ServingSystem::new(opts, price_spike_scenario(seed)).run();
+        let stream = report.telemetry.take().expect("run built with telemetry");
         let p = report.latency.percentiles();
         let cost = report.cost();
         let cpt = cost.usd_per_token.unwrap_or(f64::NAN);
         println!(
             "{name:<18} {:>9} {:>7} {:>8} {:>10.3} {:>10.3} {:>11.2}e-5 {:>10.1}",
-            min_live_after(&report, settled),
+            stream.live_floor_after(settled),
             report.unfinished,
             report.slo_rejections.len(),
             cost.spot_usd,

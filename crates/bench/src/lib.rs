@@ -298,6 +298,35 @@ pub fn header(title: &str) {
     println!("{}", "=".repeat(78));
 }
 
+/// The machine-readable output path named by `CRITERION_JSON`, if set —
+/// the growing JSON array document the vendored criterion shim writes
+/// ns/iter records into and the figure binaries append their summary
+/// records to, so CI jq-gates one file per run.
+pub fn criterion_json_path() -> Option<std::path::PathBuf> {
+    std::env::var_os("CRITERION_JSON").map(std::path::PathBuf::from)
+}
+
+/// Appends one record to the JSON array document at `path`, creating the
+/// array if the file is missing or empty. Mirrors the vendored criterion
+/// shim's format so figure records and ns/iter records share one file.
+pub fn append_json_record(path: &std::path::Path, record: &str) {
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(init) if !init.trim_end().ends_with('[') => {
+                    format!("{init},\n  {record}\n]\n", init = init.trim_end())
+                }
+                _ => format!("[\n  {record}\n]\n"),
+            }
+        }
+        Err(_) => format!("[\n  {record}\n]\n"),
+    };
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("append_json_record: cannot write {}: {e}", path.display());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

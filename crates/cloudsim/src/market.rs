@@ -30,6 +30,7 @@
 //! ```
 
 use simkit::SimTime;
+use telemetry::{Record, Recorder, TelemetryEvent};
 
 use crate::events::CloudEvent;
 use crate::instance::{InstanceId, InstanceKind, InstanceType};
@@ -91,6 +92,9 @@ impl CostBreakdown {
 pub struct CloudMarket {
     pools: Vec<CloudSim>,
     names: Vec<String>,
+    /// Telemetry capture for delivered events, prewarms, and releases
+    /// (disabled by default; see [`CloudMarket::enable_telemetry`]).
+    telemetry: Recorder,
 }
 
 impl CloudMarket {
@@ -100,6 +104,7 @@ impl CloudMarket {
         CloudMarket {
             pools: vec![CloudSim::new(cfg, trace, seed)],
             names: vec!["default".to_string()],
+            telemetry: Recorder::disabled(),
         }
     }
 
@@ -142,6 +147,76 @@ impl CloudMarket {
         CloudMarket {
             pools,
             names: specs.iter().map(|s| s.name.clone()).collect(),
+            telemetry: Recorder::disabled(),
+        }
+    }
+
+    // ---- Telemetry --------------------------------------------------
+
+    /// Switches on event capture: every delivered [`CloudEvent`], every
+    /// prewarmed grant, and every voluntary release is recorded as a
+    /// [`TelemetryEvent`]. Capture is observation-only — it never
+    /// changes the event stream, ids, or billing.
+    pub fn enable_telemetry(&mut self) {
+        self.telemetry.enable();
+    }
+
+    /// Takes the captured telemetry records (empty when disabled).
+    pub fn take_telemetry(&mut self) -> Vec<Record> {
+        self.telemetry.take()
+    }
+
+    /// Records the telemetry mirror of a delivered cloud event.
+    fn note_event(&mut self, t: SimTime, ev: &CloudEvent) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let tev = match *ev {
+            CloudEvent::SpotGranted { id } => TelemetryEvent::InstanceGrant {
+                pool: PoolId::of_instance(id).0,
+                instance: id.0,
+                ondemand: false,
+            },
+            CloudEvent::OnDemandGranted { id } => TelemetryEvent::InstanceGrant {
+                pool: PoolId::of_instance(id).0,
+                instance: id.0,
+                ondemand: true,
+            },
+            CloudEvent::PreemptionNotice { id, kill_at } => TelemetryEvent::KillNotice {
+                pool: PoolId::of_instance(id).0,
+                instance: id.0,
+                kill_at_us: kill_at.as_micros(),
+            },
+            CloudEvent::Preempted { id } => TelemetryEvent::InstanceKill {
+                pool: PoolId::of_instance(id).0,
+                instance: id.0,
+            },
+            CloudEvent::SpotPriceStep {
+                pool,
+                cents_per_hour,
+            } => TelemetryEvent::PriceStep {
+                pool: pool.0,
+                cents_per_hour,
+            },
+        };
+        self.telemetry.emit(t, tev);
+    }
+
+    /// Records grants for prewarmed instances (they never appear in the
+    /// event stream, so the telemetry stream grants them at `t = 0`).
+    fn note_prewarm(&mut self, pool: PoolId, ids: &[InstanceId], ondemand: bool) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        for &id in ids {
+            self.telemetry.emit(
+                SimTime::ZERO,
+                TelemetryEvent::InstanceGrant {
+                    pool: pool.0,
+                    instance: id.0,
+                    ondemand,
+                },
+            );
         }
     }
 
@@ -180,7 +255,9 @@ impl CloudMarket {
     /// Immediately grants up to `n` spot instances in `pool` at `t = 0`
     /// (see [`CloudSim::prewarm_spot`]).
     pub fn prewarm_spot_in(&mut self, pool: PoolId, n: u32) -> Vec<InstanceId> {
-        self.pool_mut(pool).prewarm_spot(n)
+        let ids = self.pool_mut(pool).prewarm_spot(n);
+        self.note_prewarm(pool, &ids, false);
+        ids
     }
 
     /// Current trace capacity of `pool`.
@@ -240,7 +317,9 @@ impl CloudMarket {
     /// Prewarms `n` on-demand instances (granted by pool 0; on-demand
     /// capacity is pool-agnostic).
     pub fn prewarm_on_demand(&mut self, n: u32) -> Vec<InstanceId> {
-        self.pools[0].prewarm_on_demand(n)
+        let ids = self.pools[0].prewarm_on_demand(n);
+        self.note_prewarm(PoolId(0), &ids, true);
+        ids
     }
 
     /// Requests `n` on-demand instances (granted by pool 0; on-demand
@@ -285,7 +364,19 @@ impl CloudMarket {
     pub fn release(&mut self, now: SimTime, id: InstanceId) {
         let pool = PoolId::of_instance(id);
         if (pool.0 as usize) < self.pools.len() {
+            // Only a release that ends a live lease is telemetry-worthy
+            // (releasing an already-dead id is a silent no-op below).
+            let live = self.telemetry.is_enabled() && self.pool(pool).fleet().any(|i| i.id == id);
             self.pool_mut(pool).release(now, id);
+            if live {
+                self.telemetry.emit(
+                    now,
+                    TelemetryEvent::InstanceRelease {
+                        pool: pool.0,
+                        instance: id.0,
+                    },
+                );
+            }
         }
     }
 
@@ -306,7 +397,11 @@ impl CloudMarket {
             }
         }
         let (_, i) = best?;
-        self.pools[i].pop_next()
+        let popped = self.pools[i].pop_next();
+        if let Some((t, ev)) = &popped {
+            self.note_event(*t, ev);
+        }
+        popped
     }
 
     // ---- Per-pool event streams ------------------------------------
@@ -323,7 +418,11 @@ impl CloudMarket {
 
     /// Pops the next deliverable event from one pool's stream.
     pub fn pop_next_in(&mut self, pool: PoolId) -> Option<(SimTime, CloudEvent)> {
-        self.pool_mut(pool).pop_next()
+        let popped = self.pool_mut(pool).pop_next();
+        if let Some((t, ev)) = &popped {
+            self.note_event(*t, ev);
+        }
+        popped
     }
 
     // ---- Billing ---------------------------------------------------

@@ -100,6 +100,11 @@ pub struct SystemOptions {
     /// Keep simulating after the arrival window until the queue drains,
     /// up to this cap.
     pub drain_cap: SimDuration,
+    /// Record the typed telemetry event stream (instance lifecycle, fleet
+    /// commands, transitions, optimizer decisions, epoch rollups). Off by
+    /// default: the disabled recorder is a single branch per emit point and
+    /// the run's canonical report bytes are unchanged either way.
+    pub telemetry: bool,
 }
 
 impl SystemOptions {
@@ -117,6 +122,7 @@ impl SystemOptions {
             engine_launch: SimDuration::from_secs(10),
             rate_tick: SimDuration::from_secs(30),
             drain_cap: SimDuration::from_secs(3600),
+            telemetry: false,
         }
     }
 
@@ -164,6 +170,13 @@ impl SystemOptions {
     /// the run-to-completion baseline).
     pub fn with_engine(mut self, engine: EngineMode) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Enables the telemetry event stream (see
+    /// [`SystemOptions::telemetry`]).
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
         self
     }
 
@@ -234,6 +247,12 @@ mod tests {
                 .fleet_policy,
             FleetPolicy::spot_hedge()
         );
+    }
+
+    #[test]
+    fn telemetry_is_off_by_default() {
+        assert!(!SystemOptions::spotserve().telemetry);
+        assert!(SystemOptions::spotserve().with_telemetry().telemetry);
     }
 
     #[test]

@@ -47,3 +47,7 @@ pub use optimizer::{ConfigOptimizer, MultiSkuDecision, OptimizerDecision, MAX_SK
 pub use report::{ConfigChange, CostReport, RunReport, SkuCost};
 pub use scale::{EpochRecord, ScaleReport, ShardedSystem};
 pub use system::{Scenario, ServingSystem};
+pub use telemetry::{
+    JsonlSink, NoopSink, Record, Recorder, StreamRecord, TelemetryEvent, TelemetrySink,
+    TelemetryStream, TimeSeries, TriageVerdict, WindowStats,
+};

@@ -25,7 +25,7 @@
 //! unchanged from the pre-frontier code — as the contract the equivalence
 //! property test and the §6.2 pinned tests hold both paths to.
 
-use std::cell::{Ref, RefCell};
+use std::cell::{Cell, Ref, RefCell};
 
 use cloudsim::{GpuSpec, InstanceType};
 use llmsim::{CostModel, MemoryModel, ModelSpec};
@@ -179,6 +179,10 @@ pub struct ConfigOptimizer {
     lanes: Vec<SkuLane>,
     /// Per-`(avail, α)` memo for [`ConfigOptimizer::decide_multi`].
     multi_memo: RefCell<Vec<(MultiKey, MultiSkuDecision)>>,
+    /// Lifetime count of decisions answered from a memo (any of the three
+    /// memos). Telemetry instrumentation: callers difference it around a
+    /// `decide*` call to tag the decision memo-hit or miss.
+    memo_hits: Cell<u64>,
 }
 
 impl ConfigOptimizer {
@@ -208,6 +212,7 @@ impl ConfigOptimizer {
             memo: RefCell::new(DecisionMemo::default()),
             lanes: Vec::new(),
             multi_memo: RefCell::new(Vec::new()),
+            memo_hits: Cell::new(0),
         }
     }
 
@@ -254,6 +259,13 @@ impl ConfigOptimizer {
     #[cfg(test)]
     fn memo_len(&self) -> usize {
         self.memo.borrow().entries.len()
+    }
+
+    /// Lifetime count of `decide*` queries answered from a memo instead of
+    /// a frontier scan. Monotone; difference around a call to learn whether
+    /// that call hit.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits.get()
     }
 
     /// Number of registered SKU lanes.
@@ -484,6 +496,7 @@ impl ConfigOptimizer {
             slo,
         };
         if let Some(d) = self.memo.borrow().get(key) {
+            self.memo_hits.set(self.memo_hits.get() + 1);
             return d;
         }
         let ceiling = self.max_instances.max(n_instances);
@@ -633,6 +646,7 @@ impl ConfigOptimizer {
             .find(|(k, _)| *k == key)
             .map(|(_, d)| *d)
         {
+            self.memo_hits.set(self.memo_hits.get() + 1);
             return d;
         }
         let mode = self.pricing_mode();
@@ -711,6 +725,7 @@ impl ConfigOptimizer {
             alpha_bits: alpha.to_bits(),
         };
         if let Some(d) = self.memo.borrow().get(key) {
+            self.memo_hits.set(self.memo_hits.get() + 1);
             return d;
         }
         // Line 2: does any configuration within the ceiling sustain α?

@@ -52,6 +52,12 @@ pub struct RunReport {
     /// iterations on a guaranteed violation. Empty for best-effort
     /// workloads (no deadlines).
     pub slo_rejections: Vec<workload::Request>,
+    /// The typed telemetry event stream, `Some` only when the run was
+    /// built with [`crate::SystemOptions::with_telemetry`]. Deliberately
+    /// excluded from [`RunReport::canonical_into`]: the canonical bytes
+    /// must be identical with telemetry on and off (the stream has its own
+    /// replay-gated JSONL digest).
+    pub telemetry: Option<telemetry::TelemetryStream>,
 }
 
 /// Spend aggregated over every pool leasing one SKU.
@@ -235,6 +241,7 @@ mod tests {
             grants: 0,
             fleet_timeline: vec![],
             slo_rejections: vec![],
+            telemetry: None,
         };
         assert!((rep.cost().usd_per_token.unwrap() - 0.01).abs() < 1e-12);
     }
@@ -277,6 +284,7 @@ mod tests {
             grants: 0,
             fleet_timeline: vec![],
             slo_rejections: vec![],
+            telemetry: None,
         };
         let cost = rep.cost();
         assert_eq!(cost.spot_usd, 9.0);
@@ -304,6 +312,7 @@ mod tests {
             grants: 0,
             fleet_timeline: vec![],
             slo_rejections: vec![],
+            telemetry: None,
         };
         assert_eq!(rep.cost().usd_per_token, None);
     }

@@ -18,6 +18,7 @@
 //! path verbatim.
 
 use simkit::{run_shards, Percentiles, Sampler, SimTime};
+use telemetry::{Fnv1a, TelemetryStream};
 
 use crate::config::SystemOptions;
 use crate::report::RunReport;
@@ -139,11 +140,22 @@ impl ShardedSystem {
 
         // Merge in shard order — the `(time, shard_id, seq)` order within
         // an epoch, since each shard's records are already time-sorted.
-        let shards: Vec<RunReport> = self
+        let mut shards: Vec<RunReport> = self
             .shards
             .iter_mut()
             .map(|s| s.sys.take().expect("finished once").finish())
             .collect();
+        // The fleet-wide telemetry stream: per-shard streams (each already
+        // deterministic in isolation) re-tagged and merged `(time, shard,
+        // seq)`, so the export is identical at every thread count.
+        let telemetry = shards.iter().all(|r| r.telemetry.is_some()).then(|| {
+            TelemetryStream::merge_shards(
+                shards
+                    .iter_mut()
+                    .map(|r| r.telemetry.take().expect("checked above"))
+                    .collect(),
+            )
+        });
         let mut latencies = Sampler::new();
         let mut total_cost_usd = 0.0;
         let mut completed = 0;
@@ -167,6 +179,7 @@ impl ShardedSystem {
             unfinished,
             epochs,
             shards,
+            telemetry,
         }
     }
 }
@@ -250,6 +263,11 @@ pub struct ScaleReport {
     pub completed: usize,
     /// Requests still unfinished across all shards.
     pub unfinished: usize,
+    /// The fleet-wide telemetry stream, merged `(time, shard, seq)` from
+    /// the per-shard streams (which are drained into it — the per-shard
+    /// [`RunReport::telemetry`] fields here are `None`). `Some` only when
+    /// the run was built with [`SystemOptions::with_telemetry`].
+    pub telemetry: Option<TelemetryStream>,
 }
 
 impl ScaleReport {
@@ -307,22 +325,16 @@ impl ScaleReport {
     /// can be compared without materializing the (potentially huge)
     /// canonical string.
     pub fn digest(&self) -> u64 {
-        let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
         self.canonical_into(&mut h);
-        h.0
+        h.finish()
     }
-}
 
-/// A `fmt::Write` sink that folds everything written into an FNV-1a hash.
-struct Fnv1a(u64);
-
-impl std::fmt::Write for Fnv1a {
-    fn write_str(&mut self, s: &str) -> std::fmt::Result {
-        for &b in s.as_bytes() {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        Ok(())
+    /// FNV-1a digest of the merged telemetry stream's JSONL rendering,
+    /// `None` when the run was built without telemetry. Like
+    /// [`digest`](Self::digest), pinned equal across thread counts.
+    pub fn stream_digest(&self) -> Option<u64> {
+        self.telemetry.as_ref().map(TelemetryStream::digest)
     }
 }
 
@@ -374,6 +386,31 @@ mod tests {
         one.canonical_into(&mut a);
         four.canonical_into(&mut b);
         assert_eq!(a, b, "canonical streams match byte for byte");
+    }
+
+    #[test]
+    fn telemetry_stream_is_thread_count_invariant() {
+        let mk = || {
+            ShardedSystem::new(
+                SystemOptions::spotserve().with_telemetry(),
+                scenario(4, 30),
+                4,
+            )
+        };
+        let one = mk().with_threads(1).run();
+        let eight = mk().with_threads(8).run();
+        assert!(one.stream_digest().is_some());
+        assert_eq!(one.stream_digest(), eight.stream_digest());
+        assert_eq!(
+            one.telemetry.as_ref().unwrap().to_jsonl(),
+            eight.telemetry.as_ref().unwrap().to_jsonl(),
+            "exported JSONL matches byte for byte across thread counts"
+        );
+        // Observation must not perturb the run: the canonical digest with
+        // telemetry on equals the telemetry-off digest.
+        let off = ShardedSystem::new(SystemOptions::spotserve(), scenario(4, 30), 4).run();
+        assert_eq!(off.stream_digest(), None);
+        assert_eq!(off.digest(), one.digest());
     }
 
     #[test]

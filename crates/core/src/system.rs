@@ -23,8 +23,8 @@ use cloudsim::{
     InstanceType, PoolId, PoolSpec,
 };
 use enginesim::{
-    preemption_stop_time, recovery_worthwhile, BatchRun, ContextDaemon, IterationScheduler,
-    PendingQueue, RequestRun,
+    preemption_stop_time, recovery_worthwhile, BatchRun, ContextDaemon, EngineCounters,
+    IterationScheduler, PendingQueue, RequestRun,
 };
 use kmatch::SkuCaps;
 use llmsim::ModelSpec;
@@ -35,6 +35,7 @@ use migration::{
 use parallelism::{ParallelConfig, PerfModel};
 use simkit::event::EventKey;
 use simkit::{EventQueue, SimDuration, SimRng, SimTime};
+use telemetry::{Recorder, TelemetryEvent, TelemetryStream, TriageVerdict};
 use workload::{LatencyReport, Request, WorkloadSpec};
 
 use fleetctl::{FleetController, FleetPolicy, FleetView, PoolCaps, PoolView};
@@ -309,6 +310,14 @@ pub struct ServingSystem {
     sync_points: BTreeMap<SimTime, u32>,
     /// Events processed so far (epoch-log instrumentation).
     events_processed: u64,
+    /// Control-plane telemetry recorder (decisions, transitions, fleet
+    /// commands, rollups). Disabled unless [`SystemOptions::telemetry`];
+    /// disabled it is one branch per emit point.
+    telemetry: Recorder,
+    /// Admission-verdict tallies of schedulers already torn down; live
+    /// schedulers' counters are added at rollup time so the cumulative
+    /// totals survive detach/restore cycles.
+    retired_counters: EngineCounters,
 }
 
 impl ServingSystem {
@@ -367,7 +376,7 @@ impl ServingSystem {
         } else {
             None
         };
-        let cloud = if scenario.pools.is_empty() {
+        let mut cloud = if scenario.pools.is_empty() {
             CloudMarket::single(
                 scenario.cloud.clone(),
                 scenario.trace.clone(),
@@ -376,6 +385,9 @@ impl ServingSystem {
         } else {
             CloudMarket::new(&scenario.cloud, &scenario.pools, scenario.seed)
         };
+        if opts.telemetry {
+            cloud.enable_telemetry();
+        }
         let fleet = FleetController::new(
             opts.fleet_policy,
             cloud.pool_count(),
@@ -392,6 +404,11 @@ impl ServingSystem {
             .last()
             .map(|r| r.arrival)
             .unwrap_or(SimTime::ZERO);
+        let telemetry = if opts.telemetry {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        };
         ServingSystem {
             opts,
             optimizer,
@@ -428,6 +445,8 @@ impl ServingSystem {
             arrivals_end,
             sync_points: BTreeMap::new(),
             events_processed: 0,
+            telemetry,
+            retired_counters: EngineCounters::default(),
             scenario,
         }
     }
@@ -500,13 +519,41 @@ impl ServingSystem {
     /// homogeneous fleet (bit-identical to the pre-SKU system), the joint
     /// `(SKU, C, B)` decision across lanes on a mixed one.
     fn decide_serving(&mut self, n: u32, alpha: f64) -> OptimizerDecision {
-        if self.hetero.is_none() {
+        let hits_before = self.optimizer.memo_hits();
+        let d = if self.hetero.is_none() {
             let d = self.optimizer.decide_with_incumbent(n, alpha, self.current);
             self.note_target(&d);
-            return d;
+            d
+        } else {
+            let d = self.optimizer.decide_multi(&self.lane_avail(), alpha);
+            self.apply_multi(d)
+        };
+        self.note_decision(&d, hits_before);
+        d
+    }
+
+    /// Telemetry surface of an Algorithm 1 decision: the `(SKU, C, B)`
+    /// picked (or the halt verdict) and whether a memo answered it.
+    fn note_decision(&mut self, d: &OptimizerDecision, memo_hits_before: u64) {
+        if !self.telemetry.is_enabled() {
+            return;
         }
-        let d = self.optimizer.decide_multi(&self.lane_avail(), alpha);
-        self.apply_multi(d)
+        let memo_hit = self.optimizer.memo_hits() > memo_hits_before;
+        let ev = match d.now {
+            Some(c) => TelemetryEvent::Decision {
+                sku: match &self.hetero {
+                    None => self.scenario.cloud.instance_type.name,
+                    Some(h) => self.optimizer.lane_type(h.decided_lane).name,
+                },
+                data: c.data,
+                pipe: c.pipeline,
+                tensor: c.tensor,
+                batch: c.batch,
+                memo_hit,
+            },
+            None => TelemetryEvent::DecisionHalt { memo_hit },
+        };
+        self.telemetry.emit(self.now, ev);
     }
 
     /// `φ(C)` of the serving mesh under its own SKU's estimator.
@@ -683,6 +730,13 @@ impl ServingSystem {
     /// Releases the fleet and closes the books.
     pub(crate) fn finish(self) -> RunReport {
         let mut sys = self;
+        // Close the stream with a final rollup, then capture it BEFORE the
+        // teardown lease releases below: those are end-of-run bookkeeping,
+        // not market events, and would drag every live-floor query to zero.
+        sys.emit_rollups();
+        let telemetry = sys.telemetry.is_enabled().then(|| {
+            TelemetryStream::from_sources(vec![sys.cloud.take_telemetry(), sys.telemetry.take()])
+        });
         let ids: Vec<InstanceId> = sys.cloud.fleet().map(|i| i.id).collect();
         for id in ids {
             sys.cloud.release(sys.now, id);
@@ -698,6 +752,7 @@ impl ServingSystem {
             grants: sys.grants,
             fleet_timeline: sys.fleet_timeline,
             slo_rejections: sys.slo_rejections,
+            telemetry,
         }
     }
 
@@ -773,6 +828,7 @@ impl ServingSystem {
         }
         // Adopt the initial configuration at zero cost (pre-loaded).
         let n = self.ready.len() as u32;
+        let hits_before = self.optimizer.memo_hits();
         let decision = match &self.hetero {
             None => self.optimizer.decide(n, alpha),
             Some(_) => {
@@ -780,6 +836,7 @@ impl ServingSystem {
                 self.apply_multi(d)
             }
         };
+        self.note_decision(&decision, hits_before);
         self.frozen_config = decision.now;
         if let Some(cfg) = self.pick_config(decision.now, n) {
             self.adopt_config(cfg, SimDuration::ZERO, 0, 0);
@@ -970,6 +1027,8 @@ impl ServingSystem {
         };
         for req in sched.take_rejected() {
             self.outstanding -= 1;
+            self.telemetry
+                .emit(self.now, TelemetryEvent::SloRejection { request: req.id.0 });
             self.slo_rejections.push(req);
         }
     }
@@ -1128,6 +1187,7 @@ impl ServingSystem {
             }
         }
         if let Some(sched) = slot.daemon.detach_scheduler() {
+            self.retired_counters.absorb(sched.counters());
             for req in sched.into_requests().into_iter().rev() {
                 self.pending.push_front(req);
             }
@@ -1224,6 +1284,9 @@ impl ServingSystem {
     }
 
     fn on_rate_tick(&mut self) {
+        // Rollups ride the rate tick unconditionally: the epoch cadence of
+        // the stream must not depend on transition/hysteresis state.
+        self.emit_rollups();
         if self.transition.is_some() || self.now < self.settle_until {
             return;
         }
@@ -1289,6 +1352,50 @@ impl ServingSystem {
             if worthwhile {
                 self.plan_transition(None);
             }
+        }
+    }
+
+    /// Emits the epoch-granular rollups: one engine rollup plus one cost
+    /// rollup per pool, every counter cumulative over the run (consumers
+    /// difference adjacent rollups for windows). Rides the rate tick, so
+    /// stream volume is bounded by wall-clock, not by request count.
+    fn emit_rollups(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let mut counters = self.retired_counters;
+        let mut residents = 0u32;
+        for slot in &self.pipelines {
+            if let Some(s) = slot.daemon.scheduler() {
+                counters.absorb(s.counters());
+                residents += s.in_flight() as u32;
+            } else if let Some(run) = slot.daemon.batch() {
+                residents += run.requests().len() as u32;
+            }
+        }
+        self.telemetry.emit(
+            self.now,
+            TelemetryEvent::EngineRollup {
+                queue_depth: self.pending.len() as u32,
+                residents,
+                admitted: counters.admitted,
+                deferrals: counters.deferrals,
+                rejected: counters.rejected,
+                completed: self.latency.completed() as u64,
+                tokens: self.latency.tokens_generated(),
+            },
+        );
+        let breakdown = self.cloud.cost_breakdown(self.now);
+        for pc in &breakdown.pools {
+            self.telemetry.emit(
+                self.now,
+                TelemetryEvent::CostRollup {
+                    pool: pc.pool.0,
+                    sku: pc.sku,
+                    spot_microusd: (pc.spot_usd * 1e6).round() as u64,
+                    ondemand_microusd: (pc.ondemand_usd * 1e6).round() as u64,
+                },
+            );
         }
     }
 
@@ -1369,7 +1476,9 @@ impl ServingSystem {
             self.feed_price_pressure(parity_permille);
         }
         let view = self.fleet_view();
-        let cmd = self.fleet.command(&view, self.now);
+        let cmd = self
+            .fleet
+            .command_traced(&view, self.now, &mut self.telemetry);
         if cmd.is_noop() {
             return;
         }
@@ -1618,6 +1727,13 @@ impl ServingSystem {
         self.epoch += 1;
         let epoch = self.epoch;
         self.transition = Some(Transition { epoch, deadline });
+        self.telemetry.emit(
+            self.now,
+            TelemetryEvent::TransitionBegin {
+                epoch: epoch as u32,
+                deadline_us: deadline.map(|t| t.as_micros()).unwrap_or(u64::MAX),
+            },
+        );
         let commit_at = match (self.opts.policy, deadline) {
             (Policy::SpotServe, Some(kill_at)) => {
                 // JIT arrangement: estimate migration cost, decode until
@@ -1794,6 +1910,7 @@ impl ServingSystem {
             return;
         };
         let deadline = tr.deadline;
+        let t_epoch = tr.epoch as u32;
         // Re-decide with the fleet as of now (it may have changed while
         // decoding through the grace period).
         let alpha = self.rate_estimate();
@@ -1826,6 +1943,17 @@ impl ServingSystem {
                     migrated_bytes: 0,
                     reloaded_bytes: 0,
                 });
+                self.telemetry.emit(
+                    self.now,
+                    TelemetryEvent::TransitionCommit {
+                        epoch: t_epoch,
+                        verdict: TriageVerdict::Full,
+                        fraction_ppm: 1_000_000,
+                        migrated_bytes: 0,
+                        reloaded_bytes: 0,
+                        pause_us: 0,
+                    },
+                );
                 self.transition = None;
                 self.dispatch_all();
                 return;
@@ -1851,6 +1979,8 @@ impl ServingSystem {
                 migrated_bytes: 0,
                 reloaded_bytes: 0,
             });
+            self.telemetry
+                .emit(self.now, TelemetryEvent::TransitionHalt { epoch: t_epoch });
             self.transition = None;
             return;
         };
@@ -1880,6 +2010,21 @@ impl ServingSystem {
                 } else {
                     tl.effective_pause(stage_step)
                 };
+                self.telemetry.emit(
+                    self.now,
+                    TelemetryEvent::TransitionCommit {
+                        epoch: t_epoch,
+                        verdict: match tri.tier {
+                            TriageTier::Full => TriageVerdict::Full,
+                            TriageTier::Partial => TriageVerdict::Partial,
+                            TriageTier::Restart => TriageVerdict::Restart,
+                        },
+                        fraction_ppm: (tri.fraction * 1e6).round() as u32,
+                        migrated_bytes: tl.network_bytes,
+                        reloaded_bytes: tl.storage_bytes,
+                        pause_us: pause.as_micros(),
+                    },
+                );
 
                 // Freeze pipelines, preserving progress where the cache
                 // migrates (stateful recovery) and requeueing the rest.
@@ -1949,6 +2094,7 @@ impl ServingSystem {
                     let Some(mut sched) = self.pipelines[pi].daemon.detach_scheduler() else {
                         continue;
                     };
+                    self.retired_counters.absorb(sched.counters());
                     let records = sched.freeze(self.now);
                     let mut live: Vec<RequestRun> = Vec::new();
                     for r in records {
@@ -2094,6 +2240,17 @@ impl ServingSystem {
                         .scenario
                         .storage
                         .load_time(self.scenario.model.param_bytes(), instances);
+                self.telemetry.emit(
+                    self.now,
+                    TelemetryEvent::TransitionCommit {
+                        epoch: t_epoch,
+                        verdict: TriageVerdict::Restart,
+                        fraction_ppm: 0,
+                        migrated_bytes: 0,
+                        reloaded_bytes: self.scenario.model.param_bytes(),
+                        pause_us: pause.as_micros(),
+                    },
+                );
                 let usable = self.placement_instances();
                 let gpus: Vec<cloudsim::GpuRef> = usable
                     .iter()

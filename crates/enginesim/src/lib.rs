@@ -55,4 +55,4 @@ pub use arranger::{acquisition_defer_until, preemption_stop_time, recovery_worth
 pub use batch::BatchRun;
 pub use daemon::ContextDaemon;
 pub use queue::{AdmissionQueue, PendingQueue};
-pub use scheduler::{AdmissionVerdict, IterationScheduler, RequestRun};
+pub use scheduler::{AdmissionVerdict, EngineCounters, IterationScheduler, RequestRun};

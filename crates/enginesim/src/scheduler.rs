@@ -319,6 +319,37 @@ pub struct IterationScheduler {
     verdict_scratch: SeqScratch,
     /// Reused mixed-pass buffer for segment pricing.
     segment_scratch: SeqScratch,
+    /// Cumulative admission/retire tallies for telemetry rollups (a few
+    /// integer bumps per boundary; never read on the scheduling path).
+    counters: EngineCounters,
+}
+
+/// Cumulative verdict and retirement tallies for one scheduler's
+/// lifetime — the epoch-granular numbers telemetry rollups difference.
+/// `deferrals` counts Defer *verdicts* (one request scanned at several
+/// boundaries counts each time); `admitted`/`rejected`/`retired` count
+/// requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Requests admitted into a batch.
+    pub admitted: u64,
+    /// Defer verdicts returned by the admission scan.
+    pub deferrals: u64,
+    /// Requests rejected as deadline-hopeless.
+    pub rejected: u64,
+    /// Requests retired (fully generated).
+    pub retired: u64,
+}
+
+impl EngineCounters {
+    /// Adds `other`'s tallies into this one (for absorbing a detached
+    /// scheduler's counters into a system-lifetime total).
+    pub fn absorb(&mut self, other: EngineCounters) {
+        self.admitted += other.admitted;
+        self.deferrals += other.deferrals;
+        self.rejected += other.rejected;
+        self.retired += other.retired;
+    }
 }
 
 /// What SLO-aware admission decided for one candidate request at one
@@ -356,7 +387,15 @@ impl IterationScheduler {
             slo_deadlines: Vec::new(),
             verdict_scratch: SeqScratch::default(),
             segment_scratch: SeqScratch::default(),
+            counters: EngineCounters::default(),
         }
+    }
+
+    /// Cumulative admission/retire tallies since this scheduler was
+    /// built (resumed schedulers start from zero; the serving system
+    /// absorbs a detached scheduler's tallies into its run total).
+    pub fn counters(&self) -> EngineCounters {
+        self.counters
     }
 
     /// Enables Sarathi-style chunked prefill: prompts are pushed through
@@ -826,11 +865,16 @@ impl IterationScheduler {
                     self.running.push(run);
                     self.push_slo_entry(&run);
                     admitted += 1;
+                    self.counters.admitted += 1;
                 }
-                AdmissionVerdict::Defer => i += 1,
+                AdmissionVerdict::Defer => {
+                    i += 1;
+                    self.counters.deferrals += 1;
+                }
                 AdmissionVerdict::Reject => {
                     let req = pending.remove(i).expect("indexed");
                     self.rejected.push(req);
+                    self.counters.rejected += 1;
                 }
             }
         }
@@ -891,6 +935,7 @@ impl IterationScheduler {
                 true
             }
         });
+        self.counters.retired += retired.len() as u64;
         // Progress moved and membership may have shrunk: refresh the
         // admission-pricing entries in place before `admit` reads them.
         self.rebuild_slo_entries();

@@ -2,6 +2,7 @@
 
 use cloudsim::InstanceType;
 use simkit::{SimDuration, SimTime};
+use telemetry::{TelemetryEvent, TelemetrySink};
 
 use crate::estimator::PreemptionEstimator;
 use crate::policy::FleetPolicy;
@@ -138,6 +139,18 @@ impl FleetCommand {
             ondemand: 0,
             ondemand_pool: None,
             release: 0,
+        }
+    }
+
+    /// This command's telemetry mirror: the deltas summed over pools
+    /// (per-pool detail is recoverable from the grant/release events
+    /// that executing the command produces).
+    pub fn telemetry_event(&self) -> TelemetryEvent {
+        TelemetryEvent::FleetCommand {
+            spot: self.spot.iter().sum(),
+            cancel_spot: self.cancel_spot.iter().sum(),
+            ondemand: self.ondemand,
+            release: self.release,
         }
     }
 
@@ -464,6 +477,23 @@ impl FleetController {
                 let live = view.live_spot() + view.live_ondemand;
                 cmd.release = live.saturating_sub(desired_total);
             }
+        }
+        cmd
+    }
+
+    /// [`FleetController::command`], recording a
+    /// [`TelemetryEvent::FleetCommand`] into `sink` when the command is
+    /// not a noop. With [`telemetry::NoopSink`] this monomorphizes to
+    /// exactly `command` — the event is never even constructed.
+    pub fn command_traced<S: TelemetrySink>(
+        &self,
+        view: &FleetView,
+        now: SimTime,
+        sink: &mut S,
+    ) -> FleetCommand {
+        let cmd = self.command(view, now);
+        if S::ACTIVE && !cmd.is_noop() {
+            sink.record(now, cmd.telemetry_event());
         }
         cmd
     }
@@ -931,6 +961,36 @@ mod tests {
             },
             2,
         );
+    }
+
+    #[test]
+    fn command_traced_records_non_noop_commands_only() {
+        use telemetry::Recorder;
+        let c = ctl(FleetPolicy::OnDemandFallback, 1);
+        let mut rec = Recorder::enabled();
+        // Satisfied fleet: noop, nothing recorded.
+        let satisfied = FleetView {
+            pools: vec![pool(6, 8)],
+            target: 6,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command_traced(&satisfied, SimTime::ZERO, &mut rec);
+        assert!(cmd.is_noop() && rec.is_empty());
+        // Short fleet: the command and its event agree.
+        let short = FleetView {
+            pools: vec![pool(2, 8)],
+            target: 6,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command_traced(&short, SimTime::from_secs(9), &mut rec);
+        assert_eq!(cmd, c.command(&short, SimTime::from_secs(9)));
+        assert_eq!(rec.records().len(), 1);
+        assert_eq!(rec.records()[0].event, cmd.telemetry_event());
+        // The noop sink compiles the emission away entirely.
+        let via_noop = c.command_traced(&short, SimTime::from_secs(9), &mut telemetry::NoopSink);
+        assert_eq!(via_noop, cmd);
     }
 
     #[test]

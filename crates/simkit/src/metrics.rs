@@ -183,6 +183,46 @@ impl Sampler {
         Some(self.samples[rank - 1])
     }
 
+    /// Answers many quantile queries with a single sort.
+    ///
+    /// Appends one value per entry of `qs` (in `qs` order) to `out`,
+    /// each exactly what [`Sampler::quantile`] would return for that `q`.
+    /// An empty sampler appends nothing. `out` is *not* cleared, so a
+    /// caller can batch several samplers into one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `q` is outside `[0, 1]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use simkit::Sampler;
+    /// let mut s: Sampler = (1..=100).map(|i| i as f64).collect();
+    /// let mut row = Vec::new();
+    /// s.quantiles_into(&[0.5, 0.99, 1.0], &mut row);
+    /// assert_eq!(row, [50.0, 99.0, 100.0]);
+    /// ```
+    pub fn quantiles_into(&mut self, qs: &[f64], out: &mut Vec<f64>) {
+        for &q in qs {
+            assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        }
+        if self.samples.is_empty() {
+            return;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        out.reserve(qs.len());
+        out.extend(qs.iter().map(|&q| {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            self.samples[rank - 1]
+        }));
+    }
+
     /// Sample mean, or `None` if empty.
     pub fn mean(&self) -> Option<f64> {
         if self.samples.is_empty() {
@@ -320,6 +360,30 @@ mod tests {
         // Interleave: record after querying.
         s.record(0.5);
         assert_eq!(s.quantile(0.0), Some(0.5));
+    }
+
+    #[test]
+    fn quantiles_into_matches_single_queries() {
+        let mut s: Sampler = (0..997).map(|i| (i * 31 % 997) as f64).collect();
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0];
+        let mut batch = Vec::new();
+        s.quantiles_into(&qs, &mut batch);
+        let single: Vec<f64> = qs.iter().map(|&q| s.quantile(q).unwrap()).collect();
+        assert_eq!(batch, single);
+        // Appends without clearing, and an empty sampler appends nothing.
+        s.quantiles_into(&[0.5], &mut batch);
+        assert_eq!(batch.len(), qs.len() + 1);
+        let mut empty = Sampler::new();
+        let mut out = vec![7.0];
+        empty.quantiles_into(&[0.5, 0.9], &mut out);
+        assert_eq!(out, [7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantiles_into_rejects_out_of_range() {
+        let mut s: Sampler = [1.0, 2.0].into_iter().collect();
+        s.quantiles_into(&[0.5, 1.5], &mut Vec::new());
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! The typed telemetry vocabulary.
+//!
+//! Every observable state change in the serving stack is one
+//! [`TelemetryEvent`] variant. Fields are integers (microseconds,
+//! parts-per-million, integer cents, micro-USD) or `&'static str` SKU
+//! names so the JSONL rendering is exact and platform-stable — no float
+//! formatting can creep into the replay-gated byte stream.
+
+/// The checkpoint-triage verdict a transition committed under
+/// (grace-period triage, PR 7): how much of the transferable state was
+/// actually worth moving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TriageVerdict {
+    /// Full context migration: (nearly) all transferable bytes moved.
+    Full,
+    /// Partial migration: a fraction moved, the rest recomputed.
+    Partial,
+    /// Restart: moving state was not worth it; contexts were rebuilt.
+    Restart,
+}
+
+impl TriageVerdict {
+    /// Stable lowercase wire name used in the JSONL export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TriageVerdict::Full => "full",
+            TriageVerdict::Partial => "partial",
+            TriageVerdict::Restart => "restart",
+        }
+    }
+}
+
+/// One telemetry event, versioned as part of the stream format
+/// ([`crate::STREAM_VERSION`]).
+///
+/// Granularity contract: cloud/fleet/transition/decision events are
+/// emitted per occurrence (they are rare), engine state is emitted as
+/// *epoch-granular cumulative rollups* only — never per token or per
+/// request — so a million-request run produces a bounded stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TelemetryEvent {
+    /// The cloud leased us an instance (spot or on-demand), including
+    /// prewarmed instances that never appear in the event queue.
+    InstanceGrant {
+        /// Pool the lease belongs to.
+        pool: u32,
+        /// The leased instance.
+        instance: u64,
+        /// `true` for on-demand, `false` for spot.
+        ondemand: bool,
+    },
+    /// Ahead-of-time preemption notice: the grace period is running.
+    KillNotice {
+        /// Pool the instance belongs to.
+        pool: u32,
+        /// The instance being reclaimed.
+        instance: u64,
+        /// When the cloud will force-terminate it.
+        kill_at_us: u64,
+    },
+    /// The grace period elapsed; the instance is gone.
+    InstanceKill {
+        /// Pool the instance belonged to.
+        pool: u32,
+        /// The terminated instance.
+        instance: u64,
+    },
+    /// We voluntarily released a lease back to the cloud.
+    InstanceRelease {
+        /// Pool the instance belonged to.
+        pool: u32,
+        /// The released instance.
+        instance: u64,
+    },
+    /// The pool's spot market re-quoted.
+    PriceStep {
+        /// The re-priced pool.
+        pool: u32,
+        /// New spot price in cents per instance-hour.
+        cents_per_hour: u32,
+    },
+    /// The fleet controller issued a non-noop command (totals across
+    /// pools; per-pool detail is recoverable from the grant/release
+    /// events that follow).
+    FleetCommand {
+        /// Spot instances requested.
+        spot: u32,
+        /// Pending spot requests cancelled.
+        cancel_spot: u32,
+        /// On-demand instances requested.
+        ondemand: u32,
+        /// Instances released.
+        release: u32,
+    },
+    /// A migration/reparallelization transition was planned: the clock
+    /// is running against the grace deadline.
+    TransitionBegin {
+        /// Transition epoch (monotone per run).
+        epoch: u32,
+        /// The deadline the plan must beat, µs since sim start
+        /// (`u64::MAX` when unconstrained).
+        deadline_us: u64,
+    },
+    /// A transition committed: the new configuration is serving.
+    TransitionCommit {
+        /// Transition epoch.
+        epoch: u32,
+        /// Checkpoint-triage verdict the commit ran under.
+        verdict: TriageVerdict,
+        /// Fraction of transferable bytes migrated, parts per million.
+        fraction_ppm: u32,
+        /// Bytes moved over the network (model + KV).
+        migrated_bytes: u64,
+        /// Bytes re-read from checkpoint/disk instead of migrated.
+        reloaded_bytes: u64,
+        /// Serving pause the transition cost.
+        pause_us: u64,
+    },
+    /// A transition resolved to "halt serving" (no feasible config).
+    TransitionHalt {
+        /// Transition epoch.
+        epoch: u32,
+    },
+    /// Algorithm 1 decided a serving configuration `(SKU, C, B)`.
+    Decision {
+        /// SKU lane the decision picked.
+        sku: &'static str,
+        /// Data-parallel degree.
+        data: u32,
+        /// Pipeline-parallel degree.
+        pipe: u32,
+        /// Tensor/model-parallel degree.
+        tensor: u32,
+        /// Batch size.
+        batch: u32,
+        /// Whether the decision was answered from the memo.
+        memo_hit: bool,
+    },
+    /// Algorithm 1 decided no configuration is feasible.
+    DecisionHalt {
+        /// Whether the verdict was answered from the memo.
+        memo_hit: bool,
+    },
+    /// SLO admission rejected a request (the verdict surface of the
+    /// admission controller; admits/deferrals travel in the rollups).
+    SloRejection {
+        /// The rejected request id.
+        request: u64,
+    },
+    /// Epoch-granular engine rollup. All counters are *cumulative over
+    /// the run*; consumers difference adjacent rollups for windows.
+    EngineRollup {
+        /// Requests waiting in the global queue right now.
+        queue_depth: u32,
+        /// Requests resident in some pipeline's batch right now.
+        residents: u32,
+        /// Cumulative admission-verdict admits.
+        admitted: u64,
+        /// Cumulative admission-verdict deferrals.
+        deferrals: u64,
+        /// Cumulative admission-verdict rejections.
+        rejected: u64,
+        /// Cumulative requests fully served.
+        completed: u64,
+        /// Cumulative output tokens generated.
+        tokens: u64,
+    },
+    /// Epoch-granular spend rollup, one per pool. Cumulative micro-USD
+    /// (1e-6 USD) so the export stays integer-exact.
+    CostRollup {
+        /// The pool being billed.
+        pool: u32,
+        /// The pool's instance SKU.
+        sku: &'static str,
+        /// Cumulative spot spend, micro-USD.
+        spot_microusd: u64,
+        /// Cumulative on-demand spend, micro-USD.
+        ondemand_microusd: u64,
+    },
+}
+
+impl TelemetryEvent {
+    /// Stable lowercase wire name of the variant (the JSONL `"ev"` tag).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::InstanceGrant { .. } => "grant",
+            TelemetryEvent::KillNotice { .. } => "notice",
+            TelemetryEvent::InstanceKill { .. } => "kill",
+            TelemetryEvent::InstanceRelease { .. } => "release",
+            TelemetryEvent::PriceStep { .. } => "price",
+            TelemetryEvent::FleetCommand { .. } => "fleet",
+            TelemetryEvent::TransitionBegin { .. } => "tbegin",
+            TelemetryEvent::TransitionCommit { .. } => "tcommit",
+            TelemetryEvent::TransitionHalt { .. } => "thalt",
+            TelemetryEvent::Decision { .. } => "decide",
+            TelemetryEvent::DecisionHalt { .. } => "dhalt",
+            TelemetryEvent::SloRejection { .. } => "slorej",
+            TelemetryEvent::EngineRollup { .. } => "engine",
+            TelemetryEvent::CostRollup { .. } => "cost",
+        }
+    }
+}

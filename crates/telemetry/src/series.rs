@@ -1,0 +1,369 @@
+//! Rolling-window aggregation over a telemetry stream.
+//!
+//! [`TimeSeries`] turns the flat event stream into fixed-width windows
+//! of the quantities the figures (and the future operator console)
+//! plot: queue depth, SLO attainment, $/token, preemption rate. It
+//! reuses `simkit::metrics` — [`OnlineStats`] per window, a [`Sampler`]
+//! across the run — so per-shard series merge exactly the way latency
+//! reports already do.
+
+use simkit::metrics::{OnlineStats, Sampler};
+use simkit::SimDuration;
+
+use crate::event::TelemetryEvent;
+use crate::stream::TelemetryStream;
+
+/// Aggregates for one fixed-width window of simulated time.
+#[derive(Debug, Clone, Default)]
+pub struct WindowStats {
+    /// Window start, µs since sim start.
+    pub start_us: u64,
+    /// Instances granted in the window.
+    pub grants: u32,
+    /// Preemption notices received.
+    pub notices: u32,
+    /// Instances force-killed (preemptions landing).
+    pub kills: u32,
+    /// Instances voluntarily released.
+    pub releases: u32,
+    /// Spot-market re-quotes.
+    pub price_steps: u32,
+    /// Non-noop fleet commands issued.
+    pub fleet_commands: u32,
+    /// Transitions committed.
+    pub transitions: u32,
+    /// Bytes migrated by transitions committed in the window.
+    pub migrated_bytes: u64,
+    /// Bytes reloaded (not migrated) by those transitions.
+    pub reloaded_bytes: u64,
+    /// Queue depth observed at each engine rollup in the window.
+    pub queue_depth: OnlineStats,
+    /// Batch residents observed at each engine rollup.
+    pub residents: OnlineStats,
+    /// Requests completed in the window (rollup delta).
+    pub completed: u64,
+    /// Requests rejected by SLO admission in the window.
+    pub rejected: u64,
+    /// Output tokens generated in the window (rollup delta).
+    pub tokens: u64,
+    /// Spend in the window, micro-USD (cost-rollup delta, all pools).
+    pub cost_microusd: u64,
+    /// Live instances at window end (summed across shards on merge).
+    pub live_end: i64,
+}
+
+impl WindowStats {
+    /// Fraction of requests resolved in-SLO this window:
+    /// `completed / (completed + rejected)`, `None` if neither.
+    pub fn slo_attainment(&self) -> Option<f64> {
+        let denom = self.completed + self.rejected;
+        (denom > 0).then(|| self.completed as f64 / denom as f64)
+    }
+
+    /// Dollars per generated token this window, `None` if no tokens.
+    pub fn usd_per_token(&self) -> Option<f64> {
+        (self.tokens > 0).then(|| self.cost_microusd as f64 / 1e6 / self.tokens as f64)
+    }
+}
+
+/// A run's telemetry folded into fixed-width windows.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    window_us: u64,
+    /// The windows, contiguous from sim start.
+    pub windows: Vec<WindowStats>,
+    /// Every queue-depth observation in the run (for exact quantiles
+    /// via [`Sampler::quantiles_into`]).
+    pub queue_depth_samples: Sampler,
+}
+
+impl TimeSeries {
+    /// Folds `stream` into windows of width `window`.
+    ///
+    /// Cumulative rollup counters ([`TelemetryEvent::EngineRollup`],
+    /// [`TelemetryEvent::CostRollup`]) are differenced between
+    /// consecutive rollups, so each window holds the activity that
+    /// happened *in* it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn from_stream(stream: &TelemetryStream, window: SimDuration) -> Self {
+        assert!(window > SimDuration::ZERO, "window must be positive");
+        let window_us = window.as_micros();
+        let mut ts = TimeSeries {
+            window_us,
+            windows: Vec::new(),
+            queue_depth_samples: Sampler::new(),
+        };
+        let mut live: i64 = 0;
+        // Last cumulative engine counters seen (completed, tokens).
+        let mut last_completed: u64 = 0;
+        let mut last_tokens: u64 = 0;
+        // Last cumulative spend per pool, micro-USD.
+        let mut last_cost: Vec<u64> = Vec::new();
+        for r in stream.records() {
+            let idx = (r.time.as_micros() / window_us) as usize;
+            while ts.windows.len() <= idx {
+                ts.windows.push(WindowStats {
+                    start_us: ts.windows.len() as u64 * window_us,
+                    live_end: live,
+                    ..WindowStats::default()
+                });
+            }
+            let w = &mut ts.windows[idx];
+            match r.event {
+                TelemetryEvent::InstanceGrant { .. } => {
+                    w.grants += 1;
+                    live += 1;
+                }
+                TelemetryEvent::KillNotice { .. } => w.notices += 1,
+                TelemetryEvent::InstanceKill { .. } => {
+                    w.kills += 1;
+                    live -= 1;
+                }
+                TelemetryEvent::InstanceRelease { .. } => {
+                    w.releases += 1;
+                    live -= 1;
+                }
+                TelemetryEvent::PriceStep { .. } => w.price_steps += 1,
+                TelemetryEvent::FleetCommand { .. } => w.fleet_commands += 1,
+                TelemetryEvent::TransitionCommit {
+                    migrated_bytes,
+                    reloaded_bytes,
+                    ..
+                } => {
+                    w.transitions += 1;
+                    w.migrated_bytes += migrated_bytes;
+                    w.reloaded_bytes += reloaded_bytes;
+                }
+                TelemetryEvent::SloRejection { .. } => w.rejected += 1,
+                TelemetryEvent::EngineRollup {
+                    queue_depth,
+                    residents,
+                    completed,
+                    tokens,
+                    ..
+                } => {
+                    w.queue_depth.record(queue_depth as f64);
+                    w.residents.record(residents as f64);
+                    ts.queue_depth_samples.record(queue_depth as f64);
+                    w.completed += completed.saturating_sub(last_completed);
+                    w.tokens += tokens.saturating_sub(last_tokens);
+                    last_completed = completed;
+                    last_tokens = tokens;
+                }
+                TelemetryEvent::CostRollup {
+                    pool,
+                    spot_microusd,
+                    ondemand_microusd,
+                    ..
+                } => {
+                    let pool = pool as usize;
+                    if last_cost.len() <= pool {
+                        last_cost.resize(pool + 1, 0);
+                    }
+                    let cum = spot_microusd + ondemand_microusd;
+                    w.cost_microusd += cum.saturating_sub(last_cost[pool]);
+                    last_cost[pool] = cum;
+                }
+                TelemetryEvent::TransitionBegin { .. }
+                | TelemetryEvent::TransitionHalt { .. }
+                | TelemetryEvent::Decision { .. }
+                | TelemetryEvent::DecisionHalt { .. } => {}
+            }
+            ts.windows[idx].live_end = live;
+        }
+        ts
+    }
+
+    /// Window width in simulated microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+
+    /// Folds another series (same window width) into this one, window
+    /// by window — the per-shard aggregation path. Additive counters
+    /// sum, [`OnlineStats`] merge via Chan's method, the queue-depth
+    /// [`Sampler`] keeps the exact union multiset, and `live_end` sums
+    /// (shards own disjoint pools).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window widths differ.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.window_us, other.window_us,
+            "cannot merge series with different windows"
+        );
+        if self.windows.len() < other.windows.len() {
+            // Extend with empty windows carrying our final live count.
+            let live = self.windows.last().map_or(0, |w| w.live_end);
+            while self.windows.len() < other.windows.len() {
+                self.windows.push(WindowStats {
+                    start_us: self.windows.len() as u64 * self.window_us,
+                    live_end: live,
+                    ..WindowStats::default()
+                });
+            }
+        }
+        let other_live = other.windows.last().map_or(0, |w| w.live_end);
+        for (i, mine) in self.windows.iter_mut().enumerate() {
+            let theirs = other.windows.get(i);
+            if let Some(o) = theirs {
+                mine.grants += o.grants;
+                mine.notices += o.notices;
+                mine.kills += o.kills;
+                mine.releases += o.releases;
+                mine.price_steps += o.price_steps;
+                mine.fleet_commands += o.fleet_commands;
+                mine.transitions += o.transitions;
+                mine.migrated_bytes += o.migrated_bytes;
+                mine.reloaded_bytes += o.reloaded_bytes;
+                mine.queue_depth.merge(&o.queue_depth);
+                mine.residents.merge(&o.residents);
+                mine.completed += o.completed;
+                mine.rejected += o.rejected;
+                mine.tokens += o.tokens;
+                mine.cost_microusd += o.cost_microusd;
+                mine.live_end += o.live_end;
+            } else {
+                // Past other's horizon its live count stays final.
+                mine.live_end += other_live;
+            }
+        }
+        self.queue_depth_samples.merge(&other.queue_depth_samples);
+    }
+
+    /// Exact queue-depth quantiles over the whole run, one per entry of
+    /// `qs` (single sort — [`Sampler::quantiles_into`]). Appends
+    /// nothing if the stream carried no engine rollups.
+    pub fn queue_depth_quantiles(&mut self, qs: &[f64], out: &mut Vec<f64>) {
+        self.queue_depth_samples.quantiles_into(qs, out);
+    }
+
+    /// Preemption kills per simulated hour, averaged over the run.
+    pub fn preemption_rate_per_hour(&self) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        let kills: u64 = self.windows.iter().map(|w| w.kills as u64).sum();
+        let hours = (self.windows.len() as u64 * self.window_us) as f64 / 3.6e9;
+        kills as f64 / hours
+    }
+
+    /// Total spend across all windows, USD.
+    pub fn total_cost_usd(&self) -> f64 {
+        self.windows.iter().map(|w| w.cost_microusd).sum::<u64>() as f64 / 1e6
+    }
+
+    /// Total tokens across all windows.
+    pub fn total_tokens(&self) -> u64 {
+        self.windows.iter().map(|w| w.tokens).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use simkit::SimTime;
+
+    fn rec(t_secs: u64, seq: u64, event: TelemetryEvent) -> Record {
+        Record {
+            time: SimTime::from_secs(t_secs),
+            seq,
+            event,
+        }
+    }
+
+    fn rollup(completed: u64, tokens: u64, queue: u32) -> TelemetryEvent {
+        TelemetryEvent::EngineRollup {
+            queue_depth: queue,
+            residents: 4,
+            admitted: completed,
+            deferrals: 0,
+            rejected: 0,
+            completed,
+            tokens,
+        }
+    }
+
+    #[test]
+    fn windows_difference_cumulative_rollups() {
+        let evs = vec![
+            rec(10, 0, rollup(5, 100, 2)),
+            rec(70, 1, rollup(9, 260, 6)),
+            rec(130, 2, rollup(9, 300, 0)),
+        ];
+        let s = TelemetryStream::from_sources(vec![evs]);
+        let ts = TimeSeries::from_stream(&s, SimDuration::from_secs(60));
+        assert_eq!(ts.windows.len(), 3);
+        assert_eq!(ts.windows[0].completed, 5);
+        assert_eq!(ts.windows[1].completed, 4);
+        assert_eq!(ts.windows[2].completed, 0);
+        assert_eq!(ts.windows[1].tokens, 160);
+        assert_eq!(ts.windows[1].queue_depth.count(), 1);
+        assert_eq!(ts.total_tokens(), 300);
+    }
+
+    #[test]
+    fn live_count_carries_across_empty_windows() {
+        let evs = vec![
+            rec(
+                0,
+                0,
+                TelemetryEvent::InstanceGrant {
+                    pool: 0,
+                    instance: 0,
+                    ondemand: false,
+                },
+            ),
+            rec(
+                200,
+                1,
+                TelemetryEvent::InstanceKill {
+                    pool: 0,
+                    instance: 0,
+                },
+            ),
+        ];
+        let s = TelemetryStream::from_sources(vec![evs]);
+        let ts = TimeSeries::from_stream(&s, SimDuration::from_secs(60));
+        assert_eq!(ts.windows.len(), 4);
+        assert_eq!(ts.windows[0].live_end, 1);
+        assert_eq!(ts.windows[1].live_end, 1, "gap window carries live");
+        assert_eq!(ts.windows[2].live_end, 1);
+        assert_eq!(ts.windows[3].live_end, 0);
+    }
+
+    #[test]
+    fn merge_sums_and_preserves_quantiles() {
+        let a = TelemetryStream::from_sources(vec![vec![rec(1, 0, rollup(3, 30, 2))]]);
+        let b = TelemetryStream::from_sources(vec![vec![
+            rec(1, 0, rollup(5, 50, 8)),
+            rec(61, 1, rollup(6, 60, 4)),
+        ]]);
+        let mut ta = TimeSeries::from_stream(&a, SimDuration::from_secs(60));
+        let tb = TimeSeries::from_stream(&b, SimDuration::from_secs(60));
+        ta.merge(&tb);
+        assert_eq!(ta.windows.len(), 2);
+        assert_eq!(ta.windows[0].completed, 8);
+        assert_eq!(ta.windows[1].completed, 1);
+        let mut qs = Vec::new();
+        ta.queue_depth_quantiles(&[0.0, 1.0], &mut qs);
+        assert_eq!(qs, [2.0, 8.0]);
+    }
+
+    #[test]
+    fn slo_attainment_counts_rejections() {
+        let evs = vec![
+            rec(5, 0, TelemetryEvent::SloRejection { request: 1 }),
+            rec(10, 1, rollup(3, 90, 0)),
+        ];
+        let s = TelemetryStream::from_sources(vec![evs]);
+        let ts = TimeSeries::from_stream(&s, SimDuration::from_secs(60));
+        assert_eq!(ts.windows[0].slo_attainment(), Some(0.75));
+        assert_eq!(ts.windows[0].usd_per_token(), Some(0.0));
+    }
+}

@@ -13,4 +13,5 @@ pub use migration;
 pub use parallelism;
 pub use simkit;
 pub use spotserve;
+pub use telemetry;
 pub use workload;

@@ -445,6 +445,53 @@ fn sharded_replay_replays_byte_identical() {
 }
 
 #[test]
+fn telemetry_does_not_perturb_canonical_bytes() {
+    // Observation must be free at the answer level: a run built with the
+    // telemetry spine enabled renders the exact same canonical bytes as
+    // the same run with the no-op recorder. (The stream itself is
+    // deliberately outside the canonical form — it has its own digest.)
+    let off = replay(SystemOptions::spotserve(), 61);
+    let on = replay(SystemOptions::spotserve().with_telemetry(), 61);
+    assert!(!off.is_empty());
+    assert_eq!(off, on, "telemetry may never change the canonical output");
+}
+
+/// The telemetry-on JSONL rendering of the gate scenario.
+fn replay_jsonl(seed: u64) -> String {
+    let mut scenario = Scenario::paper_stable(
+        ModelSpec::gpt_20b(),
+        AvailabilityTrace::paper_bs(),
+        0.35,
+        seed,
+    );
+    scenario
+        .requests
+        .retain(|r| r.arrival < SimTime::from_secs(600));
+    let mut report =
+        ServingSystem::new(SystemOptions::spotserve().with_telemetry(), scenario).run();
+    report
+        .telemetry
+        .take()
+        .expect("run built with telemetry")
+        .to_jsonl()
+}
+
+#[test]
+fn telemetry_jsonl_replays_byte_identical() {
+    // The exported stream is part of the replay contract: same seed, same
+    // JSONL bytes — header, record order, every integer field.
+    let a = replay_jsonl(67);
+    let b = replay_jsonl(67);
+    let header = a.lines().next().expect("stream has a header line");
+    assert!(
+        header.contains(r#""stream":"spotserve.telemetry""#),
+        "header line identifies the stream: {header}"
+    );
+    assert!(a.lines().count() > 1, "stream carries records");
+    assert_eq!(a, b, "telemetry JSONL must replay byte-identical");
+}
+
+#[test]
 fn different_seeds_actually_differ() {
     // Guards the gate itself: if `canonical` ever collapsed to a constant,
     // the identity assertions above would be vacuous.

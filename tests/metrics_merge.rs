@@ -67,6 +67,43 @@ proptest! {
     }
 
     #[test]
+    fn batched_quantiles_match_single_queries(
+        samples in proptest::collection::vec(-1.0e6f64..1.0e6, 256),
+        n in 1usize..=256,
+        mut qs in proptest::collection::vec(0.0f64..1.0, 10),
+    ) {
+        // The batched path shares one sort with the single-query path, so
+        // every returned value must be bitwise identical to quantile(q) —
+        // including after a merge, which unsorts the storage. The closed
+        // endpoints ride along explicitly (the generator range is half-open).
+        qs.push(0.0);
+        qs.push(1.0);
+        let mut s: Sampler = samples[..n].iter().copied().collect();
+        let mut batch = Vec::new();
+        s.quantiles_into(&qs, &mut batch);
+        prop_assert_eq!(batch.len(), qs.len());
+        for (&q, &v) in qs.iter().zip(&batch) {
+            prop_assert_eq!(
+                Some(v.to_bits()),
+                s.quantile(q).map(f64::to_bits),
+                "batched quantile {} diverged", q
+            );
+        }
+
+        let extra: Sampler = samples[..n].iter().map(|x| x * 0.5).collect();
+        s.merge(&extra);
+        let mut after = Vec::new();
+        s.quantiles_into(&qs, &mut after);
+        for (&q, &v) in qs.iter().zip(&after) {
+            prop_assert_eq!(
+                Some(v.to_bits()),
+                s.quantile(q).map(f64::to_bits),
+                "post-merge batched quantile {} diverged", q
+            );
+        }
+    }
+
+    #[test]
     fn merge_with_empty_is_identity(
         samples in proptest::collection::vec(0.0f64..100.0, 32),
     ) {
