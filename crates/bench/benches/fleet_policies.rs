@@ -17,6 +17,7 @@ fn controller_view(pools: usize) -> FleetView {
                 provisioning_spot: (i % 2) as u32,
                 queued_spot: 0,
                 noticed_spot: 0,
+                lapsed_spot: 0,
                 capacity: 4 + (i % 5) as u32,
                 caps: PoolCaps {
                     sku: "g4dn.12xlarge",

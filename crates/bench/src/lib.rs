@@ -12,12 +12,13 @@
 //! | `fig9`   | Figure 9: component ablation on GPT-20B |
 //! | `fig_fleet` | Fleet policies: availability + cost split under a zone outage (beyond-paper) |
 //! | `fig_hetero` | Heterogeneous SKUs: A100 collapse → L4/H100 recovery, per-policy cost (beyond-paper) |
+//! | `fig_chaos` | Chaos pack: per-policy SLO attainment / cost / loss vs fault intensity, auditor-verified (beyond-paper) |
 //!
 //! The criterion benches (`benches/`) cover the paper's systems claims:
 //! the online optimizer runs in well under a second (§3.2), KM mapping is
 //! fast at fleet scale (§3.3), and migration planning is cheap (§3.4).
 
-use cloudsim::{AvailabilityTrace, InstanceType, PoolSpec, PriceModel, PriceTrace};
+use cloudsim::{AvailabilityTrace, FaultSpec, InstanceType, PoolSpec, PriceModel, PriceTrace};
 use llmsim::ModelSpec;
 use simkit::metrics::Percentiles;
 use simkit::{SimDuration, SimTime};
@@ -212,6 +213,66 @@ pub fn price_spike_scenario(seed: u64) -> Scenario {
     scenario
         .requests
         .retain(|r| r.arrival < SimTime::from_secs(900));
+    workload::apply_slo(&mut scenario.requests, SimDuration::from_secs(900));
+    scenario
+}
+
+/// The acquisition policies compared on the chaos pack: the single-market
+/// reactive baseline (which stalls when its pool degrades), the
+/// price-blind hedge, and the $/token optimizer — both hedged policies
+/// carry the retry/backoff/escalation machinery.
+pub fn chaos_policy_ladder() -> Vec<(&'static str, FleetPolicy)> {
+    vec![
+        ("ReactiveSpot", FleetPolicy::ReactiveSpot),
+        ("SpotHedge", FleetPolicy::spot_hedge()),
+        ("CostPerToken", FleetPolicy::cost_per_token()),
+    ]
+}
+
+/// The intensity the CI gate pins: high enough that every fault channel
+/// fires, low enough that a hedged policy recovers with zero loss.
+pub const STANDARD_CHAOS_INTENSITY: f64 = 0.6;
+
+/// The chaos-pack scenario behind `fig_chaos`: the pinned zone outage
+/// (`z0` collapses at t = 300 s, recovers at t = 600 s) with the
+/// [`FaultSpec::pack`] layered on top at `intensity` — unannounced kills,
+/// lost and truncated notices, lapsed grants, and a degraded link on
+/// `z0`; `z1`/`z2` run a half-intensity pack so the survivors churn too.
+/// OPT-6.7B at 1 req/s for 480 s of arrivals, every request carrying a
+/// 900 s SLO. At `intensity = 0`, the packs are all-off (`calm`) and the
+/// scenario degenerates to the plain scripted outage.
+pub fn chaos_pack_scenario(intensity: f64, seed: u64) -> Scenario {
+    let pack = |scale: f64| {
+        let i = intensity * scale;
+        if i > 0.0 {
+            FaultSpec::pack(i)
+        } else {
+            FaultSpec::calm()
+        }
+    };
+    let pools = vec![
+        PoolSpec::new(
+            "z0",
+            AvailabilityTrace::from_steps(vec![
+                (SimTime::ZERO, 6),
+                (SimTime::from_secs(300), 0),
+                (SimTime::from_secs(600), 6),
+            ]),
+        )
+        .with_faults(pack(1.0)),
+        PoolSpec::new("z1", AvailabilityTrace::constant(4)).with_faults(pack(0.5)),
+        PoolSpec::new("z2", AvailabilityTrace::constant(4)).with_faults(pack(0.5)),
+    ];
+    let mut scenario = Scenario::paper_stable(
+        ModelSpec::opt_6_7b(),
+        AvailabilityTrace::constant(0), // unused once pools are set
+        1.0,
+        seed,
+    )
+    .with_pools(pools);
+    scenario
+        .requests
+        .retain(|r| r.arrival < SimTime::from_secs(480));
     workload::apply_slo(&mut scenario.requests, SimDuration::from_secs(900));
     scenario
 }

@@ -2,7 +2,7 @@
 
 use simkit::SimTime;
 
-use crate::instance::InstanceId;
+use crate::instance::{InstanceId, InstanceKind};
 use crate::pool::PoolId;
 
 /// Notifications produced by [`CloudSim`](crate::CloudSim).
@@ -47,20 +47,39 @@ pub enum CloudEvent {
         /// integer quote a controller's pool capability card carries).
         cents_per_hour: u32,
     },
+    /// The instance died **without a notice**: an unannounced kill (or a
+    /// preemption whose notice was lost). There was no grace period — any
+    /// context held only on this instance is gone.
+    InstanceFailed {
+        /// The dead instance.
+        id: InstanceId,
+    },
+    /// A previously scheduled grant will never fire: the launch failed
+    /// (capacity shed an in-flight request) or the grant lapsed under
+    /// fault injection. The capacity the controller was counting on is
+    /// *not* coming — it must re-request or escalate.
+    RequestLapsed {
+        /// The pool whose request was lost.
+        pool: PoolId,
+        /// The billing kind of the lost request.
+        kind: InstanceKind,
+    },
 }
 
 impl CloudEvent {
-    /// The instance this event concerns, if any ([`SpotPriceStep`]
-    /// events concern a whole pool, not one lease).
+    /// The instance this event concerns, if any ([`SpotPriceStep`] and
+    /// [`RequestLapsed`] events concern a whole pool, not one lease).
     ///
     /// [`SpotPriceStep`]: CloudEvent::SpotPriceStep
+    /// [`RequestLapsed`]: CloudEvent::RequestLapsed
     pub fn instance(&self) -> Option<InstanceId> {
         match *self {
             CloudEvent::SpotGranted { id }
             | CloudEvent::OnDemandGranted { id }
             | CloudEvent::PreemptionNotice { id, .. }
-            | CloudEvent::Preempted { id } => Some(id),
-            CloudEvent::SpotPriceStep { .. } => None,
+            | CloudEvent::Preempted { id }
+            | CloudEvent::InstanceFailed { id } => Some(id),
+            CloudEvent::SpotPriceStep { .. } | CloudEvent::RequestLapsed { .. } => None,
         }
     }
 }
@@ -80,6 +99,7 @@ mod tests {
                 kill_at: SimTime::from_secs(30),
             },
             CloudEvent::Preempted { id },
+            CloudEvent::InstanceFailed { id },
         ];
         assert!(evs.iter().all(|e| e.instance() == Some(id)));
         let quote = CloudEvent::SpotPriceStep {
@@ -87,5 +107,10 @@ mod tests {
             cents_per_hour: 630,
         };
         assert_eq!(quote.instance(), None, "a re-quote names no lease");
+        let lapse = CloudEvent::RequestLapsed {
+            pool: PoolId(1),
+            kind: InstanceKind::Spot,
+        };
+        assert_eq!(lapse.instance(), None, "a lapse never got a lease");
     }
 }

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod events;
+pub mod faults;
 pub mod gpu;
 pub mod instance;
 pub mod market;
@@ -43,6 +44,7 @@ pub mod storage;
 pub mod trace;
 
 pub use events::CloudEvent;
+pub use faults::{DegradedLink, FaultSpec};
 pub use gpu::GpuSpec;
 pub use instance::{GpuRef, InstanceId, InstanceKind, InstanceType};
 pub use market::{CloudMarket, CostBreakdown, PoolCost};

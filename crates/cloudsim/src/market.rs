@@ -135,12 +135,13 @@ impl CloudMarket {
                 if let Some(p) = spec.price.as_ref().and_then(PriceModel::constant_price) {
                     cfg.instance_type.spot_price_per_hour = p;
                 }
-                CloudSim::for_pool_priced(
+                CloudSim::for_pool_faulted(
                     cfg,
                     spec.trace.clone(),
                     seed,
                     PoolId(i as u32),
                     spec.price.as_ref(),
+                    spec.faults.as_ref(),
                 )
             })
             .collect();
@@ -197,6 +198,14 @@ impl CloudMarket {
             } => TelemetryEvent::PriceStep {
                 pool: pool.0,
                 cents_per_hour,
+            },
+            CloudEvent::InstanceFailed { id } => TelemetryEvent::Fault {
+                pool: PoolId::of_instance(id).0,
+                instance: id.0,
+            },
+            CloudEvent::RequestLapsed { pool, kind } => TelemetryEvent::RequestLapsed {
+                pool: pool.0,
+                ondemand: kind == InstanceKind::OnDemand,
             },
         };
         self.telemetry.emit(t, tev);
@@ -285,6 +294,19 @@ impl CloudMarket {
     /// SKU's list price; for priced pools it reads the pre-drawn path.
     pub fn spot_price_in(&self, pool: PoolId, t: SimTime) -> f64 {
         self.pool(pool).spot_price_at(t)
+    }
+
+    /// Cumulative spot requests in `pool` that will never be granted
+    /// (launch failures plus injected grant lapses). The controller's
+    /// shortfall signal — see [`CloudEvent::RequestLapsed`].
+    pub fn lapsed_spot_in(&self, pool: PoolId) -> u32 {
+        self.pool(pool).lapsed_spot()
+    }
+
+    /// The effective transfer-bandwidth multiplier of `pool` at `t`
+    /// (`1.0` unless a degraded-link fault window is in force).
+    pub fn bandwidth_factor_in(&self, pool: PoolId, t: SimTime) -> f64 {
+        self.pool(pool).bandwidth_factor_at(t)
     }
 
     /// Requests `n` on-demand instances *of `pool`'s SKU* at `now` (billed

@@ -12,6 +12,7 @@
 
 use simkit::SimDuration;
 
+use crate::faults::FaultSpec;
 use crate::instance::{InstanceId, InstanceType};
 use crate::price::PriceModel;
 use crate::trace::AvailabilityTrace;
@@ -72,6 +73,10 @@ pub struct PoolSpec {
     /// type). Real spot markets are heterogeneous: the pool where capacity
     /// reappears after a preemption is rarely the SKU that was lost.
     pub instance_type: Option<InstanceType>,
+    /// Adversarial fault injection for this pool (`None` = the polite
+    /// cloud: every kill is noticed, every grant fires, links run at
+    /// list bandwidth). See [`FaultSpec`] for the taxonomy.
+    pub faults: Option<FaultSpec>,
 }
 
 impl PoolSpec {
@@ -84,6 +89,7 @@ impl PoolSpec {
             spot_grant_delay: None,
             price: None,
             instance_type: None,
+            faults: None,
         }
     }
 
@@ -122,6 +128,22 @@ impl PoolSpec {
         self.instance_type = Some(ty);
         self
     }
+
+    /// Turns on deterministic fault injection for this pool.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cloudsim::{AvailabilityTrace, FaultSpec, PoolSpec};
+    ///
+    /// let pool = PoolSpec::new("chaos", AvailabilityTrace::constant(4))
+    ///     .with_faults(FaultSpec::pack(0.5));
+    /// assert!(pool.faults.unwrap().is_active());
+    /// ```
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +171,7 @@ mod tests {
         assert_eq!(p.spot_grant_delay, None);
         assert_eq!(p.price, None);
         assert_eq!(p.instance_type, None);
+        assert_eq!(p.faults, None);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use simkit::event::EventKey;
 use simkit::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::events::CloudEvent;
+use crate::faults::{FaultPlan, FaultSpec, NoticeFate};
 use crate::instance::{InstanceId, InstanceKind, InstanceType};
 use crate::price::PriceModel;
 use crate::pricing::BillingMeter;
@@ -71,6 +72,9 @@ enum Internal {
     GrantSpot,
     GrantOnDemand,
     Kill(InstanceId),
+    /// One pre-drawn unannounced-kill attempt (index into the fault
+    /// plan's schedule; a no-op when the pool holds no live spot lease).
+    FaultKill(usize),
 }
 
 /// Deterministic simulation of the spot/on-demand lease lifecycle.
@@ -111,6 +115,13 @@ pub struct CloudSim {
     /// Which pool of a multi-pool market this provider is (pool 0 for the
     /// single-market form); stamped on pool-scoped events like re-quotes.
     pool: crate::PoolId,
+    /// The pool's fault-injection plan; `None` (the default) injects
+    /// nothing and draws nothing — faults-off replays stay byte-identical.
+    faults: Option<FaultPlan>,
+    /// Spot requests that will never be granted: launch failures on a
+    /// capacity shed plus fault-injected grant lapses. Cumulative, so the
+    /// controller's view can surface the shortfall.
+    lapsed_spot: u32,
 }
 
 impl CloudSim {
@@ -145,6 +156,22 @@ impl CloudSim {
         seed: u64,
         pool: crate::PoolId,
         price: Option<&PriceModel>,
+    ) -> Self {
+        CloudSim::for_pool_faulted(cfg, trace, seed, pool, price, None)
+    }
+
+    /// [`CloudSim::for_pool_priced`] with a fault-injection spec. `None`
+    /// builds no plan and draws nothing — byte-identical to the pre-chaos
+    /// provider; a spec pre-draws its unannounced-kill schedule from the
+    /// pool's own `"faults"` stream (see [`crate::faults`]) and arms the
+    /// notice-loss / grant-lapse / degraded-link channels.
+    pub fn for_pool_faulted(
+        cfg: CloudConfig,
+        trace: AvailabilityTrace,
+        seed: u64,
+        pool: crate::PoolId,
+        price: Option<&PriceModel>,
+        faults: Option<&FaultSpec>,
     ) -> Self {
         let mut meter = BillingMeter::new(cfg.instance_type.clone());
         let mut internal = EventQueue::new();
@@ -186,6 +213,13 @@ impl CloudSim {
             }
             _ => (Vec::new(), Vec::new(), None),
         };
+        let faults = faults.map(|spec| {
+            let plan = FaultPlan::draw(spec, seed, pool);
+            for (i, &t) in plan.kill_times().iter().enumerate() {
+                internal.schedule(t, Internal::FaultKill(i));
+            }
+            plan
+        });
         CloudSim {
             cfg,
             trace,
@@ -204,6 +238,8 @@ impl CloudSim {
             price_kill_probs,
             price_rng,
             pool,
+            faults,
+            lapsed_spot: 0,
         }
     }
 
@@ -253,6 +289,23 @@ impl CloudSim {
     /// On-demand requests whose grant has not fired yet.
     pub fn pending_on_demand(&self) -> u32 {
         self.pending_on_demand
+    }
+
+    /// Spot requests lost for good so far: launch failures on capacity
+    /// sheds plus fault-injected grant lapses. Each one was also surfaced
+    /// as a [`CloudEvent::RequestLapsed`].
+    pub fn lapsed_spot(&self) -> u32 {
+        self.lapsed_spot
+    }
+
+    /// The pool's effective transfer-bandwidth multiplier at `t`: below
+    /// `1.0` inside a fault-injected degraded-link window, exactly `1.0`
+    /// otherwise. A pure lookup into the scripted windows — never depends
+    /// on event-processing progress.
+    pub fn bandwidth_factor_at(&self, t: SimTime) -> f64 {
+        self.faults
+            .as_ref()
+            .map_or(1.0, |p| p.bandwidth_factor_at(t))
     }
 
     /// Spot leases counted against capacity: live without a pending kill,
@@ -360,7 +413,11 @@ impl CloudSim {
         while self.spot_usage() > self.capacity {
             if let Some(key) = self.inflight_spot.pop_back() {
                 self.internal.cancel(key);
-                // The request is lost, not re-queued: a real launch failure.
+                // The request is lost, not re-queued: a real launch
+                // failure — surfaced as a lapse so the controller can
+                // re-request instead of waiting on a grant that will
+                // never arrive.
+                self.note_lapse(t);
                 continue;
             }
             let mut candidates: Vec<InstanceId> = self
@@ -374,19 +431,7 @@ impl CloudSim {
                 .rng
                 .choose(&candidates)
                 .expect("spot_usage > 0 implies a candidate");
-            let kill_at = t + self.cfg.grace_period;
-            self.active
-                .get_mut(&victim)
-                .expect("victim is active")
-                .kill_at = Some(kill_at);
-            self.internal.schedule(kill_at, Internal::Kill(victim));
-            self.out.push_back((
-                t,
-                CloudEvent::PreemptionNotice {
-                    id: victim,
-                    kill_at,
-                },
-            ));
+            self.issue_preemption(t, victim);
         }
         // Freed capacity admits queued requests.
         self.try_start_spot_grants(t);
@@ -428,7 +473,28 @@ impl CloudSim {
         let Some(&victim) = rng.choose(&candidates) else {
             return;
         };
-        let kill_at = t + self.cfg.grace_period;
+        self.issue_preemption(t, victim);
+    }
+
+    /// Preempts `victim` at `t`, consulting the fault plan for the
+    /// notice's fate: delivered with full grace (always, without a plan),
+    /// delivered late with a truncated grace budget, or lost outright —
+    /// in which case the kill fires *now* as an unannounced
+    /// [`CloudEvent::InstanceFailed`].
+    fn issue_preemption(&mut self, t: SimTime, victim: InstanceId) {
+        let fate = match self.faults.as_mut() {
+            Some(plan) => plan.notice_fate(self.cfg.grace_period),
+            None => NoticeFate::Delivered,
+        };
+        let grace = match fate {
+            NoticeFate::Lost => {
+                self.fail_instance(t, victim);
+                return;
+            }
+            NoticeFate::Truncated(left) => left,
+            NoticeFate::Delivered => self.cfg.grace_period,
+        };
+        let kill_at = t + grace;
         self.active
             .get_mut(&victim)
             .expect("victim is active")
@@ -439,6 +505,30 @@ impl CloudSim {
             CloudEvent::PreemptionNotice {
                 id: victim,
                 kill_at,
+            },
+        ));
+    }
+
+    /// Kills `victim` with zero grace: the lease ends immediately and the
+    /// death surfaces as [`CloudEvent::InstanceFailed`]. Any stale
+    /// scheduled [`Internal::Kill`] for the id becomes a no-op.
+    fn fail_instance(&mut self, t: SimTime, victim: InstanceId) {
+        self.active.remove(&victim).expect("victim is active");
+        self.meter.lease_ended(victim, t);
+        self.out
+            .push_back((t, CloudEvent::InstanceFailed { id: victim }));
+        self.try_start_spot_grants(t);
+    }
+
+    /// Records one lost spot request and surfaces it as a
+    /// [`CloudEvent::RequestLapsed`].
+    fn note_lapse(&mut self, t: SimTime) {
+        self.lapsed_spot += 1;
+        self.out.push_back((
+            t,
+            CloudEvent::RequestLapsed {
+                pool: self.pool,
+                kind: InstanceKind::Spot,
             },
         ));
     }
@@ -469,7 +559,18 @@ impl CloudSim {
             Internal::PriceStep(idx) => self.apply_price_step(t, idx),
             Internal::GrantSpot => {
                 self.inflight_spot.pop_front();
-                self.grant(t, InstanceKind::Spot);
+                let lapses = match self.faults.as_mut() {
+                    Some(plan) => plan.grant_lapses(),
+                    None => false,
+                };
+                if lapses {
+                    // The grant lapses: the slot frees, no instance ever
+                    // appears, and the loss is visible to the controller.
+                    self.note_lapse(t);
+                    self.try_start_spot_grants(t);
+                } else {
+                    self.grant(t, InstanceKind::Spot);
+                }
             }
             Internal::GrantOnDemand => {
                 self.pending_on_demand = self.pending_on_demand.saturating_sub(1);
@@ -480,6 +581,26 @@ impl CloudSim {
                     self.meter.lease_ended(id, t);
                     self.out.push_back((t, CloudEvent::Preempted { id }));
                     self.try_start_spot_grants(t);
+                }
+            }
+            Internal::FaultKill(_) => {
+                // Unannounced kills may hit *any* live spot lease — even
+                // one already inside a grace period (its stale scheduled
+                // kill then no-ops).
+                let mut candidates: Vec<InstanceId> = self
+                    .active
+                    .values()
+                    .filter(|i| i.kind == InstanceKind::Spot)
+                    .map(|i| i.id)
+                    .collect();
+                candidates.sort_unstable();
+                let victim = self
+                    .faults
+                    .as_mut()
+                    .expect("fault events imply a plan")
+                    .pick_victim(&candidates);
+                if let Some(victim) = victim {
+                    self.fail_instance(t, victim);
                 }
             }
         }
@@ -637,14 +758,27 @@ mod tests {
 
     #[test]
     fn inflight_grants_cancelled_on_capacity_drop() {
-        // Capacity drops at t=10, before the t=40 grant fires.
+        // Capacity drops at t=10, before the t=40 grant fires. The
+        // launches fail — but visibly: each cancelled in-flight request
+        // surfaces as a `RequestLapsed` at the drop.
         let trace =
             AvailabilityTrace::from_steps(vec![(SimTime::ZERO, 2), (SimTime::from_secs(10), 0)]);
         let mut cloud = sim(trace);
         cloud.request_spot(SimTime::ZERO, 2);
         let evs = drain(&mut cloud);
-        assert!(evs.is_empty(), "launches failed silently: {evs:?}");
+        assert_eq!(evs.len(), 2, "both launch failures surface: {evs:?}");
+        for (t, ev) in &evs {
+            assert_eq!(*t, SimTime::from_secs(10));
+            assert_eq!(
+                *ev,
+                CloudEvent::RequestLapsed {
+                    pool: crate::PoolId(0),
+                    kind: InstanceKind::Spot,
+                }
+            );
+        }
         assert_eq!(cloud.live_count(InstanceKind::Spot), 0);
+        assert_eq!(cloud.lapsed_spot(), 2);
     }
 
     #[test]
@@ -801,6 +935,174 @@ mod tests {
                 assert_eq!(*kill_at, *t + SimDuration::from_secs(30), "grace period");
             }
         }
+    }
+
+    fn faulted(trace: AvailabilityTrace, spec: &FaultSpec, seed: u64) -> CloudSim {
+        CloudSim::for_pool_faulted(
+            CloudConfig::default(),
+            trace,
+            seed,
+            crate::PoolId(0),
+            None,
+            Some(spec),
+        )
+    }
+
+    #[test]
+    fn faults_off_is_bit_exact_with_no_plan() {
+        // Passing `None` faults must not perturb a single draw, event, or
+        // cent relative to the pre-chaos constructor.
+        let run = |chaos: bool| {
+            let trace = AvailabilityTrace::paper_bs();
+            let mut cloud = if chaos {
+                CloudSim::for_pool_faulted(
+                    CloudConfig::default(),
+                    trace,
+                    99,
+                    crate::PoolId(0),
+                    None,
+                    None,
+                )
+            } else {
+                CloudSim::new(CloudConfig::default(), trace, 99)
+            };
+            cloud.request_spot(SimTime::ZERO, 10);
+            let evs: Vec<String> = drain(&mut cloud)
+                .iter()
+                .map(|(t, e)| format!("{t} {e:?}"))
+                .collect();
+            (
+                evs,
+                cloud.meter().total_usd(SimTime::from_secs(1200)).to_bits(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn unannounced_kills_fire_without_notice() {
+        let spec = FaultSpec::calm().with_kill_rate(60.0);
+        let mut cloud = faulted(AvailabilityTrace::constant(4), &spec, 7);
+        cloud.request_spot(SimTime::ZERO, 4);
+        let evs: Vec<(SimTime, CloudEvent)> = std::iter::from_fn(|| cloud.pop_next())
+            .take_while(|&(t, _)| t <= SimTime::from_secs(3600))
+            .collect();
+        let failures = evs
+            .iter()
+            .filter(|(_, e)| matches!(e, CloudEvent::InstanceFailed { .. }))
+            .count();
+        assert!(failures > 0, "60/h for an hour must kill: {evs:?}");
+        assert!(
+            !evs.iter()
+                .any(|(_, e)| matches!(e, CloudEvent::PreemptionNotice { .. })),
+            "unannounced kills carry no notice: {evs:?}"
+        );
+    }
+
+    #[test]
+    fn lost_notices_kill_with_zero_grace() {
+        // Every notice lost: the capacity drop at t=300 must surface as
+        // an immediate InstanceFailed at t=300, never a notice or a
+        // grace-period Preempted.
+        let trace =
+            AvailabilityTrace::from_steps(vec![(SimTime::ZERO, 2), (SimTime::from_secs(300), 1)]);
+        let spec = FaultSpec::calm().with_notice_loss(1.0);
+        let mut cloud = faulted(trace, &spec, 7);
+        cloud.request_spot(SimTime::ZERO, 2);
+        let evs = drain(&mut cloud);
+        let (t, failure) = evs
+            .iter()
+            .find(|(_, e)| matches!(e, CloudEvent::InstanceFailed { .. }))
+            .expect("the shed must fail an instance");
+        assert_eq!(*t, SimTime::from_secs(300), "zero grace: {failure:?}");
+        assert!(
+            !evs.iter().any(|(_, e)| matches!(
+                e,
+                CloudEvent::PreemptionNotice { .. } | CloudEvent::Preempted { .. }
+            )),
+            "no notice, no graceful kill: {evs:?}"
+        );
+        assert_eq!(cloud.live_count(InstanceKind::Spot), 1);
+    }
+
+    #[test]
+    fn truncated_notices_keep_sub_grace_deadlines() {
+        let trace =
+            AvailabilityTrace::from_steps(vec![(SimTime::ZERO, 2), (SimTime::from_secs(300), 0)]);
+        let spec = FaultSpec::calm().with_notice_truncation(1.0);
+        let mut cloud = faulted(trace, &spec, 11);
+        cloud.request_spot(SimTime::ZERO, 2);
+        let evs = drain(&mut cloud);
+        let mut notices = 0;
+        for (t, ev) in &evs {
+            if let CloudEvent::PreemptionNotice { kill_at, .. } = ev {
+                notices += 1;
+                let grace = kill_at.saturating_since(*t);
+                assert!(
+                    grace < SimDuration::from_secs(30),
+                    "truncated grace must undercut the configured 30 s, got {grace}"
+                );
+            }
+        }
+        assert_eq!(notices, 2, "both victims still get (late) notices");
+    }
+
+    #[test]
+    fn lapsed_grants_surface_and_free_the_slot() {
+        let spec = FaultSpec::calm().with_grant_lapse(1.0);
+        let mut cloud = faulted(AvailabilityTrace::constant(2), &spec, 5);
+        cloud.request_spot(SimTime::ZERO, 2);
+        let evs = drain(&mut cloud);
+        assert_eq!(evs.len(), 2);
+        assert!(
+            evs.iter().all(|(_, e)| matches!(
+                e,
+                CloudEvent::RequestLapsed {
+                    kind: InstanceKind::Spot,
+                    ..
+                }
+            )),
+            "p=1 lapse grants nothing: {evs:?}"
+        );
+        assert_eq!(cloud.lapsed_spot(), 2);
+        assert_eq!(cloud.live_count(InstanceKind::Spot), 0);
+        // The slots freed: a later request provisions (and lapses) again
+        // rather than queueing behind phantom capacity.
+        cloud.request_spot(SimTime::from_secs(100), 1);
+        assert_eq!(cloud.provisioning_spot(), 1, "the slot is free again");
+    }
+
+    #[test]
+    fn degraded_link_windows_read_back() {
+        let spec = FaultSpec::calm().with_degraded_link(
+            SimTime::from_secs(200),
+            SimTime::from_secs(500),
+            0.25,
+        );
+        let cloud = faulted(AvailabilityTrace::constant(1), &spec, 1);
+        assert_eq!(cloud.bandwidth_factor_at(SimTime::from_secs(100)), 1.0);
+        assert_eq!(cloud.bandwidth_factor_at(SimTime::from_secs(300)), 0.25);
+        assert_eq!(cloud.bandwidth_factor_at(SimTime::from_secs(500)), 1.0);
+        let calm = sim(AvailabilityTrace::constant(1));
+        assert_eq!(calm.bandwidth_factor_at(SimTime::from_secs(300)), 1.0);
+    }
+
+    #[test]
+    fn faulted_replay_is_deterministic() {
+        let run = || {
+            let spec = FaultSpec::pack(0.7);
+            let mut cloud = faulted(AvailabilityTrace::paper_as(), &spec, 13);
+            cloud.request_spot(SimTime::ZERO, 8);
+            let evs: Vec<(SimTime, String)> = std::iter::from_fn(|| cloud.pop_next())
+                .take_while(|&(t, _)| t <= SimTime::from_secs(7200))
+                .map(|(t, e)| (t, format!("{e:?}")))
+                .collect();
+            (
+                evs,
+                cloud.meter().total_usd(SimTime::from_secs(7200)).to_bits(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

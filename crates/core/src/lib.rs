@@ -33,6 +33,7 @@
 //! added/dropped — the MArk/Cocktail-style baseline). Ablations toggle the
 //! individual SpotServe components (Figure 9).
 
+pub mod audit;
 pub mod config;
 pub mod devicemap;
 pub mod optimizer;
@@ -40,6 +41,7 @@ pub mod report;
 pub mod scale;
 pub mod system;
 
+pub use audit::{AuditReport, InvariantAuditor, Violation};
 pub use config::{AblationFlags, EngineMode, Policy, SystemOptions};
 pub use devicemap::{map_devices, map_devices_with_skus, DeviceMapOutcome, SkuTable};
 pub use fleetctl::{FleetController, FleetPolicy, PreemptionEstimator};

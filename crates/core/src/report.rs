@@ -42,6 +42,15 @@ pub struct RunReport {
     pub finished_at: SimTime,
     /// Count of preemption notices received.
     pub preemptions: u32,
+    /// Count of unannounced instance deaths ([`cloudsim::CloudEvent::InstanceFailed`]):
+    /// chaos kills and preemptions whose notice was lost. Always zero
+    /// with fault injection off.
+    pub faults: u32,
+    /// Count of lapsed capacity requests
+    /// ([`cloudsim::CloudEvent::RequestLapsed`]): grants the market
+    /// promised but never delivered, whether shed by a capacity drop or
+    /// swallowed by the chaos harness's grant-lapse channel.
+    pub lapses: u32,
     /// Count of instance grants received.
     pub grants: u32,
     /// Instance-count samples over time: `(t, spot, on_demand)`
@@ -166,6 +175,8 @@ impl RunReport {
         writeln!(out, "unfinished={}", self.unfinished).expect("write");
         writeln!(out, "finished_at_us={}", self.finished_at.as_micros()).expect("write");
         writeln!(out, "preemptions={}", self.preemptions).expect("write");
+        writeln!(out, "faults={}", self.faults).expect("write");
+        writeln!(out, "lapses={}", self.lapses).expect("write");
         writeln!(out, "grants={}", self.grants).expect("write");
         writeln!(out, "latency_name={}", self.latency.name()).expect("write");
         for o in self.latency.outcomes() {
@@ -238,6 +249,8 @@ mod tests {
             config_changes: vec![],
             finished_at: SimTime::from_secs(100),
             preemptions: 0,
+            faults: 0,
+            lapses: 0,
             grants: 0,
             fleet_timeline: vec![],
             slo_rejections: vec![],
@@ -281,6 +294,8 @@ mod tests {
             config_changes: vec![],
             finished_at: SimTime::ZERO,
             preemptions: 0,
+            faults: 0,
+            lapses: 0,
             grants: 0,
             fleet_timeline: vec![],
             slo_rejections: vec![],
@@ -309,6 +324,8 @@ mod tests {
             config_changes: vec![],
             finished_at: SimTime::ZERO,
             preemptions: 0,
+            faults: 0,
+            lapses: 0,
             grants: 0,
             fleet_timeline: vec![],
             slo_rejections: vec![],

@@ -235,6 +235,10 @@ fn sku_caps(ty: &InstanceType) -> SkuCaps {
 struct CheckpointTriage {
     tier: TriageTier,
     fraction: f64,
+    /// The tier an undegraded link would have earned, when a chaos
+    /// degraded-link window cost a tier (the transfer stretched past the
+    /// grace budget and triage downgraded instead of blowing it).
+    downgraded_from: Option<TriageTier>,
 }
 
 impl CheckpointTriage {
@@ -242,7 +246,17 @@ impl CheckpointTriage {
         CheckpointTriage {
             tier: TriageTier::Full,
             fraction: 1.0,
+            downgraded_from: None,
         }
+    }
+}
+
+/// The telemetry rendering of a triage tier.
+fn verdict_of(tier: TriageTier) -> TriageVerdict {
+    match tier {
+        TriageTier::Full => TriageVerdict::Full,
+        TriageTier::Partial => TriageVerdict::Partial,
+        TriageTier::Restart => TriageVerdict::Restart,
     }
 }
 
@@ -302,6 +316,8 @@ pub struct ServingSystem {
     config_changes: Vec<ConfigChange>,
     fleet_timeline: Vec<(SimTime, u32, u32)>,
     preemptions: u32,
+    faults: u32,
+    lapses: u32,
     grants: u32,
     arrivals_end: SimTime,
     /// Pending migration-transition event instants (commit + resume), the
@@ -441,6 +457,8 @@ impl ServingSystem {
             config_changes: Vec::new(),
             fleet_timeline: Vec::new(),
             preemptions: 0,
+            faults: 0,
+            lapses: 0,
             grants: 0,
             arrivals_end,
             sync_points: BTreeMap::new(),
@@ -749,6 +767,8 @@ impl ServingSystem {
             config_changes: sys.config_changes,
             finished_at: sys.now,
             preemptions: sys.preemptions,
+            faults: sys.faults,
+            lapses: sys.lapses,
             grants: sys.grants,
             fleet_timeline: sys.fleet_timeline,
             slo_rejections: sys.slo_rejections,
@@ -880,7 +900,17 @@ impl ServingSystem {
 
     fn on_cloud_event(&mut self, ev: CloudEvent) {
         match ev {
-            CloudEvent::SpotGranted { id } | CloudEvent::OnDemandGranted { id } => {
+            CloudEvent::SpotGranted { id } => {
+                self.grants += 1;
+                // Retire the oldest outstanding request deadline for this
+                // pool and reset its failure streak.
+                self.fleet.observe_grant(PoolId::of_instance(id).0 as usize);
+                let done = self.now + self.opts.engine_launch;
+                self.initializing.insert(id, done);
+                self.events.schedule(done, Ev::InitDone { id });
+                self.sample_fleet();
+            }
+            CloudEvent::OnDemandGranted { id } => {
                 self.grants += 1;
                 let done = self.now + self.opts.engine_launch;
                 self.initializing.insert(id, done);
@@ -900,8 +930,35 @@ impl ServingSystem {
                 self.ready.remove(&id);
                 self.initializing.remove(&id);
                 self.noticed.remove(&id);
-                self.on_instance_gone(id);
+                self.on_instance_gone(id, false);
                 self.sample_fleet();
+            }
+            CloudEvent::InstanceFailed { id } => {
+                // An unannounced death: a chaos kill, or a preemption
+                // whose notice the harness swallowed. No grace window
+                // ever existed — the context on this instance is gone,
+                // so take the §4.2 fault path immediately with whatever
+                // survived.
+                self.faults += 1;
+                self.fleet
+                    .observe_kill(PoolId::of_instance(id).0 as usize, self.now);
+                self.ready.remove(&id);
+                self.initializing.remove(&id);
+                self.noticed.remove(&id);
+                self.on_instance_gone(id, true);
+                self.sample_fleet();
+            }
+            CloudEvent::RequestLapsed { pool, .. } => {
+                // A promised grant never materialized (capacity shed, or
+                // the chaos grant-lapse channel). The tracker's backoff
+                // masks the pool from hedged spreads; the reactive
+                // baseline stays paper-exact and retries blindly on its
+                // own cadence.
+                self.lapses += 1;
+                if !self.opts.fleet_policy.is_reactive() {
+                    let d = self.fleet.observe_lapse(pool.0 as usize, self.now);
+                    self.note_retry(d);
+                }
             }
             CloudEvent::SpotPriceStep { .. } => {
                 // A market re-quote changes no lease; it is purely a
@@ -1209,7 +1266,11 @@ impl ServingSystem {
         }
     }
 
-    fn on_instance_gone(&mut self, id: InstanceId) {
+    /// An instance left the fleet. `unannounced` marks deaths that came
+    /// with no preemption notice (chaos kills, lost notices): no JIT
+    /// window ever existed, so an in-flight transition timed against the
+    /// old fleet is invalidated rather than left to commit stale.
+    fn on_instance_gone(&mut self, id: InstanceId, unannounced: bool) {
         let involved = self.assignment.instances().contains(&id);
         self.assignment.remove_instance(id);
         if self.assignment.is_empty() {
@@ -1222,6 +1283,15 @@ impl ServingSystem {
                     // instance; if not (fault case §4.2), re-plan now with
                     // whatever survived.
                     if self.transition.is_none() {
+                        self.plan_transition(None);
+                    } else if unannounced {
+                        // Mid-transition unannounced death: the pending
+                        // commit was JIT-timed against a device set that
+                        // no longer exists. Abandon it and re-plan
+                        // immediately with the survivors — only requests
+                        // whose checkpoints lived on the dead instance
+                        // lose inheritance and restart.
+                        self.transition = None;
                         self.plan_transition(None);
                     }
                 } else {
@@ -1432,6 +1502,9 @@ impl ServingSystem {
             pool.provisioning_spot = self.cloud.provisioning_spot_in(pid);
             pool.queued_spot = self.cloud.pending_spot_in(pid);
             pool.capacity = self.cloud.capacity_in(pid);
+            // Cumulative lapse count: the visible promised-but-never-
+            // delivered shortfall (capacity sheds and chaos grant lapses).
+            pool.lapsed_spot = self.cloud.lapsed_spot_in(pid);
             // The pool's capability/price card: price-blind policies
             // ignore it; the cost-aware hedge masks and biases by it.
             let ty = self.cloud.instance_type_in(pid);
@@ -1460,6 +1533,27 @@ impl ServingSystem {
         }
     }
 
+    /// Emits the retry/escalation telemetry for one tracker decision.
+    fn note_retry(&mut self, d: fleetctl::RetryDecision) {
+        self.telemetry.emit(
+            self.now,
+            TelemetryEvent::RetryScheduled {
+                pool: d.pool,
+                attempt: d.attempt,
+                at_us: d.until.as_micros(),
+            },
+        );
+        if d.escalate {
+            self.telemetry.emit(
+                self.now,
+                TelemetryEvent::RetryEscalated {
+                    pool: d.pool,
+                    attempts: d.attempt,
+                },
+            );
+        }
+    }
+
     /// Consults the fleet controller and executes its command (the
     /// acquisition path for every non-reactive [`FleetPolicy`]). No-op
     /// under [`FleetPolicy::ReactiveSpot`] and [`Policy::OnDemandOnly`].
@@ -1475,6 +1569,12 @@ impl ServingSystem {
         {
             self.feed_price_pressure(parity_permille);
         }
+        // Safety net for grants that vanished without even a lapse event:
+        // overdue request deadlines convert to failures before the
+        // controller reads its own backoff masks.
+        for d in self.fleet.sweep_overdue(self.now) {
+            self.note_retry(d);
+        }
         let view = self.fleet_view();
         let cmd = self
             .fleet
@@ -1485,11 +1585,17 @@ impl ServingSystem {
         for (i, &k) in cmd.cancel_spot.iter().enumerate() {
             if k > 0 {
                 self.cloud.cancel_pending_spot_in(PoolId(i as u32), k);
+                // Voluntary cancellations retire their deadlines without
+                // counting as failures.
+                self.fleet.note_cancel(i, k);
             }
         }
         for (i, &k) in cmd.spot.iter().enumerate() {
             if k > 0 {
                 self.cloud.request_spot_in(self.now, PoolId(i as u32), k);
+                // Every issued request is due a grant (or a lapse) within
+                // the tracker's deadline window.
+                self.fleet.note_request(i, k, self.now);
             }
         }
         if cmd.ondemand > 0 {
@@ -1748,8 +1854,38 @@ impl ServingSystem {
         self.note_sync_point(commit_at);
     }
 
+    /// The worst (minimum) chaos bandwidth multiplier across the pools
+    /// hosting `instances` and the current assignment, as of now — the
+    /// factor a checkpoint transfer crossing those links is slowed by.
+    /// Exactly `1.0` whenever no degraded-link window is active.
+    fn link_factor(&self, instances: &[InstanceId]) -> f64 {
+        let mut pools: BTreeSet<u32> = BTreeSet::new();
+        for &id in instances {
+            pools.insert(PoolId::of_instance(id).0);
+        }
+        for id in self.assignment.instances() {
+            pools.insert(PoolId::of_instance(id).0);
+        }
+        pools
+            .iter()
+            .map(|&p| self.cloud.bandwidth_factor_in(PoolId(p), self.now))
+            .fold(1.0, f64::min)
+    }
+
+    /// Stretches a transfer duration by a degraded-link factor. The
+    /// `factor == 1.0` guard keeps faults-off timelines bit-exact (no
+    /// float round-trip on the clean path).
+    fn stretch(d: SimDuration, factor: f64) -> SimDuration {
+        if factor < 1.0 {
+            SimDuration::from_secs_f64(d.as_secs_f64() / factor)
+        } else {
+            d
+        }
+    }
+
     /// Rough migration-time estimate for JIT arrangement (recomputed
-    /// exactly at commit time).
+    /// exactly at commit time). Accounts for any active degraded-link
+    /// window: a slowed transfer needs the decode loop to stop earlier.
     fn estimate_migration(&self, target: Option<ParallelConfig>) -> SimDuration {
         let Some(cfg) = target else {
             return SimDuration::ZERO;
@@ -1767,7 +1903,7 @@ impl ServingSystem {
                 .net(),
             &self.scenario.storage,
         );
-        tl.total
+        Self::stretch(tl.total, self.link_factor(&usable))
     }
 
     /// Builds the migration task + plan toward `cfg` on `instances`,
@@ -1859,7 +1995,11 @@ impl ServingSystem {
             .net();
         let plan = plan_migration(&task, &planner_opts);
         let tl = evaluate_plan(&plan, net, &self.scenario.storage);
-        if self.now + tl.total <= deadline {
+        // A chaos degraded-link window stretches the transfer: triage
+        // against the *effective* timeline, so a mid-grace slowdown
+        // downgrades the tier instead of blowing the deadline.
+        let factor = self.link_factor(instances);
+        if self.now + Self::stretch(tl.total, factor) <= deadline {
             return (plan, outcome, CheckpointTriage::full());
         }
         // Grace too short for the full checkpoint: grade what the budget
@@ -1873,10 +2013,27 @@ impl ServingSystem {
         let zero_plan = plan_migration(&task, &planner_opts);
         let t_zero = evaluate_plan(&zero_plan, net, &self.scenario.storage).total;
         let budget = deadline.saturating_since(self.now);
-        let fraction = transferable_fraction(budget, t_zero, tl.total);
+        let fraction = transferable_fraction(
+            budget,
+            Self::stretch(t_zero, factor),
+            Self::stretch(tl.total, factor),
+        );
+        let tier = triage(fraction);
+        // The tier an undegraded link would have earned: when the
+        // slowdown cost a tier, the commit reports the downgrade.
+        let clean_tier = if factor < 1.0 {
+            if self.now + tl.total <= deadline {
+                TriageTier::Full
+            } else {
+                triage(transferable_fraction(budget, t_zero, tl.total))
+            }
+        } else {
+            tier
+        };
         let tri = CheckpointTriage {
-            tier: triage(fraction),
+            tier,
             fraction,
+            downgraded_from: (tier < clean_tier).then_some(clean_tier),
         };
         match tri.tier {
             // Nearly everything fits: accept the small overrun and move
@@ -2010,21 +2167,30 @@ impl ServingSystem {
                 } else {
                     tl.effective_pause(stage_step)
                 };
+                // The transfer physically crosses the (possibly degraded)
+                // links: the serving pause stretches with them.
+                let pause = Self::stretch(pause, self.link_factor(&usable));
                 self.telemetry.emit(
                     self.now,
                     TelemetryEvent::TransitionCommit {
                         epoch: t_epoch,
-                        verdict: match tri.tier {
-                            TriageTier::Full => TriageVerdict::Full,
-                            TriageTier::Partial => TriageVerdict::Partial,
-                            TriageTier::Restart => TriageVerdict::Restart,
-                        },
+                        verdict: verdict_of(tri.tier),
                         fraction_ppm: (tri.fraction * 1e6).round() as u32,
                         migrated_bytes: tl.network_bytes,
                         reloaded_bytes: tl.storage_bytes,
                         pause_us: pause.as_micros(),
                     },
                 );
+                if let Some(from) = tri.downgraded_from {
+                    self.telemetry.emit(
+                        self.now,
+                        TelemetryEvent::TriageDowngrade {
+                            epoch: t_epoch,
+                            from: verdict_of(from),
+                            to: verdict_of(tri.tier),
+                        },
+                    );
+                }
 
                 // Freeze pipelines, preserving progress where the cache
                 // migrates (stateful recovery) and requeueing the rest.

@@ -7,6 +7,7 @@ use telemetry::{TelemetryEvent, TelemetrySink};
 use crate::estimator::PreemptionEstimator;
 use crate::policy::FleetPolicy;
 use crate::spread;
+use crate::tracker::{RequestTracker, RetryDecision};
 
 /// One pool's capability and price card: what the controller needs to
 /// hedge across unlike SKUs. Prices are integer cents per hour so the
@@ -69,6 +70,10 @@ pub struct PoolView {
     pub queued_spot: u32,
     /// The pool's current trace capacity.
     pub capacity: u32,
+    /// Cumulative spot requests this pool will never grant (launch
+    /// failures and injected lapses) — the shortfall the cloud used to
+    /// swallow silently.
+    pub lapsed_spot: u32,
     /// The pool's SKU capability card (ignored by price-blind policies).
     pub caps: PoolCaps,
 }
@@ -104,10 +109,6 @@ impl FleetView {
 
     fn live_spot(&self) -> u32 {
         self.pools.iter().map(|p| p.live_spot).sum()
-    }
-
-    fn capacities(&self) -> Vec<u32> {
-        self.pools.iter().map(|p| p.capacity).collect()
     }
 }
 
@@ -190,6 +191,9 @@ impl FleetCommand {
 pub struct FleetController {
     policy: FleetPolicy,
     estimator: PreemptionEstimator,
+    /// Request-lifecycle tracker: grant deadlines, backoff masks, and
+    /// the escalation verdicts (chaos-recovery layer, PR 10).
+    tracker: RequestTracker,
     /// Exposure horizon the churn hedge covers: how long a replacement
     /// takes to arrive (the spot grant delay).
     grant_delay: SimDuration,
@@ -240,6 +244,7 @@ impl FleetController {
         FleetController {
             policy,
             estimator: PreemptionEstimator::new(n_pools, window),
+            tracker: RequestTracker::new(n_pools, grant_delay),
             grant_delay,
         }
     }
@@ -257,6 +262,46 @@ impl FleetController {
     /// Feeds one observed kill in `pool` into the rate estimator.
     pub fn observe_kill(&mut self, pool: usize, now: SimTime) {
         self.estimator.record_kill(pool, now);
+    }
+
+    /// The request-lifecycle tracker (read access for reporting).
+    pub fn tracker(&self) -> &RequestTracker {
+        &self.tracker
+    }
+
+    /// Records `n` spot requests issued to `pool` at `now` (arms the
+    /// tracker's grant deadlines).
+    pub fn note_request(&mut self, pool: usize, n: u32, now: SimTime) {
+        self.tracker.note_request(pool, n, now);
+    }
+
+    /// Records `n` voluntarily cancelled spot requests in `pool`: their
+    /// tracker deadlines retire without counting as failures.
+    pub fn note_cancel(&mut self, pool: usize, n: u32) {
+        self.tracker.note_cancel(pool, n);
+    }
+
+    /// Records a successful spot grant in `pool`: the pool's failure
+    /// streak and backoff mask reset.
+    pub fn observe_grant(&mut self, pool: usize) {
+        self.tracker.observe_grant(pool);
+    }
+
+    /// Records a lapsed request in `pool` at `now`: the failure streak
+    /// grows, the backoff doubles (bounded), and the returned decision
+    /// says whether the pool escalated to on-demand. Lapses also feed
+    /// the rate estimator — a pool that cannot launch is under the same
+    /// capacity pressure that precedes kills.
+    pub fn observe_lapse(&mut self, pool: usize, now: SimTime) -> RetryDecision {
+        self.estimator.record_pressure(pool, 1.0, now);
+        self.tracker.observe_failure(pool, now)
+    }
+
+    /// Converts requests overdue past their grant deadline into tracker
+    /// failures (the safety net for grants that vanish without even a
+    /// lapse event). Call from a periodic tick.
+    pub fn sweep_overdue(&mut self, now: SimTime) -> Vec<RetryDecision> {
+        self.tracker.sweep_overdue(now)
     }
 
     /// Feeds an anticipatory, price-correlated kill signal into the rate
@@ -362,7 +407,21 @@ impl FleetController {
             FleetPolicy::SpotHedge {
                 ondemand_backstop, ..
             } => {
-                let caps = view.capacities();
+                // Backoff mask: a pool inside its retry window after
+                // lapsed grants contributes no capacity and receives no
+                // requests until the window expires.
+                let caps: Vec<u32> = view
+                    .pools
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        if self.tracker.is_backed_off(i, now) {
+                            0
+                        } else {
+                            p.capacity
+                        }
+                    })
+                    .collect();
                 let hedge = self.hedge(view.target, &caps, now);
                 let desired_total = view.target + view.spares + hedge;
                 let alloc = spread(desired_total, &caps);
@@ -385,12 +444,21 @@ impl FleetController {
             FleetPolicy::CostAwareHedge {
                 ondemand_backstop, ..
             } => {
-                // Capability mask: pools whose SKU cannot host the model
-                // contribute no capacity and receive no requests.
+                // Capability mask (pools whose SKU cannot host the model)
+                // plus the backoff mask (pools cooling down after lapsed
+                // grants): neither contributes capacity nor receives
+                // requests.
                 let caps: Vec<u32> = view
                     .pools
                     .iter()
-                    .map(|p| if p.caps.fits_model { p.capacity } else { 0 })
+                    .enumerate()
+                    .map(|(i, p)| {
+                        if p.caps.fits_model && !self.tracker.is_backed_off(i, now) {
+                            p.capacity
+                        } else {
+                            0
+                        }
+                    })
                     .collect();
                 let hedge = self.hedge(view.target, &caps, now);
                 let desired_total = view.target + view.spares + hedge;
@@ -441,8 +509,12 @@ impl FleetController {
                 let caps: Vec<u32> = view
                     .pools
                     .iter()
-                    .map(|p| {
-                        if p.caps.fits_model && !past_parity(p) {
+                    .enumerate()
+                    .map(|(i, p)| {
+                        if p.caps.fits_model
+                            && !past_parity(p)
+                            && !self.tracker.is_backed_off(i, now)
+                        {
                             p.capacity
                         } else {
                             0
@@ -476,6 +548,23 @@ impl FleetController {
                     .map(|(i, _)| i as u32);
                 let live = view.live_spot() + view.live_ondemand;
                 cmd.release = live.saturating_sub(desired_total);
+            }
+        }
+        // Escalation: a pool that failed K consecutive times no longer
+        // earns the spread's patience. Bridge the live gap with
+        // guaranteed capacity — routed to the cheapest capable pool —
+        // while the backoff keeps re-probing the spot side.
+        if self.policy.is_hedged() && self.tracker.any_escalated() {
+            let live = view.live_spot() + view.live_ondemand + view.pending_ondemand;
+            cmd.ondemand = cmd.ondemand.max(view.target.saturating_sub(live));
+            if cmd.ondemand > 0 && cmd.ondemand_pool.is_none() {
+                cmd.ondemand_pool = view
+                    .pools
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.caps.fits_model)
+                    .min_by_key(|(i, p)| (p.caps.ondemand_cents_per_hour, *i))
+                    .map(|(i, _)| i as u32);
             }
         }
         cmd
@@ -991,6 +1080,90 @@ mod tests {
         // The noop sink compiles the emission away entirely.
         let via_noop = c.command_traced(&short, SimTime::from_secs(9), &mut telemetry::NoopSink);
         assert_eq!(via_noop, cmd);
+    }
+
+    // ---- Chaos recovery: backoff masks and escalation ----------------
+
+    #[test]
+    fn backed_off_pools_are_masked_until_the_window_expires() {
+        let mut c = ctl(FleetPolicy::spot_hedge(), 3);
+        let now = SimTime::from_secs(100);
+        let d = c.observe_lapse(0, now);
+        let view = FleetView {
+            pools: vec![pool(0, 8), pool(0, 8), pool(0, 8)],
+            target: 4,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, now);
+        assert_eq!(cmd.spot[0], 0, "cooling pool receives nothing: {cmd:?}");
+        assert!(
+            cmd.spot[1] + cmd.spot[2] >= 4,
+            "healthy pools absorb the spread: {cmd:?}"
+        );
+        // The window is bounded: at its end the pool is re-probed.
+        let cmd = c.command(&view, d.until);
+        assert!(cmd.spot[0] > 0, "backoff expired, pool re-probed: {cmd:?}");
+    }
+
+    #[test]
+    fn a_grant_lifts_the_backoff_mask() {
+        let mut c = ctl(FleetPolicy::spot_hedge(), 2);
+        let now = SimTime::from_secs(50);
+        c.observe_lapse(1, now);
+        c.observe_grant(1);
+        let view = FleetView {
+            pools: vec![pool(0, 8), pool(0, 8)],
+            target: 4,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, now);
+        assert!(cmd.spot[1] > 0, "granted pool is trusted again: {cmd:?}");
+    }
+
+    #[test]
+    fn k_failures_escalate_to_the_cheapest_capable_on_demand() {
+        let mut c = ctl(FleetPolicy::cost_aware_hedge(), 2);
+        let now = SimTime::from_secs(10);
+        for _ in 0..3 {
+            assert!(!c.tracker().is_escalated(0) || c.tracker().failures(0) >= 3);
+            c.observe_lapse(0, now);
+        }
+        assert!(c.tracker().is_escalated(0), "K = 3 consecutive failures");
+        let view = FleetView {
+            pools: vec![
+                priced_pool(8, 190, 390, true),
+                priced_pool(8, 180, 330, true),
+            ],
+            target: 4,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, now);
+        assert_eq!(
+            cmd.ondemand, 4,
+            "escalation bridges the whole live gap: {cmd:?}"
+        );
+        assert_eq!(cmd.ondemand_pool, Some(1), "cheapest capable on-demand");
+    }
+
+    #[test]
+    fn reactive_baseline_ignores_the_tracker() {
+        let mut c = ctl(FleetPolicy::ReactiveSpot, 2);
+        let now = SimTime::from_secs(10);
+        for _ in 0..5 {
+            c.observe_lapse(0, now);
+        }
+        let view = FleetView {
+            pools: vec![pool(0, 8), pool(0, 8)],
+            target: 4,
+            spares: 0,
+            ..Default::default()
+        };
+        let cmd = c.command(&view, now);
+        assert_eq!(cmd.spot, vec![4, 0], "paper baseline retries blindly");
+        assert_eq!(cmd.ondemand, 0, "and never escalates");
     }
 
     #[test]

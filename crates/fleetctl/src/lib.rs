@@ -41,10 +41,12 @@
 pub mod controller;
 pub mod estimator;
 pub mod policy;
+pub mod tracker;
 
 pub use controller::{FleetCommand, FleetController, FleetView, PoolCaps, PoolView};
 pub use estimator::PreemptionEstimator;
 pub use policy::FleetPolicy;
+pub use tracker::{RequestTracker, RetryDecision};
 
 /// Spreads `total` instances across pools by capacity-capped round-robin
 /// water-filling: one instance at a time, pool 0 first, skipping pools

@@ -107,6 +107,19 @@ impl FleetPolicy {
     pub fn is_reactive(&self) -> bool {
         matches!(self, FleetPolicy::ReactiveSpot)
     }
+
+    /// Whether this policy spreads a hedge across pools — the policies
+    /// that honor the request tracker's backoff masks and escalation
+    /// verdicts. The reactive baseline stays paper-exact and retries
+    /// blindly; the fallback already rides on-demand continuously.
+    pub fn is_hedged(&self) -> bool {
+        matches!(
+            self,
+            FleetPolicy::SpotHedge { .. }
+                | FleetPolicy::CostAwareHedge { .. }
+                | FleetPolicy::CostPerToken { .. }
+        )
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,273 @@
+//! Request lifecycle tracking: grant deadlines, bounded exponential
+//! backoff, and on-demand escalation after repeated failures.
+//!
+//! The polite cloud always answers a capacity request — with a grant or,
+//! since the chaos harness, a visible
+//! [`RequestLapsed`](cloudsim::CloudEvent::RequestLapsed). A
+//! [`RequestTracker`] turns those answers into acquisition *patience*:
+//! each pool carries a count of consecutive failures (lapses, or grants
+//! overdue past their deadline) and a backoff window that masks the pool
+//! from spot spreads while it cools down. The backoff doubles per
+//! consecutive failure up to a cap, so a flapping pool is re-probed at a
+//! bounded, geometric cadence instead of hammered every steering tick.
+//! After [`escalate_after`](RequestTracker::escalate_after) consecutive
+//! failures the pool is *escalated*: the controller stops trusting the
+//! spot spread to cover the gap and bridges with guaranteed on-demand
+//! capacity (in the cheapest capable pool) until a grant lands.
+//!
+//! All state is plain counters and timestamps updated from the
+//! deterministic event stream — no randomness, no wall clock — so replay
+//! stays exact.
+
+use std::collections::VecDeque;
+
+use simkit::{SimDuration, SimTime};
+
+/// What the tracker decided about one observed failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryDecision {
+    /// The failing pool.
+    pub pool: u32,
+    /// Consecutive failures including this one (the backoff exponent
+    /// driver).
+    pub attempt: u32,
+    /// The pool is masked from spot spreads until this instant.
+    pub until: SimTime,
+    /// Whether this failure tripped the escalation threshold.
+    pub escalate: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PoolState {
+    /// Deadlines of outstanding spot requests, oldest first.
+    deadlines: VecDeque<SimTime>,
+    /// Consecutive failures with no successful grant in between.
+    failures: u32,
+    /// Masked from spot spreads until this instant.
+    backoff_until: SimTime,
+}
+
+/// Per-pool grant deadlines plus bounded-exponential-backoff state (see
+/// the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct RequestTracker {
+    pools: Vec<PoolState>,
+    /// Base backoff unit: one grant delay.
+    base_delay: SimDuration,
+    /// A request not answered within this many base delays is overdue.
+    deadline_slack: u32,
+    /// Consecutive failures after which a pool escalates to on-demand.
+    escalate_after: u32,
+    /// Cap on the backoff exponent (`base · 2^min(attempt-1, cap)`).
+    max_shift: u32,
+}
+
+impl RequestTracker {
+    /// A tracker for `n_pools` pools with `base_delay` (the spot grant
+    /// delay) as the backoff unit. Defaults: requests are overdue after
+    /// 8 base delays, pools escalate after 3 consecutive failures, and
+    /// the backoff exponent caps at 6 (64 base delays).
+    pub fn new(n_pools: usize, base_delay: SimDuration) -> Self {
+        RequestTracker {
+            pools: vec![PoolState::default(); n_pools],
+            base_delay,
+            deadline_slack: 8,
+            escalate_after: 3,
+            max_shift: 6,
+        }
+    }
+
+    /// The escalation threshold (consecutive failures).
+    pub fn escalate_after(&self) -> u32 {
+        self.escalate_after
+    }
+
+    /// Records `n` spot requests issued to `pool` at `now`, each due a
+    /// grant (or a lapse) within the deadline window.
+    pub fn note_request(&mut self, pool: usize, n: u32, now: SimTime) {
+        let deadline = now + self.scaled_delay(self.deadline_slack);
+        let p = &mut self.pools[pool];
+        for _ in 0..n {
+            p.deadlines.push_back(deadline);
+        }
+    }
+
+    /// Records `n` voluntarily cancelled requests in `pool`: their
+    /// deadlines retire (newest first) without touching the failure
+    /// streak — the controller chose to withdraw them, nothing failed.
+    pub fn note_cancel(&mut self, pool: usize, n: u32) {
+        for _ in 0..n {
+            if self.pools[pool].deadlines.pop_back().is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Records a successful grant in `pool`: the oldest outstanding
+    /// deadline retires and the failure streak resets.
+    pub fn observe_grant(&mut self, pool: usize) {
+        let p = &mut self.pools[pool];
+        p.deadlines.pop_front();
+        p.failures = 0;
+        p.backoff_until = SimTime::ZERO;
+    }
+
+    /// Records one failed request (a lapse, or an overdue grant) in
+    /// `pool` at `now`: the streak grows and the backoff doubles, up to
+    /// the cap.
+    pub fn observe_failure(&mut self, pool: usize, now: SimTime) -> RetryDecision {
+        let shift = self.pools[pool].failures.min(self.max_shift);
+        let until = now + self.scaled_delay(1 << shift);
+        let p = &mut self.pools[pool];
+        p.deadlines.pop_front();
+        p.failures += 1;
+        p.backoff_until = until;
+        RetryDecision {
+            pool: pool as u32,
+            attempt: p.failures,
+            until,
+            escalate: p.failures >= self.escalate_after,
+        }
+    }
+
+    /// Converts every outstanding request whose deadline passed into a
+    /// failure (the safety net for grants that vanish without even a
+    /// lapse event). Returns the decisions in pool order.
+    pub fn sweep_overdue(&mut self, now: SimTime) -> Vec<RetryDecision> {
+        let mut out = Vec::new();
+        for pool in 0..self.pools.len() {
+            while self.pools[pool]
+                .deadlines
+                .front()
+                .is_some_and(|&d| d <= now)
+            {
+                out.push(self.observe_failure(pool, now));
+            }
+        }
+        out
+    }
+
+    /// Whether `pool` is inside its backoff window at `now` (masked from
+    /// spot spreads).
+    pub fn is_backed_off(&self, pool: usize, now: SimTime) -> bool {
+        now < self.pools[pool].backoff_until
+    }
+
+    /// Whether `pool` has failed enough consecutive times to escalate.
+    pub fn is_escalated(&self, pool: usize) -> bool {
+        self.pools[pool].failures >= self.escalate_after
+    }
+
+    /// Whether any pool is currently escalated.
+    pub fn any_escalated(&self) -> bool {
+        (0..self.pools.len()).any(|p| self.is_escalated(p))
+    }
+
+    /// Consecutive failures of `pool`.
+    pub fn failures(&self, pool: usize) -> u32 {
+        self.pools[pool].failures
+    }
+
+    /// Outstanding (unanswered) requests of `pool`.
+    pub fn outstanding(&self, pool: usize) -> usize {
+        self.pools[pool].deadlines.len()
+    }
+
+    fn scaled_delay(&self, units: u32) -> SimDuration {
+        SimDuration::from_micros(self.base_delay.as_micros().saturating_mul(units as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> RequestTracker {
+        RequestTracker::new(2, SimDuration::from_secs(40))
+    }
+
+    #[test]
+    fn backoff_doubles_per_consecutive_failure() {
+        let mut t = tracker();
+        let now = SimTime::from_secs(100);
+        let d1 = t.observe_failure(0, now);
+        let d2 = t.observe_failure(0, now);
+        let d3 = t.observe_failure(0, now);
+        assert_eq!(d1.until, now + SimDuration::from_secs(40));
+        assert_eq!(d2.until, now + SimDuration::from_secs(80));
+        assert_eq!(d3.until, now + SimDuration::from_secs(160));
+        assert_eq!((d1.attempt, d2.attempt, d3.attempt), (1, 2, 3));
+    }
+
+    #[test]
+    fn backoff_exponent_is_capped() {
+        let mut t = tracker();
+        let now = SimTime::from_secs(0);
+        let mut last = SimTime::ZERO;
+        for _ in 0..12 {
+            last = t.observe_failure(1, now).until;
+        }
+        assert_eq!(
+            last,
+            now + SimDuration::from_secs(40 * 64),
+            "shift caps at 6"
+        );
+    }
+
+    #[test]
+    fn a_grant_resets_the_streak_and_the_mask() {
+        let mut t = tracker();
+        let now = SimTime::from_secs(10);
+        t.observe_failure(0, now);
+        t.observe_failure(0, now);
+        assert!(t.is_backed_off(0, now + SimDuration::from_secs(1)));
+        t.observe_grant(0);
+        assert_eq!(t.failures(0), 0);
+        assert!(!t.is_backed_off(0, now + SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn escalation_trips_at_the_threshold() {
+        let mut t = tracker();
+        let now = SimTime::ZERO;
+        assert!(!t.observe_failure(0, now).escalate);
+        assert!(!t.observe_failure(0, now).escalate);
+        assert!(t.observe_failure(0, now).escalate, "K = 3");
+        assert!(t.is_escalated(0));
+        assert!(t.any_escalated());
+        assert!(!t.is_escalated(1), "streaks are per pool");
+    }
+
+    #[test]
+    fn backoff_expires_on_its_own() {
+        let mut t = tracker();
+        let d = t.observe_failure(0, SimTime::from_secs(100));
+        assert!(t.is_backed_off(0, SimTime::from_secs(120)));
+        assert!(!t.is_backed_off(0, d.until), "window end is exclusive");
+    }
+
+    #[test]
+    fn overdue_requests_sweep_into_failures() {
+        let mut t = tracker();
+        t.note_request(0, 2, SimTime::ZERO);
+        assert_eq!(t.outstanding(0), 2);
+        // Deadline is 8 base delays = 320 s; nothing sweeps before it.
+        assert!(t.sweep_overdue(SimTime::from_secs(319)).is_empty());
+        let swept = t.sweep_overdue(SimTime::from_secs(320));
+        assert_eq!(swept.len(), 2);
+        assert_eq!(t.failures(0), 2);
+        assert_eq!(t.outstanding(0), 0);
+    }
+
+    #[test]
+    fn grants_retire_deadlines_oldest_first() {
+        let mut t = tracker();
+        t.note_request(0, 1, SimTime::ZERO);
+        t.note_request(0, 1, SimTime::from_secs(100));
+        t.observe_grant(0);
+        assert_eq!(t.outstanding(0), 1);
+        // The surviving deadline is the later one.
+        assert!(t.sweep_overdue(SimTime::from_secs(321)).is_empty());
+        assert_eq!(t.sweep_overdue(SimTime::from_secs(420)).len(), 1);
+    }
+}

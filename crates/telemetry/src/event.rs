@@ -177,6 +177,50 @@ pub enum TelemetryEvent {
         /// Cumulative on-demand spend, micro-USD.
         ondemand_microusd: u64,
     },
+    /// An instance died without a notice (unannounced kill or lost
+    /// notice, chaos harness PR 10): zero grace, context on it lost.
+    Fault {
+        /// Pool the instance belonged to.
+        pool: u32,
+        /// The dead instance.
+        instance: u64,
+    },
+    /// A scheduled grant will never fire: the launch failed or the grant
+    /// lapsed under fault injection.
+    RequestLapsed {
+        /// The pool whose request was lost.
+        pool: u32,
+        /// `true` for on-demand, `false` for spot.
+        ondemand: bool,
+    },
+    /// The request tracker scheduled a backed-off re-request for a pool
+    /// whose grant lapsed or whose instance failed.
+    RetryScheduled {
+        /// The pool being retried.
+        pool: u32,
+        /// Consecutive failures so far (drives the backoff exponent).
+        attempt: u32,
+        /// When the pool becomes eligible again, µs since sim start.
+        at_us: u64,
+    },
+    /// The request tracker gave up on a pool after K consecutive
+    /// failures and escalated to on-demand capacity.
+    RetryEscalated {
+        /// The pool that exhausted its retries.
+        pool: u32,
+        /// Consecutive failures at escalation time.
+        attempts: u32,
+    },
+    /// A transition's triage was downgraded mid-flight because a
+    /// degraded link made the planned tier blow the grace budget.
+    TriageDowngrade {
+        /// Transition epoch.
+        epoch: u32,
+        /// The tier the plan was committed under.
+        from: TriageVerdict,
+        /// The tier actually executed.
+        to: TriageVerdict,
+    },
 }
 
 impl TelemetryEvent {
@@ -197,6 +241,11 @@ impl TelemetryEvent {
             TelemetryEvent::SloRejection { .. } => "slorej",
             TelemetryEvent::EngineRollup { .. } => "engine",
             TelemetryEvent::CostRollup { .. } => "cost",
+            TelemetryEvent::Fault { .. } => "fault",
+            TelemetryEvent::RequestLapsed { .. } => "lapse",
+            TelemetryEvent::RetryScheduled { .. } => "retry",
+            TelemetryEvent::RetryEscalated { .. } => "escalate",
+            TelemetryEvent::TriageDowngrade { .. } => "downgrade",
         }
     }
 }

@@ -39,5 +39,6 @@ pub use sink::{emit, JsonlSink, NoopSink, RingSink, TelemetrySink};
 pub use stream::{Fnv1a, StreamRecord, TelemetryStream};
 
 /// Version of the JSONL wire format. Bump when the header, record key
-/// order, or any variant's field set changes.
-pub const STREAM_VERSION: u32 = 1;
+/// order, or any variant's field set changes. v2 added the chaos
+/// vocabulary: `fault`, `lapse`, `retry`, `escalate`, `downgrade`.
+pub const STREAM_VERSION: u32 = 2;

@@ -24,6 +24,10 @@ pub struct WindowStats {
     pub notices: u32,
     /// Instances force-killed (preemptions landing).
     pub kills: u32,
+    /// Instances lost to unannounced failures (no notice, zero grace).
+    pub faults: u32,
+    /// Grants that lapsed (launch failures / injected lapses).
+    pub lapses: u32,
     /// Instances voluntarily released.
     pub releases: u32,
     /// Spot-market re-quotes.
@@ -122,6 +126,11 @@ impl TimeSeries {
                     w.kills += 1;
                     live -= 1;
                 }
+                TelemetryEvent::Fault { .. } => {
+                    w.faults += 1;
+                    live -= 1;
+                }
+                TelemetryEvent::RequestLapsed { .. } => w.lapses += 1,
                 TelemetryEvent::InstanceRelease { .. } => {
                     w.releases += 1;
                     live -= 1;
@@ -170,7 +179,10 @@ impl TimeSeries {
                 TelemetryEvent::TransitionBegin { .. }
                 | TelemetryEvent::TransitionHalt { .. }
                 | TelemetryEvent::Decision { .. }
-                | TelemetryEvent::DecisionHalt { .. } => {}
+                | TelemetryEvent::DecisionHalt { .. }
+                | TelemetryEvent::RetryScheduled { .. }
+                | TelemetryEvent::RetryEscalated { .. }
+                | TelemetryEvent::TriageDowngrade { .. } => {}
             }
             ts.windows[idx].live_end = live;
         }
@@ -214,6 +226,8 @@ impl TimeSeries {
                 mine.grants += o.grants;
                 mine.notices += o.notices;
                 mine.kills += o.kills;
+                mine.faults += o.faults;
+                mine.lapses += o.lapses;
                 mine.releases += o.releases;
                 mine.price_steps += o.price_steps;
                 mine.fleet_commands += o.fleet_commands;

@@ -111,7 +111,9 @@ impl TelemetryStream {
             }
             let delta = match r.event {
                 TelemetryEvent::InstanceGrant { .. } => 1,
-                TelemetryEvent::InstanceKill { .. } | TelemetryEvent::InstanceRelease { .. } => -1,
+                TelemetryEvent::InstanceKill { .. }
+                | TelemetryEvent::InstanceRelease { .. }
+                | TelemetryEvent::Fault { .. } => -1,
                 _ => 0,
             };
             if delta != 0 {
@@ -248,7 +250,8 @@ pub(crate) fn jsonl_record_into(out: &mut String, shard: u32, r: &Record) {
             )
         }
         TelemetryEvent::InstanceKill { pool, instance }
-        | TelemetryEvent::InstanceRelease { pool, instance } => {
+        | TelemetryEvent::InstanceRelease { pool, instance }
+        | TelemetryEvent::Fault { pool, instance } => {
             write!(out, ",\"pool\":{pool},\"inst\":{instance}")
         }
         TelemetryEvent::PriceStep {
@@ -324,6 +327,23 @@ pub(crate) fn jsonl_record_into(out: &mut String, shard: u32, r: &Record) {
             write!(
                 out,
                 ",\"pool\":{pool},\"sku\":\"{sku}\",\"spot_microusd\":{spot_microusd},\"ondemand_microusd\":{ondemand_microusd}"
+            )
+        }
+        TelemetryEvent::RequestLapsed { pool, ondemand } => {
+            write!(out, ",\"pool\":{pool},\"od\":{ondemand}")
+        }
+        TelemetryEvent::RetryScheduled { pool, attempt, at_us } => {
+            write!(out, ",\"pool\":{pool},\"attempt\":{attempt},\"at_us\":{at_us}")
+        }
+        TelemetryEvent::RetryEscalated { pool, attempts } => {
+            write!(out, ",\"pool\":{pool},\"attempts\":{attempts}")
+        }
+        TelemetryEvent::TriageDowngrade { epoch, from, to } => {
+            write!(
+                out,
+                ",\"epoch\":{epoch},\"from\":\"{}\",\"to\":\"{}\"",
+                from.as_str(),
+                to.as_str()
             )
         }
     }

@@ -12,6 +12,9 @@ use simkit::{SimRng, SimTime};
 use spotserve::{Scenario, ServingSystem, SystemOptions};
 use workload::{LengthDist, Request, RequestId, WorkloadSpec};
 
+mod common;
+use common::assert_audit_clean;
+
 fn perf() -> PerfModel {
     PerfModel::paper_defaults(ModelSpec::opt_6_7b())
 }
@@ -285,6 +288,7 @@ fn chunked_prefill_survives_spotserve_migrations() {
     ids.dedup();
     assert_eq!(n, ids.len(), "no double completion");
     assert_eq!(n, total, "no token loss: every request completes");
+    assert_audit_clean(&report, total);
 }
 
 /// The serving-level payoff: on the long-prompt/short-prompt mix, chunked

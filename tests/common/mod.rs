@@ -6,11 +6,24 @@
 //! the same bytes; this module keeps the historical free-function shape
 //! the suites call.
 
-use spotserve::RunReport;
+use spotserve::{InvariantAuditor, RunReport};
 
 /// Canonical byte-exact rendering of everything a run produced: floats
 /// via their IEEE-754 bit patterns (so "close enough" can never pass),
 /// including the per-kind / per-pool cost breakdown and SLO rejections.
+#[allow(dead_code)] // each suite compiles this module separately
 pub fn canonical(report: &RunReport) -> String {
     report.canonical()
+}
+
+/// Runs the [`InvariantAuditor`] over `report` pinned to `expected`
+/// scenario requests, panicking with every violated invariant listed
+/// unless the run is clean. Every integration suite routes its reports
+/// through this — chaos on or off, a run may degrade but never corrupt.
+#[allow(dead_code)] // each suite compiles this module separately
+pub fn assert_audit_clean(report: &RunReport, expected: usize) {
+    InvariantAuditor::new()
+        .with_expected_requests(expected)
+        .audit(report)
+        .assert_clean();
 }

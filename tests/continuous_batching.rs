@@ -8,6 +8,9 @@ use simkit::{SimRng, SimTime};
 use spotserve::{EngineMode, RunReport, Scenario, ServingSystem, SystemOptions};
 use workload::{OutputDist, Request, WorkloadSpec};
 
+mod common;
+use common::assert_audit_clean;
+
 fn run(opts: SystemOptions, scenario: Scenario) -> RunReport {
     ServingSystem::new(opts, scenario).run()
 }
@@ -123,6 +126,7 @@ fn mixed_outputs_conserved_under_churn_for_all_policies() {
             "{:?}: duplicate completions",
             opts.policy
         );
+        assert_audit_clean(&report, total);
         assert_eq!(
             ids.len() + report.unfinished,
             total,

@@ -499,3 +499,156 @@ fn different_seeds_actually_differ() {
     let b = replay(SystemOptions::spotserve(), 2);
     assert_ne!(a, b);
 }
+
+#[test]
+fn calm_fault_spec_is_bit_exact_with_no_spec() {
+    // The chaos axis must be purely additive: a pool carrying an all-off
+    // `FaultSpec::calm()` takes the exact same code path — no extra
+    // random draws, no injected events — as one with no spec at all,
+    // down to the last bit. This pins every pre-chaos replay.
+    use cloudsim::{AvailabilityTrace as Tr, FaultSpec, PoolSpec};
+    use spotserve::FleetPolicy;
+
+    let replay = |calm: bool| {
+        let pools = vec![
+            PoolSpec::new(
+                "z0",
+                Tr::from_steps(vec![(SimTime::ZERO, 6), (SimTime::from_secs(240), 0)]),
+            ),
+            PoolSpec::new("z1", Tr::constant(4)),
+        ]
+        .into_iter()
+        .map(|p| {
+            if calm {
+                p.with_faults(FaultSpec::calm())
+            } else {
+                p
+            }
+        })
+        .collect();
+        let mut scenario = Scenario::paper_stable(
+            ModelSpec::opt_6_7b(),
+            AvailabilityTrace::constant(0), // unused once pools are set
+            1.0,
+            71,
+        )
+        .with_pools(pools);
+        scenario
+            .requests
+            .retain(|r| r.arrival < SimTime::from_secs(420));
+        let opts = SystemOptions::spotserve().with_fleet_policy(FleetPolicy::spot_hedge());
+        canonical(&ServingSystem::new(opts, scenario).run())
+    };
+    let bare = replay(false);
+    let calm = replay(true);
+    assert!(!bare.is_empty());
+    assert_eq!(
+        bare, calm,
+        "an all-off fault spec must not perturb a single bit"
+    );
+}
+
+/// Replay of the chaos paths: two pools under the standard fault pack
+/// (unannounced kills, lost/truncated notices, lapsed grants, a degraded
+/// link), served hedged with telemetry on. The canonical form carries the
+/// fault and lapse counters; the stream's JSONL carries every injected
+/// event — both must replay byte-identical.
+fn replay_chaos(seed: u64) -> (String, String) {
+    use cloudsim::{AvailabilityTrace as Tr, FaultSpec, PoolSpec};
+    use spotserve::FleetPolicy;
+
+    let pools = vec![
+        PoolSpec::new("z0", Tr::constant(5)).with_faults(FaultSpec::pack(0.8).with_kill_rate(25.0)),
+        PoolSpec::new("z1", Tr::constant(4)).with_faults(FaultSpec::pack(0.3)),
+    ];
+    let mut scenario = Scenario::paper_stable(
+        ModelSpec::opt_6_7b(),
+        AvailabilityTrace::constant(0), // unused once pools are set
+        1.0,
+        seed,
+    )
+    .with_pools(pools);
+    scenario
+        .requests
+        .retain(|r| r.arrival < SimTime::from_secs(420));
+    let opts = SystemOptions::spotserve()
+        .with_fleet_policy(FleetPolicy::spot_hedge())
+        .with_telemetry();
+    let mut report = ServingSystem::new(opts, scenario).run();
+    let jsonl = report
+        .telemetry
+        .take()
+        .expect("run built with telemetry")
+        .to_jsonl();
+    (canonical(&report), jsonl)
+}
+
+#[test]
+fn chaos_replays_byte_identical() {
+    let (a, a_stream) = replay_chaos(73);
+    let (b, b_stream) = replay_chaos(73);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "chaos replays must be byte-identical");
+    assert_eq!(a_stream, b_stream, "chaos telemetry must replay exactly");
+    assert!(
+        a.lines()
+            .any(|l| l.starts_with("faults=") && l != "faults=0"),
+        "the kill channel must actually fire:\n{}",
+        a.lines().take(8).collect::<Vec<_>>().join("\n")
+    );
+}
+
+/// The sharded chaos gate: the PR 8 sharded scenario with fault packs on
+/// half the pools. Injected kills, lapses and degraded links ride the
+/// same event barriers as everything else, so the thread budget may not
+/// change a byte.
+fn sharded_chaos_canonical(threads: usize, shards: usize, seed: u64) -> String {
+    use cloudsim::{AvailabilityTrace as Tr, FaultSpec, PoolSpec};
+    use spotserve::ShardedSystem;
+
+    let pools = (0..8)
+        .map(|i| {
+            let trace = if i == 2 {
+                Tr::from_steps(vec![
+                    (SimTime::ZERO, 4),
+                    (SimTime::from_secs(200), 0),
+                    (SimTime::from_secs(320), 4),
+                ])
+            } else {
+                Tr::constant(4)
+            };
+            let pool = PoolSpec::new(format!("z{i}"), trace);
+            if i % 2 == 0 {
+                pool.with_faults(FaultSpec::pack(0.6))
+            } else {
+                pool
+            }
+        })
+        .collect();
+    let mut scenario = Scenario::paper_stable(
+        ModelSpec::opt_6_7b(),
+        AvailabilityTrace::constant(0), // unused once pools are set
+        6.0,
+        seed,
+    )
+    .with_pools(pools);
+    scenario
+        .requests
+        .retain(|r| r.arrival < SimTime::from_secs(420));
+    let report = ShardedSystem::new(SystemOptions::spotserve(), scenario, shards)
+        .with_threads(threads)
+        .run();
+    let mut out = String::new();
+    report.canonical_into(&mut out);
+    out
+}
+
+#[test]
+fn sharded_chaos_is_thread_count_invariant() {
+    let one = sharded_chaos_canonical(1, 4, 79);
+    let many = sharded_chaos_canonical(8, 4, 79);
+    assert!(!one.is_empty());
+    assert_eq!(one, many, "thread count may never change a chaos-on answer");
+    let rerun = sharded_chaos_canonical(8, 4, 79);
+    assert_eq!(many, rerun, "sharded chaos replays byte-identical");
+}

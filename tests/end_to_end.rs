@@ -5,6 +5,9 @@ use llmsim::ModelSpec;
 use simkit::SimTime;
 use spotserve::{AblationFlags, Scenario, ServingSystem, SystemOptions};
 
+mod common;
+use common::assert_audit_clean;
+
 fn short(model: ModelSpec, trace: AvailabilityTrace, rate: f64, seed: u64) -> Scenario {
     let mut s = Scenario::paper_stable(model, trace, rate, seed);
     s.requests.retain(|r| r.arrival < SimTime::from_secs(300));
@@ -125,6 +128,7 @@ fn every_request_is_accounted_for_exactly_once() {
             "{:?}: conservation of requests",
             opts.policy
         );
+        assert_audit_clean(&report, total);
     }
 }
 
@@ -154,6 +158,7 @@ fn full_ablation_is_still_correct_just_slower() {
     let total = scenario.requests.len();
     let plain = ServingSystem::new(SystemOptions::spotserve().with_ablation(flags), scenario).run();
     assert_eq!(plain.latency.outcomes().len() + plain.unfinished, total);
+    assert_audit_clean(&plain, total);
 }
 
 #[test]

@@ -1,12 +1,19 @@
 //! Fault-injection scenarios for §4.2's interruption fault tolerance:
 //! overlapping grace periods, capacity collapses, churn storms, recovery
-//! from total outage, and preemption landing mid-chunked-prefill.
+//! from total outage, preemption landing mid-chunked-prefill — and the
+//! chaos harness on top: unannounced kills, lost preemption notices,
+//! lapsed grants with backoff recovery, and randomized fault plans that
+//! must never violate the run-level invariant auditor.
 
-use cloudsim::AvailabilityTrace;
+use cloudsim::{AvailabilityTrace, FaultSpec, PoolSpec};
 use llmsim::ModelSpec;
+use proptest::prelude::*;
 use simkit::{SimDuration, SimRng, SimTime};
-use spotserve::{Scenario, ServingSystem, SystemOptions};
+use spotserve::{FleetPolicy, Scenario, ServingSystem, SystemOptions};
 use workload::{LengthDist, WorkloadSpec};
+
+mod common;
+use common::assert_audit_clean;
 
 fn short_scenario(trace: AvailabilityTrace, model: ModelSpec, rate: f64, seed: u64) -> Scenario {
     let mut s = Scenario::paper_stable(model, trace, rate, seed);
@@ -30,6 +37,7 @@ fn overlapping_grace_periods_are_survived() {
     assert_eq!(report.latency.outcomes().len() + report.unfinished, total);
     assert_eq!(report.unfinished, 0, "all requests must eventually finish");
     assert!(report.preemptions >= 3);
+    assert_audit_clean(&report, total);
 }
 
 /// The fleet collapses below the model's minimum and recovers: serving
@@ -52,6 +60,7 @@ fn total_outage_and_recovery() {
         "a halt should be recorded: {:?}",
         report.config_sequence()
     );
+    assert_audit_clean(&report, total);
 }
 
 /// A churn storm: capacity oscillates every 45 s (shorter than a typical
@@ -77,6 +86,7 @@ fn churn_storm_conserves_requests() {
             "{:?}: requests must be conserved",
             opts.policy
         );
+        assert_audit_clean(&report, total);
     }
 }
 
@@ -109,6 +119,7 @@ fn randomized_traces_never_lose_requests() {
         let n = ids.len();
         ids.dedup();
         assert_eq!(n, ids.len(), "seed {seed}: duplicated completion");
+        assert_audit_clean(&report, total);
     }
 }
 
@@ -198,4 +209,225 @@ fn preemption_during_migration_replans() {
     assert_eq!(report.latency.outcomes().len() + report.unfinished, total);
     assert_eq!(report.unfinished, 0);
     assert!(report.config_changes.len() >= 2, "re-planning happened");
+    assert_audit_clean(&report, total);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos harness: seeded fault plans layered on top of the scripted traces.
+// ---------------------------------------------------------------------------
+
+/// Multi-pool chaos scenario: the supplied pools replace the scenario's
+/// single trace, arrivals truncated to `horizon_secs`.
+fn chaos_scenario(pools: Vec<PoolSpec>, horizon_secs: u64, rate: f64, seed: u64) -> Scenario {
+    let mut s = Scenario::paper_stable(
+        ModelSpec::opt_6_7b(),
+        AvailabilityTrace::constant(0), // unused once pools are set
+        rate,
+        seed,
+    )
+    .with_pools(pools);
+    s.requests
+        .retain(|r| r.arrival < SimTime::from_secs(horizon_secs));
+    s
+}
+
+/// An unannounced kill landing while a notice-driven migration is in
+/// flight: a scripted capacity drop opens a grace window, and a high
+/// chaos kill rate guarantees instances die inside it with zero grace.
+/// The system must abandon the stale transition, re-plan with the
+/// survivors, and conserve every request.
+#[test]
+fn unannounced_kill_mid_transition_replans_and_conserves() {
+    let trace = AvailabilityTrace::from_steps(vec![
+        (SimTime::ZERO, 8),
+        (SimTime::from_secs(150), 6),
+        (SimTime::from_secs(300), 8),
+    ]);
+    let pools =
+        vec![PoolSpec::new("z0", trace).with_faults(FaultSpec::calm().with_kill_rate(45.0))];
+    let scenario = chaos_scenario(pools, 600, 1.0, 11);
+    let total = scenario.requests.len();
+    let report = ServingSystem::new(SystemOptions::spotserve().with_telemetry(), scenario).run();
+    assert!(
+        report.faults >= 1,
+        "chaos kills must land: {}",
+        report.faults
+    );
+    assert!(
+        report.preemptions >= 1,
+        "the scripted drop still delivers notices"
+    );
+    assert_eq!(
+        report.settled() + report.unfinished,
+        total,
+        "requests must be conserved under unannounced kills"
+    );
+    assert!(
+        report.config_changes.len() >= 2,
+        "kills must force re-planning: {:?}",
+        report.config_sequence()
+    );
+    assert_audit_clean(&report, total);
+}
+
+/// Every preemption notice is lost (`notice_loss = 1.0`): scripted
+/// capacity drops arrive as instant `InstanceFailed` kills with zero
+/// grace and no chance to migrate. The run degrades to restart-recovery
+/// but must stay conservation- and audit-clean.
+#[test]
+fn lost_notices_become_unannounced_faults() {
+    let trace = AvailabilityTrace::from_steps(vec![
+        (SimTime::ZERO, 6),
+        (SimTime::from_secs(150), 4),
+        (SimTime::from_secs(250), 6),
+        (SimTime::from_secs(350), 4),
+    ]);
+    let pools =
+        vec![PoolSpec::new("z0", trace).with_faults(FaultSpec::calm().with_notice_loss(1.0))];
+    let scenario = chaos_scenario(pools, 600, 1.0, 13);
+    let total = scenario.requests.len();
+    let report = ServingSystem::new(SystemOptions::spotserve().with_telemetry(), scenario).run();
+    assert!(
+        report.faults >= 2,
+        "lost notices must surface as faults: {}",
+        report.faults
+    );
+    assert_eq!(
+        report.preemptions, 0,
+        "no notice may be delivered at notice_loss = 1.0"
+    );
+    assert_eq!(report.settled() + report.unfinished, total);
+    assert_eq!(
+        report.unfinished, 0,
+        "restart recovery must drain the backlog"
+    );
+    assert_audit_clean(&report, total);
+}
+
+/// A pool whose grants always lapse: the tracker's deadlines fire, the
+/// controller backs off exponentially, re-requests, and after repeated
+/// failures escalates to on-demand. The healthy sibling pool plus the
+/// escalation bridge keep the fleet serving with zero loss.
+#[test]
+fn lapsed_grants_back_off_and_recover() {
+    // z1 alone is too small for the optimizer's target, so the hedge
+    // must request into z0 once its capacity appears at t = 60 s — and
+    // every one of those grants lapses.
+    let pools = vec![
+        PoolSpec::new(
+            "z0",
+            AvailabilityTrace::from_steps(vec![(SimTime::ZERO, 0), (SimTime::from_secs(60), 8)]),
+        )
+        .with_faults(FaultSpec::calm().with_grant_lapse(1.0)),
+        PoolSpec::new("z1", AvailabilityTrace::constant(2)),
+    ];
+    let scenario = chaos_scenario(pools, 900, 1.0, 17);
+    let total = scenario.requests.len();
+    let report = ServingSystem::new(
+        SystemOptions::spotserve()
+            .with_fleet_policy(FleetPolicy::spot_hedge())
+            .with_telemetry(),
+        scenario,
+    )
+    .run();
+    assert!(
+        report.lapses >= 1,
+        "z0 grants must lapse visibly: {}",
+        report.lapses
+    );
+    let stream = report.telemetry.as_ref().expect("telemetry enabled");
+    let kinds: Vec<&str> = stream.records().iter().map(|r| r.event.kind()).collect();
+    assert!(
+        kinds.contains(&"lapse"),
+        "lapses must reach the telemetry stream"
+    );
+    assert!(
+        kinds.contains(&"retry"),
+        "backoff re-requests must be scheduled"
+    );
+    assert_eq!(report.unfinished, 0, "recovery must keep serving");
+    assert_eq!(report.settled(), total);
+    assert_audit_clean(&report, total);
+}
+
+/// A degraded link throttling checkpoint transfers mid-migration: the
+/// scripted drop forces a migration inside the degraded window, and the
+/// triage must downgrade mid-flight rather than blow the deadline.
+#[test]
+fn degraded_link_downgrades_triage_instead_of_missing_deadlines() {
+    let trace = AvailabilityTrace::from_steps(vec![
+        (SimTime::ZERO, 8),
+        (SimTime::from_secs(150), 5),
+        (SimTime::from_secs(400), 8),
+    ]);
+    let pools = vec![
+        PoolSpec::new("z0", trace).with_faults(FaultSpec::calm().with_degraded_link(
+            SimTime::from_secs(100),
+            SimTime::from_secs(300),
+            0.05,
+        )),
+    ];
+    let scenario = chaos_scenario(pools, 600, 1.0, 19);
+    let total = scenario.requests.len();
+    let report = ServingSystem::new(SystemOptions::spotserve().with_telemetry(), scenario).run();
+    assert!(report.preemptions >= 1);
+    assert_eq!(report.settled() + report.unfinished, total);
+    assert_audit_clean(&report, total);
+}
+
+/// The full chaos pack at high intensity across two pools, hedged: the
+/// run may degrade (SLO rejections, higher cost) but must never corrupt —
+/// the auditor's conservation laws hold at every intensity.
+#[test]
+fn chaos_pack_degrades_gracefully_under_hedge() {
+    // The full pack, with z0's kill channel boosted so kills land inside
+    // the 900 s window with certainty (the pack's own 6/h rate has a
+    // ~20% chance of drawing none in so short a run).
+    let pools = vec![
+        PoolSpec::new("z0", AvailabilityTrace::constant(5))
+            .with_faults(FaultSpec::pack(1.0).with_kill_rate(30.0)),
+        PoolSpec::new("z1", AvailabilityTrace::constant(5)).with_faults(FaultSpec::pack(0.5)),
+    ];
+    let scenario = chaos_scenario(pools, 900, 1.0, 23);
+    let total = scenario.requests.len();
+    let report = ServingSystem::new(
+        SystemOptions::spotserve()
+            .with_fleet_policy(FleetPolicy::spot_hedge())
+            .with_telemetry(),
+        scenario,
+    )
+    .run();
+    assert!(report.faults >= 1, "the pack's kill channel must fire");
+    assert_eq!(report.settled() + report.unfinished, total);
+    assert_audit_clean(&report, total);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized fault plans never violate the auditor: whatever the
+    /// chaos knobs draw, every run conserves requests, keeps leases
+    /// balanced, and bills consistently.
+    #[test]
+    fn randomized_fault_plans_never_violate_invariants(
+        intensity in 0.1f64..0.9,
+        seed in 0u64..1024,
+    ) {
+        let pools = vec![
+            PoolSpec::new("z0", AvailabilityTrace::constant(5))
+                .with_faults(FaultSpec::pack(intensity)),
+            PoolSpec::new("z1", AvailabilityTrace::constant(4)),
+        ];
+        let scenario = chaos_scenario(pools, 400, 1.0, seed);
+        let total = scenario.requests.len();
+        let report = ServingSystem::new(
+            SystemOptions::spotserve()
+                .with_fleet_policy(FleetPolicy::spot_hedge())
+                .with_telemetry(),
+            scenario,
+        )
+        .run();
+        prop_assert_eq!(report.settled() + report.unfinished, total);
+        assert_audit_clean(&report, total);
+    }
 }
